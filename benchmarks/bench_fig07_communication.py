@@ -1,0 +1,21 @@
+"""Regenerate Fig. 7: total uplink communication per method.
+
+Paper shape: the Hadamard-sampling methods (Apple-HCMS, LDPJoinSketch)
+transmit a single bit plus indices per client; k-RR transmits a whole
+domain value, costing the most on large domains; FLH sits between.
+"""
+
+from repro.experiments.figures import fig7_communication
+
+from conftest import BENCH_SCALE, BENCH_SEED
+
+
+def test_fig7_communication(regenerate):
+    table = regenerate("fig7", fig7_communication, scale=BENCH_SCALE, seed=BENCH_SEED)
+    for dataset in ("zipf-1.1", "movielens"):
+        sub = table.filtered(dataset=dataset)
+        bits = dict(zip(sub.column("method"), sub.column("total_bits")))
+        assert bits["k-RR"] >= bits["LDPJoinSketch"]
+        assert bits["k-RR"] >= bits["Apple-HCMS"]
+        # LDPJoinSketch and Apple-HCMS share the wire format exactly.
+        assert bits["LDPJoinSketch"] == bits["Apple-HCMS"]

@@ -1,0 +1,32 @@
+"""Regenerate Fig. 8 (a-d): AE vs privacy budget epsilon.
+
+Paper shape: every method improves as epsilon grows; k-RR/FLH improve
+steeply (their error is perturbation-dominated); the sketch methods
+flatten once sketch error dominates; ours lead at small epsilon.
+"""
+
+from repro.experiments.figures import fig8_epsilon
+
+from conftest import BENCH_SCALE, BENCH_SEED, BENCH_TRIALS
+
+EPSILONS = (0.1, 1, 2, 4, 6, 8, 10)
+
+
+def test_fig8_epsilon(regenerate):
+    table = regenerate(
+        "fig8",
+        fig8_epsilon,
+        scale=BENCH_SCALE,
+        trials=BENCH_TRIALS,
+        seed=BENCH_SEED,
+        epsilons=EPSILONS,
+    )
+    for dataset in ("zipf-1.5", "gaussian", "movielens", "twitter"):
+        krr = table.filtered(dataset=dataset, method="k-RR")
+        eps_to_ae = dict(zip(krr.column("epsilon"), krr.column("ae")))
+        # k-RR error collapses by orders of magnitude from eps=0.1 to 10.
+        assert eps_to_ae[0.1] > 10 * eps_to_ae[10.0]
+        # Ours beats k-RR in the strong-privacy regime.
+        ours = table.filtered(dataset=dataset, method="LDPJoinSketch")
+        ours_ae = dict(zip(ours.column("epsilon"), ours.column("ae")))
+        assert ours_ae[0.1] < eps_to_ae[0.1]

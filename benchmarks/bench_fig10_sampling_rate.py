@@ -1,0 +1,29 @@
+"""Regenerate Fig. 10: LDPJoinSketch+ AE vs phase-1 sampling rate r.
+
+Paper shape: accuracy improves (error falls) as the sampling rate grows,
+because the frequent-item set and its mass estimates sharpen.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig10_sampling_rate
+
+from conftest import BENCH_SCALE, BENCH_SEED
+
+
+def test_fig10_sampling_rate(regenerate):
+    table = regenerate(
+        "fig10",
+        fig10_sampling_rate,
+        scale=BENCH_SCALE,
+        trials=5,
+        seed=BENCH_SEED,
+    )
+    rates = table.column("r")
+    errors = table.column("ae")
+    assert rates == sorted(rates)
+    # Trend check on noisy data: the mean error over the two largest rates
+    # must not exceed the mean over the two smallest by more than 50%.
+    low = float(np.mean(errors[:2]))
+    high = float(np.mean(errors[-2:]))
+    assert high < 1.5 * low

@@ -1,0 +1,35 @@
+"""Regenerate Fig. 13: offline vs online running time per method.
+
+Paper shape: for every sketch-based method the online (query) time is
+negligible next to the offline (collection + construction) time; the
+frequency-vector baselines pay a large online cost on big domains because
+answering the join means scanning the whole domain.
+"""
+
+from repro.experiments.figures import fig13_efficiency
+
+from conftest import BENCH_SCALE, BENCH_SEED, BENCH_TRIALS
+
+
+def test_fig13_efficiency(regenerate):
+    table = regenerate(
+        "fig13",
+        fig13_efficiency,
+        scale=BENCH_SCALE,
+        trials=BENCH_TRIALS,
+        seed=BENCH_SEED,
+    )
+    for dataset in ("zipf-1.1", "gaussian", "twitter"):
+        sub = table.filtered(dataset=dataset)
+        rows = {
+            method: (off, on)
+            for method, off, on in zip(
+                sub.column("method"),
+                sub.column("offline_seconds"),
+                sub.column("online_seconds"),
+            )
+        }
+        # Sketch product queries answer near-instantly.
+        offline, online = rows["LDPJoinSketch"]
+        assert online < offline
+        assert online < 0.1

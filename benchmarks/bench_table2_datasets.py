@@ -1,0 +1,18 @@
+"""Regenerate Table II: the dataset inventory.
+
+Paper: six datasets with the listed domains and sizes.  We report the
+paper shape next to the laptop-scale sample actually used by the other
+benchmarks, so every downstream table can be read in context.
+"""
+
+from repro.experiments.figures import table2_datasets
+
+from conftest import BENCH_SCALE, BENCH_SEED
+
+
+def test_table2_datasets(regenerate):
+    table = regenerate("table2", table2_datasets, scale=BENCH_SCALE, seed=BENCH_SEED)
+    assert len(table.rows) == 6
+    # Every generated stream respects its Table II domain.
+    for domain, distinct in zip(table.column("our_domain"), table.column("distinct")):
+        assert distinct <= domain

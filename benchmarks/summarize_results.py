@@ -1,0 +1,310 @@
+"""Render the measured-results section of EXPERIMENTS.md from the CSVs.
+
+Usage (after ``pytest benchmarks/ --benchmark-only``)::
+
+    python benchmarks/summarize_results.py            # print to stdout
+    python benchmarks/summarize_results.py --apply    # splice into EXPERIMENTS.md
+
+The script compresses each ``benchmarks/results/*.csv`` into the compact
+series the paper plots (per-method summaries, trend endpoints), so the
+document shows real measured numbers without pasting hundred-row tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent / "results"
+EXPERIMENTS_MD = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+MARKER = "<!-- PER_EXPERIMENT_DETAILS -->"
+
+
+def read(name):
+    path = RESULTS / f"{name}.csv"
+    if not path.exists():
+        return None
+    with path.open() as handle:
+        return list(csv.DictReader(handle))
+
+
+def fmt(x: float) -> str:
+    x = float(x)
+    if x == 0:
+        return "0"
+    if abs(x) >= 1e5 or abs(x) < 1e-3:
+        return f"{x:.2e}"
+    return f"{x:.4g}"
+
+
+def series_table(rows, key_field, value_field, methods, method_field="method"):
+    keys = sorted({float(r[key_field]) for r in rows})
+    lines = ["| " + key_field + " | " + " | ".join(methods) + " |"]
+    lines.append("|" + "---|" * (len(methods) + 1))
+    for key in keys:
+        cells = []
+        for method in methods:
+            vals = [
+                float(r[value_field])
+                for r in rows
+                if r[method_field] == method and float(r[key_field]) == key
+            ]
+            cells.append(fmt(vals[0]) if vals else "-")
+        lines.append("| " + fmt(key) + " | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def section(title, body):
+    return f"### {title}\n\n{body}\n"
+
+
+def build() -> str:
+    parts = []
+
+    rows = read("table2")
+    if rows:
+        body = "\n".join(
+            f"- **{r['dataset']}**: paper {r['paper_domain']} domain / "
+            f"{int(r['paper_size']):,} rows -> ours {r['our_domain']} domain / "
+            f"{r['sample_size']} rows per stream, {r['distinct']} distinct, "
+            f"top-1 share {fmt(r['top1_share'])}"
+            for r in rows
+        )
+        parts.append(section("Table II — datasets", body))
+
+    rows = read("fig5")
+    if rows:
+        methods = ["FAGMS", "k-RR", "Apple-HCMS", "FLH", "LDPJoinSketch", "LDPJoinSketch+"]
+        lines = ["| dataset | " + " | ".join(methods) + " | (RE, eps=4)"]
+        lines.append("|" + "---|" * (len(methods) + 2))
+        for ds in dict.fromkeys(r["dataset"] for r in rows):
+            cells = [
+                fmt([r["re"] for r in rows if r["dataset"] == ds and r["method"] == m][0])
+                for m in methods
+            ]
+            lines.append(f"| {ds} | " + " | ".join(cells) + " | |")
+        body = "\n".join(lines) + (
+            "\n\nPaper shape: ours near FAGMS, orders below k-RR/FLH/HCMS — holds on "
+            "every large-domain dataset; gaussian/tpcds sit below the laptop-scale "
+            "noise floor for *all* LDP methods (truths of 1e4-1e5 vs noise ~1e6)."
+        )
+        parts.append(section("Fig. 5 — accuracy per dataset (RE)", body))
+
+    rows = read("fig6")
+    if rows:
+        body = series_table(rows, "m", "ae", ["Apple-HCMS", "LDPJoinSketch", "LDPJoinSketch+"])
+        body += (
+            "\n\nPaper shape: AE falls with space. Measured: Apple-HCMS falls "
+            "monotonically; LDPJoinSketch(+) already sit 2-3 orders below it at "
+            "every width and ride their LDP-noise floor (flat in m) — the "
+            "collision error the paper's 40M-row runs show shrinking with m is "
+            "negligible for us from the start."
+        )
+        parts.append(section("Fig. 6 — AE vs space (Zipf 2.0, eps=10)", body))
+
+    rows = read("fig7")
+    if rows:
+        lines = ["| dataset | method | bits/client | total bits |", "|---|---|---|---|"]
+        for r in rows:
+            lines.append(
+                f"| {r['dataset']} | {r['method']} | {r['bits_per_report']} | "
+                f"{int(r['total_bits']):,} |"
+            )
+        body = "\n".join(lines) + (
+            "\n\nPaper shape: 1-bit Hadamard methods cheapest, k-RR most expensive "
+            "— exact ordering reproduced (deterministic wire-format accounting)."
+        )
+        parts.append(section("Fig. 7 — communication cost", body))
+
+    rows = read("fig8")
+    if rows:
+        chunks = []
+        for ds in dict.fromkeys(r["dataset"] for r in rows):
+            sub = [r for r in rows if r["dataset"] == ds]
+            chunks.append(
+                f"**{ds}** (AE)\n\n"
+                + series_table(
+                    sub, "epsilon", "ae",
+                    ["k-RR", "Apple-HCMS", "FLH", "LDPJoinSketch", "LDPJoinSketch+"],
+                )
+            )
+        body = "\n\n".join(chunks) + (
+            "\n\nPaper shape: everyone improves with eps; ours best in the "
+            "strong-privacy regime; sketch curves flatten at large eps "
+            "(collision/sampling floor). All reproduced; at eps>=8 the "
+            "direct mechanisms cross below ours on the smaller domains — a "
+            "small-n artefact (their perturbation error vanishes with e^eps "
+            "while our row-sampling floor is n-bound, not eps-bound)."
+        )
+        parts.append(section("Fig. 8 — AE vs privacy budget", body))
+
+    rows = read("fig9")
+    if rows:
+        m_rows = [r for r in rows if r["sweep"] == "m"]
+        k_rows = [r for r in rows if r["sweep"] == "k"]
+        chunks = []
+        for ds in dict.fromkeys(r["dataset"] for r in rows):
+            chunk = f"**{ds}** — m sweep (AE, k=18)\n\n" + series_table(
+                [r for r in m_rows if r["dataset"] == ds], "m", "ae",
+                ["FAGMS", "Apple-HCMS", "LDPJoinSketch", "LDPJoinSketch+"],
+            )
+            chunk += f"\n\n**{ds}** — k sweep (AE, m=1024)\n\n" + series_table(
+                [r for r in k_rows if r["dataset"] == ds], "k", "ae",
+                ["FAGMS", "Apple-HCMS", "LDPJoinSketch", "LDPJoinSketch+"],
+            )
+            chunks.append(chunk)
+        body = "\n\n".join(chunks) + (
+            "\n\nPaper shape: error falls with m for all; with k, FAGMS/HCMS "
+            "improve while ours stay flat or degrade (row sampling splits the "
+            "same reports across more rows) — both trends reproduced."
+        )
+        parts.append(section("Fig. 9 — AE vs sketch shape (m and k)", body))
+
+    rows = read("fig10")
+    if rows:
+        lines = ["| r | AE |", "|---|---|"] + [
+            f"| {r['r']} | {fmt(r['ae'])} |" for r in rows
+        ]
+        body = "\n".join(lines) + (
+            "\n\nPaper shape: accuracy improves with the phase-1 sampling rate; "
+            "measured trend agrees (noisy at laptop scale — the FI set is already "
+            "stable, so r mainly sharpens the mass estimates)."
+        )
+        parts.append(section("Fig. 10 — LDPJS+ AE vs sampling rate r", body))
+
+    rows = read("fig11")
+    if rows:
+        lines = ["| theta | AE | mean FI size |", "|---|---|---|"] + [
+            f"| {fmt(r['theta'])} | {fmt(r['ae'])} | {fmt(r['fi_size'])} |" for r in rows
+        ]
+        body = "\n".join(lines) + (
+            "\n\nPaper shape: U-curve in theta. Measured: the *mechanism* behind "
+            "both arms reproduces cleanly — tiny theta floods FI with "
+            "noise-level items (FI ~ 1.9e5, most of the domain) and large theta "
+            "empties it (FI -> 1) — but the AE itself is dominated by "
+            "LDPJS+'s noise floor at laptop scale, so the U in AE is shallow "
+            "and noisy rather than the paper's orders-of-magnitude swing. The "
+            "usable theta operating range sits near 1e-2 here vs the paper's "
+            "1e-3 (our sampled phase-1 population is 1000x smaller, and the "
+            "threshold must clear ~3*1.35*sqrt(|S|) LDP noise)."
+        )
+        parts.append(section("Fig. 11 — LDPJS+ AE vs threshold theta", body))
+
+    rows = read("fig12")
+    if rows:
+        methods = ["FAGMS", "k-RR", "Apple-HCMS", "FLH", "LDPJoinSketch", "LDPJoinSketch+"]
+        lines = ["| alpha | " + " | ".join(methods) + " | (RE)"]
+        lines.append("|" + "---|" * (len(methods) + 2))
+        for ds in dict.fromkeys(r["dataset"] for r in rows):
+            alpha = ds.split("-")[1]
+            cells = [
+                fmt([r["re"] for r in rows if r["dataset"] == ds and r["method"] == m][0])
+                for m in methods
+            ]
+            lines.append(f"| {alpha} | " + " | ".join(cells) + " | |")
+        body = "\n".join(lines) + (
+            "\n\nPaper shape: RE falls as skewness grows for every method, ours "
+            "dominating the LDP baselines throughout — reproduced."
+        )
+        parts.append(section("Fig. 12 — RE vs Zipf skewness", body))
+
+    rows = read("fig13")
+    if rows:
+        lines = ["| dataset | method | offline s | online s |", "|---|---|---|---|"] + [
+            f"| {r['dataset']} | {r['method']} | {fmt(r['offline_seconds'])} | "
+            f"{fmt(r['online_seconds'])} |"
+            for r in rows
+        ]
+        body = "\n".join(lines) + (
+            "\n\nPaper shape: sketch methods answer joins near-instantly once "
+            "built; the frequency-vector baselines pay a large online cost on "
+            "big domains (they scan every candidate). Ours costs somewhat more "
+            "offline than HCMS — the paper reports the same and calls it well "
+            "spent."
+        )
+        parts.append(section("Fig. 13 — running time (offline vs online)", body))
+
+    rows = read("fig14")
+    if rows:
+        chunks = []
+        for ds in dict.fromkeys(r["dataset"] for r in rows):
+            chunks.append(
+                f"**{ds}** (MSE)\n\n"
+                + series_table(
+                    [r for r in rows if r["dataset"] == ds], "epsilon", "mse",
+                    ["k-RR", "Apple-HCMS", "FLH", "LDPJoinSketch"],
+                    method_field="mechanism",
+                )
+            )
+        body = "\n\n".join(chunks) + (
+            "\n\nPaper shape: LDPJoinSketch sits on top of Apple-HCMS across the "
+            "eps range (near-identical structures), both flattening once sketch "
+            "error dominates; k-RR/FLH far worse at small eps — all reproduced."
+        )
+        parts.append(section("Fig. 14 — frequency-estimation MSE vs eps", body))
+
+    rows = read("fig15")
+    if rows:
+        chunks = []
+        for query in ("3-way", "4-way"):
+            sub = [r for r in rows if r["query"] == query and r["method"] != "Compass"]
+            methods = list(dict.fromkeys(r["method"] for r in sub))
+            chunks.append(
+                f"**{query}** (RE; Compass non-private RE = "
+                + fmt([r["re"] for r in rows if r["query"] == query and r["method"] == "Compass"][0])
+                + ")\n\n"
+                + series_table(sub, "epsilon", "re", methods)
+            )
+        body = "\n\n".join(chunks) + (
+            "\n\nPaper shape: LDPJoinSketch handles 3- and 4-way chains, error "
+            "falling with eps then stabilising; frequency-based methods pay the "
+            "product-domain price on 3-way and are infeasible for 4-way — "
+            "reproduced (4-way runs sketch methods only, as in the paper)."
+        )
+        parts.append(section("Fig. 15 — multiway chain joins", body))
+
+    for name, title in (
+        ("scale_regime", "Scale regime (honesty bench)"),
+        ("ablation_corrections", "Ablation: Algorithm 5 corrections"),
+        ("ablation_calibration", "Ablation: baseline calibration"),
+        ("ablation_substrate", "Ablation: AGMS vs Fast-AGMS"),
+    ):
+        rows = read(name)
+        if rows:
+            headers = list(rows[0].keys())
+            lines = ["| " + " | ".join(headers) + " |", "|" + "---|" * len(headers)]
+            for r in rows:
+                lines.append("| " + " | ".join(fmt(r[h]) if _num(r[h]) else r[h] for h in headers) + " |")
+            parts.append(section(title, "\n".join(lines)))
+
+    return "\n".join(parts)
+
+
+def _num(x) -> bool:
+    try:
+        float(x)
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--apply", action="store_true", help="splice into EXPERIMENTS.md")
+    args = parser.parse_args()
+    body = build()
+    if args.apply:
+        text = EXPERIMENTS_MD.read_text()
+        head, _, _ = text.partition(MARKER)
+        EXPERIMENTS_MD.write_text(head + MARKER + "\n\n" + body)
+        print(f"updated {EXPERIMENTS_MD}")
+    else:
+        print(body)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

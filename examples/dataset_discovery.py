@@ -1,0 +1,57 @@
+"""Private dataset discovery: find joinable columns (intro scenario 2).
+
+A hospital holds a query column (patient genome-panel ids) and wants to
+find, among a genetics company's catalogue of columns, the ones it joins
+most strongly with — before any data-sharing agreement exists.  Join size
+estimation under LDP lets both sides rank candidate columns without
+exchanging raw values.
+
+Run:  python examples/dataset_discovery.py
+"""
+
+import numpy as np
+
+from repro import SketchParams, run_ldp_join_sketch
+from repro.data import EgoNetworkGenerator, GaussianGenerator, TPCDSStoreSalesGenerator, ZipfGenerator
+from repro.join import exact_join_size
+
+
+def main() -> None:
+    domain = 16_384
+    n = 150_000
+    params = SketchParams(k=18, m=1024, epsilon=4.0)
+
+    # The hospital's query column.
+    query = ZipfGenerator(domain, alpha=1.3).sample(n, rng=1)
+
+    # The company's catalogue: populations truncated/lifted onto the shared
+    # id domain, with varying overlap against the query column.
+    catalogue = {
+        "panel_results (same cohort)": ZipfGenerator(domain, alpha=1.3).sample(n, rng=2),
+        "panel_results (older assay)": ZipfGenerator(domain, alpha=1.7).sample(n, rng=3),
+        "billing_codes": TPCDSStoreSalesGenerator(domain).sample(n, rng=4),
+        "visit_timestamps": GaussianGenerator(domain).sample(n, rng=5),
+        "referral_graph": EgoNetworkGenerator(domain, gamma=2.2).sample(n, rng=6),
+    }
+
+    print(f"{'candidate column':30s} {'exact join':>14s} {'LDP estimate':>14s} {'RE':>8s}")
+    ranked = []
+    for idx, (name, column) in enumerate(catalogue.items()):
+        truth = exact_join_size(query, column, domain)
+        result = run_ldp_join_sketch(query, column, params, seed=100 + idx)
+        re = abs(result.estimate - truth) / truth
+        ranked.append((result.estimate, name))
+        print(f"{name:30s} {truth:14,d} {result.estimate:14,.0f} {re:8.2%}")
+
+    ranked.sort(reverse=True)
+    print("\nPrivately ranked join candidates:")
+    for rank, (estimate, name) in enumerate(ranked, start=1):
+        print(f"  {rank}. {name}  (~{max(estimate, 0):,.0f} joining pairs)")
+
+    print("\nStrong join candidates are identified reliably; columns whose")
+    print("true join size sits below the LDP noise floor (here ~10^7) are")
+    print("indistinguishable from 'no join' — the privacy we paid for.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Private similarity computation for data valuation (intro scenario 1).
+
+A data market wants to price a seller's dataset by how similar it is to a
+buyer's — without either side revealing raw records.  The inner product of
+two frequency vectors (exactly the join size) is the core of cosine
+similarity:
+
+    cos(A, B) = <f_A, f_B> / (||f_A|| * ||f_B||)
+
+Under LDP we estimate all three quantities from sketches: <f_A, f_B> is
+the cross join size and each squared norm is a self-join size (second
+frequency moment, estimable from the same sketches).
+
+Run:  python examples/private_similarity.py
+"""
+
+import numpy as np
+
+from repro import SketchParams, build_sketch, encode_reports
+from repro.data import MovieLensGenerator, ZipfGenerator
+from repro.hashing import HashPairs
+from repro.join import FrequencyVector
+from repro.rng import ensure_rng, spawn
+
+
+def private_cosine(values_a, values_b, params, seed):
+    """Estimate cos(A, B) from LDP sketches alone."""
+    rng = ensure_rng(seed)
+    pairs = HashPairs(params.k, params.m, spawn(rng))
+    sketch_a = build_sketch(encode_reports(values_a, params, pairs, rng), pairs)
+    sketch_b = build_sketch(encode_reports(values_b, params, pairs, rng), pairs)
+    inner = sketch_a.join_size(sketch_b)
+    norm_a = sketch_a.second_moment()  # debiased ||f_A||^2
+    norm_b = sketch_b.second_moment()
+    if norm_a <= 0 or norm_b <= 0:
+        return 0.0
+    return inner / np.sqrt(norm_a * norm_b)
+
+
+def exact_cosine(values_a, values_b, domain):
+    fa = FrequencyVector.from_values(values_a, domain)
+    fb = FrequencyVector.from_values(values_b, domain)
+    return fa.inner(fb) / np.sqrt(float(fa.second_moment) * float(fb.second_moment))
+
+
+def main() -> None:
+    domain = 8192
+    params = SketchParams(k=18, m=2048, epsilon=4.0)
+
+    # The buyer's interest profile.
+    buyer = ZipfGenerator(domain, alpha=1.4).sample(300_000, rng=1)
+
+    # Three candidate seller datasets of varying relevance.
+    sellers = {
+        "seller-similar  (same population)": ZipfGenerator(domain, alpha=1.4).sample(300_000, rng=2),
+        "seller-related  (shifted skew)": ZipfGenerator(domain, alpha=1.1).sample(300_000, rng=3),
+        "seller-unrelated (permuted ids)": ZipfGenerator(
+            domain, alpha=1.4, shuffle_seed=99
+        ).sample(300_000, rng=4),
+    }
+
+    print(f"{'candidate':38s} {'exact cos':>10s} {'private cos':>12s}")
+    for name, seller_values in sellers.items():
+        exact = exact_cosine(buyer, seller_values, domain)
+        private = private_cosine(buyer, seller_values, params, seed=hash(name) % 2**31)
+        print(f"{name:38s} {exact:10.4f} {private:12.4f}")
+
+    print("\nThe private ranking matches the exact ranking: the market can")
+    print("price the candidates without seeing a single raw record.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, which modern
+``pip install -e .`` (PEP 660) requires; ``python setup.py develop``
+installs an editable egg-link without it.  All project metadata lives in
+``pyproject.toml``; this file only enables the legacy code path.
+"""
+
+from setuptools import setup
+
+setup()

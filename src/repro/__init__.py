@@ -1,0 +1,92 @@
+"""repro — Sketches-based join size estimation under local differential privacy.
+
+A from-scratch, laptop-scale reproduction of *"Sketches-based join size
+estimation under local differential privacy"* (Zhang, Liu, Yin — ICDE
+2024).  The package provides:
+
+* the paper's contributions — :class:`~repro.core.LDPJoinSketch` /
+  :func:`~repro.core.build_sketch` (Algorithms 1-2),
+  Frequency-Aware Perturbation (Algorithm 4),
+  :class:`~repro.core.LDPJoinSketchPlus` (Algorithms 3 and 5), and the
+  Section VI multiway extension (:class:`~repro.core.LDPCompassProtocol`);
+* every substrate they stand on — Hadamard transforms, k-wise independent
+  hashing, the classical AGMS / Fast-AGMS / Count-Min / Count-Sketch /
+  Count-Mean sketches and COMPASS chain sketches;
+* the competitor LDP frequency oracles of the evaluation — k-RR, OLH,
+  FLH, Apple-HCMS — under one interface (:mod:`repro.mechanisms`);
+* synthetic workload generators matching the paper's datasets
+  (:mod:`repro.data`) and the experiment harness regenerating every table
+  and figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import SketchParams, run_ldp_join_sketch
+
+    rng = np.random.default_rng(7)
+    a = rng.integers(0, 4096, size=100_000)
+    b = rng.integers(0, 4096, size=100_000)
+    result = run_ldp_join_sketch(a, b, SketchParams(k=18, m=1024, epsilon=4.0), seed=7)
+    print(result.estimate)
+"""
+
+from ._version import __version__
+from .errors import (
+    DataGenerationError,
+    DomainError,
+    IncompatibleSketchError,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+)
+from .core import (
+    JoinEstimate,
+    LDPCompassProtocol,
+    LDPJoinSketch,
+    LDPJoinSketchPlus,
+    PlusEstimate,
+    ReportBatch,
+    SketchParams,
+    build_sketch,
+    encode_report,
+    encode_reports,
+    estimate_join_size,
+    fap_encode_report,
+    fap_encode_reports,
+    find_frequent_items,
+    run_ldp_join_sketch,
+    run_ldp_join_sketch_plus,
+)
+from .join import FrequencyVector, exact_join_size, exact_multiway_chain_size
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ParameterError",
+    "DomainError",
+    "IncompatibleSketchError",
+    "ProtocolError",
+    "DataGenerationError",
+    # core protocol
+    "SketchParams",
+    "ReportBatch",
+    "encode_report",
+    "encode_reports",
+    "LDPJoinSketch",
+    "build_sketch",
+    "estimate_join_size",
+    "find_frequent_items",
+    "fap_encode_report",
+    "fap_encode_reports",
+    "LDPJoinSketchPlus",
+    "PlusEstimate",
+    "LDPCompassProtocol",
+    "JoinEstimate",
+    "run_ldp_join_sketch",
+    "run_ldp_join_sketch_plus",
+    # ground truth
+    "FrequencyVector",
+    "exact_join_size",
+    "exact_multiway_chain_size",
+]

@@ -1,0 +1,50 @@
+"""The paper's primary contribution.
+
+Public surface:
+
+* :class:`SketchParams` — validated ``(k, m, epsilon)`` configuration;
+* :func:`encode_report` / :func:`encode_reports` — Algorithm 1, the
+  LDPJoinSketch client (scalar and vectorised forms);
+* :class:`ReportBatch` — the wire format (``y``, row index, column index)
+  plus communication-cost accounting;
+* :class:`LDPJoinSketch` and :func:`build_sketch` — Algorithm 2 (PriSK),
+  the server-side construction, with Eq. (5) join estimation and
+  Theorem 7 frequency estimation;
+* :func:`fap_encode_reports` — Algorithm 4, Frequency-Aware Perturbation;
+* :class:`LDPJoinSketchPlus` — Algorithm 3 + Algorithm 5, the two-phase
+  protocol;
+* :class:`LDPCompassProtocol` — the Section VI multiway extension;
+* :func:`run_ldp_join_sketch` / :func:`run_ldp_join_sketch_plus` —
+  one-call client/server simulations returning estimates and accounting.
+"""
+
+from .params import SketchParams
+from .client import ReportBatch, encode_report, encode_reports
+from .server import LDPJoinSketch, build_sketch
+from .aggregator import LDPJoinSketchAggregator
+from .estimator import estimate_join_size, find_frequent_items
+from .fap import fap_encode_report, fap_encode_reports
+from .plus import LDPJoinSketchPlus, PlusEstimate
+from .multiway import LDPCompassProtocol, MiddleReportBatch
+from .protocol import JoinEstimate, run_ldp_join_sketch, run_ldp_join_sketch_plus
+
+__all__ = [
+    "SketchParams",
+    "ReportBatch",
+    "encode_report",
+    "encode_reports",
+    "LDPJoinSketch",
+    "build_sketch",
+    "LDPJoinSketchAggregator",
+    "estimate_join_size",
+    "find_frequent_items",
+    "fap_encode_report",
+    "fap_encode_reports",
+    "LDPJoinSketchPlus",
+    "PlusEstimate",
+    "LDPCompassProtocol",
+    "MiddleReportBatch",
+    "JoinEstimate",
+    "run_ldp_join_sketch",
+    "run_ldp_join_sketch_plus",
+]

@@ -1,0 +1,115 @@
+"""Incremental server-side aggregation.
+
+:func:`~repro.core.server.build_sketch` is batch-oriented: all reports in,
+one sketch out.  A deployed collector instead receives reports in waves
+(user cohorts, retry queues, day boundaries) and answers queries between
+waves.  :class:`LDPJoinSketchAggregator` supports that pattern:
+
+* ``ingest`` folds any number of :class:`ReportBatch` objects into the raw
+  (pre-transform) accumulator — O(batch) each, no transform cost;
+* ``sketch`` materialises the constructed sketch on demand, caching the
+  Hadamard inversion until new reports arrive;
+* ``join_size`` / ``frequencies`` answer queries against the current
+  state.
+
+The raw accumulator is the sum of debiased reports, so ingestion is
+trivially parallelisable and mergeable (``merge`` adds two aggregators) —
+the property production collectors rely on for sharding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..errors import IncompatibleSketchError, ParameterError, ProtocolError
+from ..hashing import HashPairs
+from ..transform.hadamard import fwht
+from .client import ReportBatch
+from .params import SketchParams
+from .server import LDPJoinSketch
+
+__all__ = ["LDPJoinSketchAggregator"]
+
+
+class LDPJoinSketchAggregator:
+    """Streaming collector for LDPJoinSketch reports."""
+
+    def __init__(self, params: SketchParams, pairs: HashPairs) -> None:
+        if pairs.k != params.k or pairs.m != params.m:
+            raise ParameterError(
+                f"hash pairs shaped ({pairs.k}, {pairs.m}) do not match params "
+                f"({params.k}, {params.m})"
+            )
+        self.params = params
+        self.pairs = pairs
+        self._raw = np.zeros((params.k, params.m), dtype=np.float64)
+        self.num_reports = 0
+        self._cached: Optional[LDPJoinSketch] = None
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, reports: ReportBatch) -> "LDPJoinSketchAggregator":
+        """Fold one batch of client reports into the accumulator."""
+        if reports.params != self.params:
+            raise IncompatibleSketchError(
+                "reports were generated under different protocol parameters"
+            )
+        np.add.at(
+            self._raw,
+            (reports.rows, reports.cols),
+            self.params.scale * reports.ys.astype(np.float64),
+        )
+        self.num_reports += len(reports)
+        self._cached = None
+        return self
+
+    def ingest_many(self, batches: Iterable[ReportBatch]) -> "LDPJoinSketchAggregator":
+        """Fold several batches (e.g. one per shard or cohort)."""
+        for batch in batches:
+            self.ingest(batch)
+        return self
+
+    def merge(self, other: "LDPJoinSketchAggregator") -> "LDPJoinSketchAggregator":
+        """Combine with another shard's accumulator (pre-transform sum)."""
+        if not isinstance(other, LDPJoinSketchAggregator):
+            raise IncompatibleSketchError(
+                f"cannot merge with {type(other).__name__}"
+            )
+        if other.params != self.params or other.pairs != self.pairs:
+            raise IncompatibleSketchError(
+                "aggregators must share parameters and hash pairs"
+            )
+        self._raw += other._raw
+        self.num_reports += other.num_reports
+        self._cached = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def sketch(self) -> LDPJoinSketch:
+        """The constructed sketch for the reports ingested so far."""
+        if self.num_reports == 0:
+            raise ProtocolError("no reports ingested yet")
+        if self._cached is None:
+            self._cached = LDPJoinSketch(
+                self.params, self.pairs, fwht(self._raw), self.num_reports
+            )
+        return self._cached
+
+    def join_size(self, other: "LDPJoinSketchAggregator") -> float:
+        """Eq. (5) against another aggregator's current state."""
+        return self.sketch().join_size(other.sketch())
+
+    def frequencies(self, values: Iterable[int]) -> np.ndarray:
+        """Theorem 7 estimates against the current state."""
+        return self.sketch().frequencies(values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LDPJoinSketchAggregator(k={self.params.k}, m={self.params.m}, "
+            f"num_reports={self.num_reports})"
+        )

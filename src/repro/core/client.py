@@ -1,0 +1,152 @@
+"""Client side of LDPJoinSketch — Algorithm 1 of the paper.
+
+Given a private join value ``d``, the client
+
+1. samples a row ``j ~ U[k]`` and a column ``l ~ U[m]``;
+2. encodes ``d`` as the one-hot signed vector ``v`` with
+   ``v[h_j(d)] = xi_j(d)``;
+3. Hadamard-transforms: ``w = v @ H_m`` — because ``v`` has a single
+   non-zero of magnitude 1, ``w[l] = xi_j(d) * H_m[h_j(d), l]`` in O(1);
+4. perturbs the sampled coordinate with the binary sign channel:
+   ``y = b * w[l]`` with ``Pr[b = -1] = 1/(e^eps + 1)``;
+5. transmits ``(y, j, l)``.
+
+:func:`encode_report` is the literal scalar transcription (kept for
+readability and used by the privacy audits); :func:`encode_reports` is the
+vectorised batch used for million-user simulations — tests pin the two to
+identical outputs under identical randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..hashing import HashPairs
+from ..rng import RandomState, ensure_rng
+from ..transform.hadamard import hadamard_entry, sample_hadamard_entries
+from ..validation import as_value_array
+from .params import SketchParams
+
+__all__ = ["ReportBatch", "encode_report", "encode_reports"]
+
+
+@dataclass(frozen=True)
+class ReportBatch:
+    """The wire format of a batch of client reports.
+
+    Attributes
+    ----------
+    ys:
+        Perturbed one-bit payloads in ``{-1, +1}``.
+    rows:
+        Sampled row indices ``j`` in ``[0, k)``.
+    cols:
+        Sampled column indices ``l`` in ``[0, m)``.
+    params:
+        Protocol parameters the reports were generated under.
+    """
+
+    ys: np.ndarray
+    rows: np.ndarray
+    cols: np.ndarray
+    params: SketchParams
+
+    def __post_init__(self) -> None:
+        ys = np.asarray(self.ys, dtype=np.int64)
+        rows = np.asarray(self.rows, dtype=np.int64)
+        cols = np.asarray(self.cols, dtype=np.int64)
+        if not (ys.shape == rows.shape == cols.shape) or ys.ndim != 1:
+            raise ParameterError("ys, rows and cols must be equal-length 1-D arrays")
+        if ys.size:
+            if not np.all(np.abs(ys) == 1):
+                raise ParameterError("ys must contain only -1/+1")
+            if rows.min() < 0 or rows.max() >= self.params.k:
+                raise ParameterError(f"rows must lie in [0, {self.params.k})")
+            if cols.min() < 0 or cols.max() >= self.params.m:
+                raise ParameterError(f"cols must lie in [0, {self.params.m})")
+        object.__setattr__(self, "ys", ys)
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "cols", cols)
+
+    def __len__(self) -> int:
+        return int(self.ys.size)
+
+    @property
+    def total_bits(self) -> int:
+        """Total communication cost of the batch in bits."""
+        return len(self) * self.params.report_bits
+
+    def concat(self, other: "ReportBatch") -> "ReportBatch":
+        """Concatenate two batches generated under the same parameters."""
+        if self.params != other.params:
+            raise ParameterError("cannot concatenate reports with different parameters")
+        return ReportBatch(
+            np.concatenate([self.ys, other.ys]),
+            np.concatenate([self.rows, other.rows]),
+            np.concatenate([self.cols, other.cols]),
+            self.params,
+        )
+
+
+def encode_report(
+    value: int,
+    params: SketchParams,
+    pairs: HashPairs,
+    rng: RandomState = None,
+) -> Tuple[int, int, int]:
+    """Algorithm 1 for a single client; returns ``(y, j, l)``.
+
+    Literal transcription of the pseudo-code (including materialising the
+    one-hot vector and the full transform); useful for audits and as the
+    reference the vectorised path is tested against.
+    """
+    _check_pairs(params, pairs)
+    generator = ensure_rng(rng)
+    j = int(generator.integers(0, params.k))
+    l = int(generator.integers(0, params.m))
+    v = np.zeros(params.m, dtype=np.float64)
+    bucket = int(pairs.bucket(j, np.asarray([value]))[0])
+    sign = int(pairs.sign(j, np.asarray([value]))[0])
+    v[bucket] = sign
+    # w = v @ H_m; only entry l is needed and v is one-hot:
+    w_l = v[bucket] * hadamard_entry(bucket, l, params.m)
+    b = -1 if generator.random() < params.flip_probability else 1
+    y = int(b * w_l)
+    return y, j, l
+
+
+def encode_reports(
+    values: Iterable[int],
+    params: SketchParams,
+    pairs: HashPairs,
+    rng: RandomState = None,
+) -> ReportBatch:
+    """Vectorised Algorithm 1 over a batch of clients.
+
+    Each element of ``values`` is one independent client; all sampling
+    (rows, columns, perturbation signs) is drawn from ``rng``.
+    """
+    _check_pairs(params, pairs)
+    arr = as_value_array(values)
+    generator = ensure_rng(rng)
+    n = arr.size
+    rows = generator.integers(0, params.k, size=n)
+    cols = generator.integers(0, params.m, size=n)
+    buckets = pairs.bucket_rows(rows, arr)
+    signs = pairs.sign_rows(rows, arr)
+    w = signs * sample_hadamard_entries(buckets, cols, params.m)
+    flips = generator.random(n) < params.flip_probability
+    ys = np.where(flips, -w, w).astype(np.int64)
+    return ReportBatch(ys, rows, cols, params)
+
+
+def _check_pairs(params: SketchParams, pairs: HashPairs) -> None:
+    if pairs.k != params.k or pairs.m != params.m:
+        raise ParameterError(
+            f"hash pairs shaped ({pairs.k}, {pairs.m}) do not match params "
+            f"({params.k}, {params.m})"
+        )

@@ -1,0 +1,87 @@
+"""Estimation helpers on top of constructed LDPJoinSketches.
+
+Two free functions keep the server read-out logic reusable outside the
+sketch class:
+
+* :func:`estimate_join_size` — Eq. (5) with input checking, the function
+  the protocol drivers and experiment harness call;
+* :func:`find_frequent_items` — the phase-1 step of LDPJoinSketch+
+  (Section V-C): scan a candidate domain with Theorem 7 frequency
+  estimates and keep every value whose estimate exceeds
+  ``threshold * total``; the paper's frequent-item set is the *union*
+  of the two attributes' sets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..validation import require_positive_int, require_probability
+from .server import LDPJoinSketch
+
+__all__ = ["estimate_join_size", "find_frequent_items"]
+
+
+def estimate_join_size(sketch_a: LDPJoinSketch, sketch_b: LDPJoinSketch) -> float:
+    """Eq. (5): ``median_j sum_x MA[j, x] * MB[j, x]``."""
+    return sketch_a.join_size(sketch_b)
+
+
+def find_frequent_items(
+    sketch: LDPJoinSketch,
+    domain_size: int,
+    threshold: float,
+    *,
+    total: Optional[float] = None,
+    chunk_size: int = 262_144,
+    method: str = "median",
+) -> np.ndarray:
+    """Values whose estimated frequency exceeds ``threshold * total``.
+
+    Parameters
+    ----------
+    sketch:
+        A constructed LDPJoinSketch summarising the attribute (phase 1 of
+        LDPJoinSketch+ builds it from sampled users).
+    domain_size:
+        Candidate domain ``[0, domain_size)`` to scan.
+    threshold:
+        The paper's relative threshold ``theta`` in ``(0, 1]``.
+    total:
+        Reference total frequency; defaults to the number of reports that
+        built the sketch (``|S_A|``), matching
+        ``FI_A = {d : f~(d) > theta |A|}`` evaluated at sample scale.
+    chunk_size:
+        Domain values are scanned in chunks of this size to bound memory
+        (``k x chunk`` intermediates).
+    method:
+        ``"median"`` (default) selects with the collision-robust
+        Count-Sketch read-out; ``"mean"`` is the paper-verbatim Theorem 7
+        estimator, which a single colliding heavy value can push over the
+        threshold for thousands of light items (see DESIGN.md).
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted array of frequent value ids.
+    """
+    domain_size = require_positive_int("domain_size", domain_size)
+    threshold = require_probability("threshold", threshold)
+    chunk_size = require_positive_int("chunk_size", chunk_size)
+    if total is None:
+        total = float(sketch.num_reports)
+    if total < 0:
+        raise ParameterError(f"total must be >= 0, got {total}")
+
+    cutoff = threshold * total
+    hits = []
+    for start in range(0, domain_size, chunk_size):
+        candidates = np.arange(start, min(start + chunk_size, domain_size), dtype=np.int64)
+        estimates = sketch.frequencies(candidates, method=method)
+        hits.append(candidates[estimates > cutoff])
+    if not hits:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(hits)

@@ -1,0 +1,78 @@
+"""Validated protocol parameters.
+
+``(k, m, epsilon)`` appear together everywhere in the protocol — ``k`` rows
+by ``m`` columns of sketch, privacy budget ``epsilon`` — so they travel as
+one frozen dataclass.  ``m`` must be a power of two because the client
+applies a Hadamard transform of order ``m`` (Algorithm 1, line 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..privacy.response import c_epsilon, flip_probability
+from ..validation import require_positive_float, require_positive_int, require_power_of_two
+
+__all__ = ["SketchParams"]
+
+
+@dataclass(frozen=True)
+class SketchParams:
+    """Shape and privacy budget of an LDPJoinSketch.
+
+    Attributes
+    ----------
+    k:
+        Number of sketch rows (independent estimators; the paper uses
+        ``k = 4 log(1/delta)`` for failure probability ``delta``).
+    m:
+        Number of sketch columns; must be a power of two (Hadamard order).
+    epsilon:
+        The local privacy budget of each client report.
+    """
+
+    k: int
+    m: int
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "k", require_positive_int("k", self.k))
+        object.__setattr__(self, "m", require_power_of_two("m", self.m))
+        object.__setattr__(self, "epsilon", require_positive_float("epsilon", self.epsilon))
+
+    # ------------------------------------------------------------------
+    # Derived constants
+    # ------------------------------------------------------------------
+    @property
+    def c_epsilon(self) -> float:
+        """Debiasing constant ``(e^eps + 1) / (e^eps - 1)`` (Algorithm 2)."""
+        return c_epsilon(self.epsilon)
+
+    @property
+    def flip_probability(self) -> float:
+        """Client-side sign-flip probability ``1 / (e^eps + 1)``."""
+        return flip_probability(self.epsilon)
+
+    @property
+    def scale(self) -> float:
+        """Full debiasing scale ``k * c_epsilon`` applied per report."""
+        return self.k * self.c_epsilon
+
+    @property
+    def report_bits(self) -> int:
+        """Bits a client transmits: sign ``y`` + row index + column index."""
+        return 1 + max(1, math.ceil(math.log2(self.k))) + max(1, math.ceil(math.log2(self.m)))
+
+    @classmethod
+    def for_failure_probability(cls, delta: float, m: int, epsilon: float) -> "SketchParams":
+        """Choose ``k = ceil(4 * log(1/delta))`` per Theorem 5."""
+        delta = require_positive_float("delta", delta)
+        if delta >= 1:
+            raise ValueError(f"delta must be < 1, got {delta}")
+        k = max(1, math.ceil(4 * math.log(1.0 / delta)))
+        return cls(k=k, m=m, epsilon=epsilon)
+
+    def with_epsilon(self, epsilon: float) -> "SketchParams":
+        """Copy with a different privacy budget (same shape)."""
+        return SketchParams(self.k, self.m, epsilon)

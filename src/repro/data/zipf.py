@@ -1,0 +1,56 @@
+"""Finite-domain Zipf distributions.
+
+The paper's primary synthetic workload: item at popularity rank ``x`` has
+probability
+
+.. math::  f(x \\mid \\alpha, N) = \\frac{1/x^{\\alpha}}{\\sum_{n=1}^{N} 1/n^{\\alpha}},
+
+with skewness parameter ``alpha`` (Fig. 12 sweeps ``alpha`` from 1.1 to
+1.9; other figures use 1.1, 1.5 or 2.0).  By default value id equals
+popularity rank minus one; pass ``shuffle_seed`` to permute ids so that
+popular items are scattered across the domain (hash functions make the
+estimators invariant to this, which a test asserts).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..rng import ensure_rng
+from ..validation import require_positive_float
+from .base import DataGenerator
+
+__all__ = ["ZipfGenerator"]
+
+
+class ZipfGenerator(DataGenerator):
+    """Zipf(``alpha``) population over ``[0, domain_size)``."""
+
+    name = "zipf"
+
+    def __init__(
+        self,
+        domain_size: int,
+        alpha: float = 1.1,
+        *,
+        shuffle_seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(domain_size)
+        self.alpha = require_positive_float("alpha", alpha)
+        self.shuffle_seed = shuffle_seed
+        self.name = f"zipf(a={self.alpha:g})"
+        self._pmf: Optional[np.ndarray] = None
+
+    def pmf(self) -> np.ndarray:
+        """``p(rank) ∝ rank^-alpha``, optionally permuted over value ids."""
+        if self._pmf is None:
+            ranks = np.arange(1, self.domain_size + 1, dtype=np.float64)
+            weights = ranks**-self.alpha
+            pmf = weights / weights.sum()
+            if self.shuffle_seed is not None:
+                perm = ensure_rng(self.shuffle_seed).permutation(self.domain_size)
+                pmf = pmf[perm]
+            self._pmf = pmf
+        return self._pmf

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses communicate which
+part of the pipeline rejected the input:
+
+``ParameterError``
+    A configuration value (sketch shape, privacy budget, sampling rate, ...)
+    is out of its legal range.  Subclass of :class:`ValueError` as well, so
+    idiomatic ``except ValueError`` also works.
+``DomainError``
+    An item or an array of items falls outside the declared value domain.
+``IncompatibleSketchError``
+    Two sketches that must share hash functions / shape / privacy budget to
+    be combined (joined, merged, compared) do not.
+``ProtocolError``
+    The client/server protocol was driven in an invalid order, for example
+    estimating a join size before any report has been ingested.
+``DataGenerationError``
+    A synthetic dataset generator received an unsatisfiable request.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "DomainError",
+    "IncompatibleSketchError",
+    "ProtocolError",
+    "DataGenerationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A configuration parameter is outside its legal range."""
+
+
+class DomainError(ReproError, ValueError):
+    """An input item lies outside the declared value domain."""
+
+
+class IncompatibleSketchError(ReproError, ValueError):
+    """Two sketches cannot be combined (shape/hash/budget mismatch)."""
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """The client/server protocol was used in an invalid order."""
+
+
+class DataGenerationError(ReproError, ValueError):
+    """A synthetic data generator received an unsatisfiable request."""

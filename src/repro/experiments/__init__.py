@@ -1,0 +1,52 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Layout:
+
+* :mod:`repro.experiments.metrics` — AE / RE / MSE (Section VII metrics);
+* :mod:`repro.experiments.methods` — the six join-size estimators of the
+  evaluation behind one interface;
+* :mod:`repro.experiments.harness` — repeated-trial runner;
+* :mod:`repro.experiments.chains` — multiway chain-join workloads;
+* :mod:`repro.experiments.figures` — one function per table/figure
+  (``table2``, ``fig5_accuracy`` ... ``fig15_multiway``);
+* :mod:`repro.experiments.reporting` — plain-text / CSV result tables;
+* :mod:`repro.experiments.cli` — ``python -m repro.experiments`` /
+  ``repro-experiments`` command line.
+"""
+
+from .metrics import absolute_error, relative_error, mean_squared_error
+from .methods import (
+    FAGMSMethod,
+    HCMSMethod,
+    JoinMethod,
+    KRRMethod,
+    FLHMethod,
+    LDPJoinSketchMethod,
+    LDPJoinSketchPlusMethod,
+    MethodResult,
+    default_methods,
+)
+from .harness import TrialRecord, run_trials, summarize
+from .reporting import ResultTable
+from .chains import ChainInstance, make_chain_instance
+
+__all__ = [
+    "absolute_error",
+    "relative_error",
+    "mean_squared_error",
+    "JoinMethod",
+    "MethodResult",
+    "FAGMSMethod",
+    "KRRMethod",
+    "FLHMethod",
+    "HCMSMethod",
+    "LDPJoinSketchMethod",
+    "LDPJoinSketchPlusMethod",
+    "default_methods",
+    "TrialRecord",
+    "run_trials",
+    "summarize",
+    "ResultTable",
+    "ChainInstance",
+    "make_chain_instance",
+]

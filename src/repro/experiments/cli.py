@@ -1,0 +1,82 @@
+"""Command-line entry point: regenerate any table/figure of the paper.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run fig5 --scale 0.002 --trials 3 --seed 7
+    repro-experiments run all --out results/
+
+``run`` prints each regenerated table and, with ``--out``, writes one CSV
+per experiment into the output directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .figures import ALL_EXPERIMENTS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the LDPJoinSketch paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=[*ALL_EXPERIMENTS, "all"])
+    run.add_argument("--scale", type=float, default=0.002, help="fraction of paper stream sizes")
+    run.add_argument("--trials", type=int, default=None, help="trials per configuration")
+    run.add_argument("--seed", type=int, default=2024, help="master random seed")
+    run.add_argument("--out", type=Path, default=None, help="directory for CSV outputs")
+    return parser
+
+
+def _run_one(name: str, args: argparse.Namespace) -> None:
+    func = ALL_EXPERIMENTS[name]
+    kwargs = {"scale": args.scale, "seed": args.seed}
+    if args.trials is not None and name not in ("table2", "fig7"):
+        kwargs["trials"] = args.trials
+    if name in ("table2", "fig7"):
+        kwargs.pop("trials", None)
+    start = time.perf_counter()
+    table = func(**kwargs)
+    elapsed = time.perf_counter() - start
+    print(table.to_text())
+    print(f"[{name} regenerated in {elapsed:.1f}s]")
+    print()
+    if args.out is not None:
+        path = table.to_csv(Path(args.out) / f"{name}.csv")
+        print(f"[wrote {path}]")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            for name in ALL_EXPERIMENTS:
+                doc = (ALL_EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+                print(f"{name:8s} {doc}")
+            return 0
+        names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        for name in names:
+            _run_one(name, args)
+    except BrokenPipeError:  # output piped into a pager/head that closed
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

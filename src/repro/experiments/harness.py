@@ -1,0 +1,95 @@
+"""Repeated-trial experiment runner.
+
+Every figure reduces to the same loop: for each (dataset, method,
+parameter point), run the method ``trials`` times with derived seeds and
+aggregate AE / RE over the trials.  :func:`run_trials` produces the raw
+:class:`TrialRecord` list; :func:`summarize` collapses it into the means
+the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from ..data.base import JoinInstance
+from ..rng import RandomState, derive_seed, ensure_rng
+from ..validation import require_positive_int
+from .methods import JoinMethod
+
+__all__ = ["TrialRecord", "run_trials", "summarize"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One method invocation on one instance."""
+
+    method: str
+    dataset: str
+    epsilon: float
+    truth: float
+    estimate: float
+    offline_seconds: float
+    online_seconds: float
+    uplink_bits: int
+    sketch_bytes: int
+
+    @property
+    def absolute_error(self) -> float:
+        """``|J - J^|`` of this trial."""
+        return abs(self.estimate - self.truth)
+
+    @property
+    def relative_error(self) -> float:
+        """``|J - J^| / J`` of this trial."""
+        return self.absolute_error / abs(self.truth) if self.truth else float("inf")
+
+
+def run_trials(
+    method: JoinMethod,
+    instance: JoinInstance,
+    epsilon: float,
+    trials: int = 3,
+    seed: RandomState = None,
+) -> List[TrialRecord]:
+    """Run ``method`` on ``instance`` ``trials`` times with derived seeds."""
+    trials = require_positive_int("trials", trials)
+    rng = ensure_rng(seed)
+    truth = float(instance.true_join_size)
+    records = []
+    for _ in range(trials):
+        result = method.estimate(instance, epsilon, derive_seed(rng))
+        records.append(
+            TrialRecord(
+                method=method.name,
+                dataset=instance.name,
+                epsilon=epsilon,
+                truth=truth,
+                estimate=result.estimate,
+                offline_seconds=result.offline_seconds,
+                online_seconds=result.online_seconds,
+                uplink_bits=result.uplink_bits,
+                sketch_bytes=result.sketch_bytes,
+            )
+        )
+    return records
+
+
+def summarize(records: Iterable[TrialRecord]) -> Dict[str, float]:
+    """Aggregate a trial list into the quantities the figures plot."""
+    records = list(records)
+    if not records:
+        return {}
+    return {
+        "trials": float(len(records)),
+        "truth": records[0].truth,
+        "mean_estimate": float(np.mean([r.estimate for r in records])),
+        "ae": float(np.mean([r.absolute_error for r in records])),
+        "re": float(np.mean([r.relative_error for r in records])),
+        "offline_seconds": float(np.mean([r.offline_seconds for r in records])),
+        "online_seconds": float(np.mean([r.online_seconds for r in records])),
+        "uplink_bits": float(np.mean([r.uplink_bits for r in records])),
+        "sketch_bytes": float(np.mean([r.sketch_bytes for r in records])),
+    }

@@ -1,0 +1,48 @@
+"""Error metrics of the evaluation (Section VII-A).
+
+* **Absolute Error (AE)**: ``mean_t |J - J^_t|`` over testing rounds;
+* **Relative Error (RE)**: ``mean_t |J - J^_t| / J``;
+* **Mean Squared Error (MSE)** for frequency estimation:
+  ``mean_d (f(d) - f~(d))^2`` over the distinct values of the data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["absolute_error", "relative_error", "mean_squared_error"]
+
+
+def absolute_error(truth: float, estimates: Iterable[float]) -> float:
+    """``mean |J - J^|`` over one or more trial estimates."""
+    arr = np.asarray(list(np.atleast_1d(estimates)), dtype=np.float64)
+    if arr.size == 0:
+        raise ParameterError("need at least one estimate")
+    return float(np.mean(np.abs(arr - truth)))
+
+
+def relative_error(truth: float, estimates: Iterable[float]) -> float:
+    """``mean |J - J^| / J`` over one or more trial estimates."""
+    if truth == 0:
+        raise ParameterError("relative error undefined for zero true value")
+    return absolute_error(truth, estimates) / abs(truth)
+
+
+def mean_squared_error(
+    true_counts: Sequence[float],
+    estimated_counts: Sequence[float],
+) -> float:
+    """``mean_d (f(d) - f~(d))^2`` over aligned count vectors."""
+    truth = np.asarray(true_counts, dtype=np.float64)
+    est = np.asarray(estimated_counts, dtype=np.float64)
+    if truth.shape != est.shape:
+        raise ParameterError(
+            f"count vectors must align, got {truth.shape} vs {est.shape}"
+        )
+    if truth.size == 0:
+        raise ParameterError("need at least one value")
+    return float(np.mean((truth - est) ** 2))

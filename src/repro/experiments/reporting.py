@@ -1,0 +1,110 @@
+"""Plain-text and CSV result tables.
+
+Every figure function returns a :class:`ResultTable`; the benchmark
+harness prints its text rendering (the "regenerated figure") and can save
+a CSV next to the benchmark output for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from ..errors import ParameterError
+
+__all__ = ["ResultTable"]
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(cell: Cell) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, int):
+        return str(cell)
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+@dataclass
+class ResultTable:
+    """A titled table of experiment results."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append a row (must match the header width)."""
+        if len(cells) != len(self.headers):
+            raise ParameterError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-text note rendered under the table."""
+        self.notes.append(note)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Monospace rendering with aligned columns."""
+        formatted = [[_format_cell(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in formatted:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in formatted:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        """Write the table (headers + rows) as CSV; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.headers)
+            writer.writerows(self.rows)
+        return path
+
+    def column(self, name: str) -> List[Cell]:
+        """Extract one column by header name."""
+        try:
+            idx = list(self.headers).index(name)
+        except ValueError:
+            raise ParameterError(f"no column {name!r} in {list(self.headers)}") from None
+        return [row[idx] for row in self.rows]
+
+    def filtered(self, **criteria: Cell) -> "ResultTable":
+        """Sub-table keeping rows whose named columns equal the criteria."""
+        indices = {}
+        for name in criteria:
+            if name not in self.headers:
+                raise ParameterError(f"no column {name!r} in {list(self.headers)}")
+            indices[name] = list(self.headers).index(name)
+        rows = [
+            row
+            for row in self.rows
+            if all(row[indices[name]] == value for name, value in criteria.items())
+        ]
+        return ResultTable(self.title, self.headers, rows, list(self.notes))
+
+    def __str__(self) -> str:
+        return self.to_text()

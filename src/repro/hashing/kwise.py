@@ -1,0 +1,141 @@
+"""k-wise independent polynomial hashing over a Mersenne prime.
+
+The classic construction (Wegman & Carter): draw coefficients
+``c_0 .. c_{k-1}`` uniformly from the field ``GF(p)`` with ``c_{k-1} != 0``
+and evaluate
+
+.. math::  g(x) = \\Big( \\sum_{t<k} c_t x^t \\Big) \\bmod p .
+
+For inputs restricted to ``[0, p)`` the family is exactly ``k``-wise
+independent over ``[0, p)``.  We fix ``p = 2^31 - 1`` (a Mersenne prime):
+
+* every join-attribute domain used in the paper (at most a few million
+  distinct ids) fits comfortably below ``p``;
+* two 31-bit residues multiply without overflow inside ``uint64``, so the
+  Horner evaluation is exactly computable with vectorised NumPy — no
+  arbitrary-precision arithmetic on the hot path.
+
+:class:`KWiseHash` evaluates batches of values; range reduction to ``[m]``
+or to signs is layered on top (see :mod:`repro.hashing.sign` and
+:class:`repro.hashing.pairs.HashPairs`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import DomainError, ParameterError
+from ..rng import RandomState, ensure_rng
+from ..validation import require_positive_int
+
+__all__ = ["MERSENNE_PRIME_31", "KWiseHash"]
+
+#: The field modulus: fifth Mersenne prime, 2**31 - 1.
+MERSENNE_PRIME_31 = (1 << 31) - 1
+
+
+class KWiseHash:
+    """A single hash function drawn from a k-wise independent family.
+
+    Parameters
+    ----------
+    independence:
+        Degree of independence ``k`` (the polynomial has ``k``
+        coefficients).  ``2`` gives pairwise, ``4`` four-wise independence.
+    seed:
+        Seed / generator used to draw the coefficients.  Two instances
+        created from the same seed are identical functions.
+    coefficients:
+        Explicit coefficients (low degree first); mutually exclusive with
+        ``seed``-based sampling and mainly used by tests and serialisation.
+    """
+
+    __slots__ = ("independence", "coefficients")
+
+    def __init__(
+        self,
+        independence: int = 4,
+        seed: RandomState = None,
+        *,
+        coefficients: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.independence = require_positive_int("independence", independence)
+        if coefficients is not None:
+            coeffs = np.asarray(list(coefficients), dtype=np.uint64)
+            if coeffs.shape != (self.independence,):
+                raise ParameterError(
+                    f"expected {self.independence} coefficients, got {coeffs.shape}"
+                )
+            if np.any(coeffs >= MERSENNE_PRIME_31):
+                raise ParameterError("coefficients must lie in [0, 2**31 - 1)")
+            if self.independence > 1 and coeffs[-1] == 0:
+                raise ParameterError("leading coefficient must be non-zero")
+            self.coefficients = coeffs
+        else:
+            rng = ensure_rng(seed)
+            coeffs = rng.integers(0, MERSENNE_PRIME_31, size=self.independence, dtype=np.int64)
+            if self.independence > 1 and coeffs[-1] == 0:
+                coeffs[-1] = 1  # keep the polynomial at full degree
+            self.coefficients = coeffs.astype(np.uint64)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        """Evaluate the polynomial at ``values``; result lies in ``[0, p)``.
+
+        ``values`` may be a scalar or an integer array; values must lie in
+        ``[0, 2**31 - 1)``.
+        """
+        scalar = np.isscalar(values)
+        x = np.asarray(values, dtype=np.int64)
+        if x.size and (x.min() < 0 or x.max() >= MERSENNE_PRIME_31):
+            raise DomainError("hash inputs must lie in [0, 2**31 - 1)")
+        x = x.astype(np.uint64)
+        p = np.uint64(MERSENNE_PRIME_31)
+        acc = np.full(x.shape, self.coefficients[-1], dtype=np.uint64)
+        for c in self.coefficients[-2::-1]:
+            # acc, x < 2**31 so acc * x < 2**62 fits in uint64 exactly.
+            acc = (acc * x + c) % p
+        out = acc.astype(np.int64)
+        if scalar:
+            return int(out)
+        return out
+
+    def bucket(self, values: np.ndarray, m: int) -> np.ndarray:
+        """Reduce hash outputs into ``[0, m)`` (bucket hash ``h``)."""
+        m = require_positive_int("m", m)
+        out = self(values)
+        if np.isscalar(out) or isinstance(out, int):
+            return int(out) % m
+        return out % m
+
+    # ------------------------------------------------------------------
+    # Introspection / serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialise to a plain dict (inverse of :meth:`from_dict`)."""
+        return {
+            "independence": self.independence,
+            "coefficients": [int(c) for c in self.coefficients],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "KWiseHash":
+        """Rebuild a hash function serialised by :meth:`to_dict`."""
+        return cls(payload["independence"], coefficients=payload["coefficients"])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KWiseHash):
+            return NotImplemented
+        return self.independence == other.independence and bool(
+            np.array_equal(self.coefficients, other.coefficients)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.independence, tuple(int(c) for c in self.coefficients)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KWiseHash(independence={self.independence}, coefficients={self.coefficients.tolist()})"

@@ -1,0 +1,175 @@
+"""Per-row ``(h_j, xi_j)`` hash-pair families shared by clients and server.
+
+A (fast-)AGMS-style sketch of shape ``(k, m)`` carries one bucket hash and
+one sign hash per row.  Join-size estimation additionally requires that the
+two attributes being joined use the *same* pairs — ``MA`` and ``MB`` in
+Eq. (5) of the paper only estimate ``|A join B|`` when ``h_j`` and ``xi_j``
+coincide.  :class:`HashPairs` packages the pairs, offers batched evaluation
+for all rows at once, and implements value equality so that sketches can
+verify compatibility before combining.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..rng import RandomState, ensure_rng, spawn_many
+from ..validation import require_positive_int
+from .kwise import KWiseHash
+from .sign import SignHash
+
+__all__ = ["HashPairs"]
+
+
+class HashPairs:
+    """The ``k`` hash pairs ``(h_j, xi_j)`` of a width-``m`` sketch.
+
+    Parameters
+    ----------
+    k:
+        Number of rows (independent estimators).
+    m:
+        Number of buckets per row; bucket hashes map into ``[0, m)``.
+    seed:
+        Master seed.  Equal ``(k, m, seed)`` does **not** guarantee equal
+        pairs when a live generator is passed; to share pairs between two
+        sketches, share the :class:`HashPairs` *object* (the intended
+        pattern) or rebuild from :meth:`to_dict`.
+    bucket_independence:
+        Independence degree of the bucket hashes (pairwise by default).
+    """
+
+    __slots__ = ("k", "m", "bucket_hashes", "sign_hashes")
+
+    def __init__(
+        self,
+        k: int,
+        m: int,
+        seed: RandomState = None,
+        *,
+        bucket_independence: int = 2,
+        bucket_hashes: List[KWiseHash] = None,
+        sign_hashes: List[SignHash] = None,
+    ) -> None:
+        self.k = require_positive_int("k", k)
+        self.m = require_positive_int("m", m)
+        if bucket_hashes is not None or sign_hashes is not None:
+            if bucket_hashes is None or sign_hashes is None:
+                raise ParameterError("bucket_hashes and sign_hashes must be given together")
+            if len(bucket_hashes) != self.k or len(sign_hashes) != self.k:
+                raise ParameterError(
+                    f"expected {self.k} bucket and sign hashes, got "
+                    f"{len(bucket_hashes)} and {len(sign_hashes)}"
+                )
+            self.bucket_hashes = list(bucket_hashes)
+            self.sign_hashes = list(sign_hashes)
+        else:
+            rng = ensure_rng(seed)
+            children = spawn_many(rng, 2 * self.k)
+            self.bucket_hashes = [
+                KWiseHash(independence=bucket_independence, seed=children[j]) for j in range(self.k)
+            ]
+            self.sign_hashes = [SignHash(seed=children[self.k + j]) for j in range(self.k)]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def bucket(self, row: int, values: np.ndarray) -> np.ndarray:
+        """``h_row(values)`` in ``[0, m)``."""
+        self._check_row(row)
+        return self.bucket_hashes[row].bucket(values, self.m)
+
+    def sign(self, row: int, values: np.ndarray) -> np.ndarray:
+        """``xi_row(values)`` in ``{-1, +1}``."""
+        self._check_row(row)
+        return self.sign_hashes[row](values)
+
+    def bucket_rows(self, rows: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """``h_{rows[i]}(values[i])`` for per-report row assignments.
+
+        This is the batched client path: report ``i`` goes to row
+        ``rows[i]`` and needs only that row's hashes.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if rows.shape != values.shape:
+            raise ParameterError("rows and values must have the same shape")
+        out = np.empty(values.shape, dtype=np.int64)
+        for j in range(self.k):
+            mask = rows == j
+            if np.any(mask):
+                out[mask] = self.bucket_hashes[j].bucket(values[mask], self.m)
+        return out
+
+    def sign_rows(self, rows: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """``xi_{rows[i]}(values[i])`` for per-report row assignments."""
+        rows = np.asarray(rows, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if rows.shape != values.shape:
+            raise ParameterError("rows and values must have the same shape")
+        out = np.empty(values.shape, dtype=np.int64)
+        for j in range(self.k):
+            mask = rows == j
+            if np.any(mask):
+                out[mask] = self.sign_hashes[j](values[mask])
+        return out
+
+    def bucket_all(self, values: np.ndarray) -> np.ndarray:
+        """Matrix ``H`` with ``H[j, i] = h_j(values[i])`` — shape ``(k, n)``.
+
+        Used by the server for domain-wide frequency scans (Theorem 7) and
+        by the non-private Fast-AGMS baseline, where every update touches
+        every row.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        return np.stack([self.bucket_hashes[j].bucket(values, self.m) for j in range(self.k)])
+
+    def sign_all(self, values: np.ndarray) -> np.ndarray:
+        """Matrix ``S`` with ``S[j, i] = xi_j(values[i])`` — shape ``(k, n)``."""
+        values = np.asarray(values, dtype=np.int64)
+        return np.stack([self.sign_hashes[j](values) for j in range(self.k)])
+
+    # ------------------------------------------------------------------
+    # Compatibility / serialisation
+    # ------------------------------------------------------------------
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.k:
+            raise ParameterError(f"row must lie in [0, {self.k}), got {row}")
+
+    def to_dict(self) -> dict:
+        """Serialise to a plain dict (inverse of :meth:`from_dict`)."""
+        return {
+            "k": self.k,
+            "m": self.m,
+            "bucket_hashes": [h.to_dict() for h in self.bucket_hashes],
+            "sign_hashes": [s.to_dict() for s in self.sign_hashes],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HashPairs":
+        """Rebuild hash pairs serialised by :meth:`to_dict`."""
+        return cls(
+            payload["k"],
+            payload["m"],
+            bucket_hashes=[KWiseHash.from_dict(h) for h in payload["bucket_hashes"]],
+            sign_hashes=[SignHash.from_dict(s) for s in payload["sign_hashes"]],
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HashPairs):
+            return NotImplemented
+        return (
+            self.k == other.k
+            and self.m == other.m
+            and self.bucket_hashes == other.bucket_hashes
+            and self.sign_hashes == other.sign_hashes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.k, self.m, tuple(self.bucket_hashes), tuple(self.sign_hashes)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HashPairs(k={self.k}, m={self.m})"

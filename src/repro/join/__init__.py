@@ -1,0 +1,17 @@
+"""Exact join-size substrate: frequency vectors and ground-truth joins."""
+
+from .frequency import FrequencyVector
+from .exact import (
+    exact_cyclic_join_size,
+    exact_join_size,
+    exact_multiway_chain_size,
+    exact_self_join_size,
+)
+
+__all__ = [
+    "FrequencyVector",
+    "exact_join_size",
+    "exact_multiway_chain_size",
+    "exact_cyclic_join_size",
+    "exact_self_join_size",
+]

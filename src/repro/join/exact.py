@@ -1,0 +1,148 @@
+"""Exact (ground-truth) join sizes for two-way, chain, and cyclic joins.
+
+These functions define the quantities every estimator approximates:
+
+* ``exact_join_size(A, B)`` — the two-way equi-join size
+  ``sum_d f_A(d) * f_B(d)`` of the paper's query
+  ``SELECT COUNT(*) FROM T1 JOIN T2 ON T1.A = T2.B``;
+* ``exact_multiway_chain_size`` — the chain join of Section VI, e.g.
+  ``T1(A) join T2(A, B) join T3(B)``, computed by matrix-chain
+  contraction over the tables' joint frequency tensors;
+* ``exact_cyclic_join_size`` — the "uncomplicated cyclic joins" of the
+  Section VI discussion, e.g. ``T1(A,B) join T2(B,C) join T3(C,A)``:
+  the trace of the joint-count matrix cycle product.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..validation import require_domain_values, require_positive_int
+from .frequency import FrequencyVector
+
+__all__ = [
+    "exact_join_size",
+    "exact_self_join_size",
+    "exact_multiway_chain_size",
+    "exact_cyclic_join_size",
+]
+
+
+def _as_frequency_vector(values: Iterable[int], domain_size: int) -> FrequencyVector:
+    if isinstance(values, FrequencyVector):
+        return values
+    return FrequencyVector.from_values(values, domain_size)
+
+
+def exact_join_size(
+    values_a: Iterable[int],
+    values_b: Iterable[int],
+    domain_size: int,
+) -> int:
+    """Exact two-way join size of two value streams.
+
+    Both arguments may be raw value arrays or pre-built
+    :class:`FrequencyVector` objects over the same domain.
+
+    >>> exact_join_size([0, 0, 1], [0, 2, 2], 3)
+    2
+    """
+    domain_size = require_positive_int("domain_size", domain_size)
+    fa = _as_frequency_vector(values_a, domain_size)
+    fb = _as_frequency_vector(values_b, domain_size)
+    return fa.inner(fb)
+
+
+def exact_self_join_size(values: Iterable[int], domain_size: int) -> int:
+    """Exact self-join size (the second frequency moment ``F2``)."""
+    return _as_frequency_vector(values, domain_size).second_moment
+
+
+def _pair_count_matrix(
+    pairs: Tuple[np.ndarray, np.ndarray],
+    domain_a: int,
+    domain_b: int,
+) -> np.ndarray:
+    """Dense joint frequency matrix of a two-attribute table."""
+    left, right = pairs
+    left = require_domain_values(left, domain_a, "left attribute")
+    right = require_domain_values(right, domain_b, "right attribute")
+    if left.shape != right.shape:
+        raise ParameterError("two-attribute table columns must have equal length")
+    flat = left * domain_b + right
+    counts = np.bincount(flat, minlength=domain_a * domain_b)
+    return counts.reshape(domain_a, domain_b).astype(np.int64)
+
+
+def exact_multiway_chain_size(
+    end_values: Tuple[Iterable[int], Iterable[int]],
+    middle_tables: Sequence[Tuple[np.ndarray, np.ndarray]],
+    domain_sizes: Sequence[int],
+) -> int:
+    """Exact size of a chain join ``T1(X0) |> T2(X0,X1) |> ... |> Tn(X_{n-2})``.
+
+    Parameters
+    ----------
+    end_values:
+        ``(first, last)`` single-attribute value streams of the two end
+        tables (attributes ``X0`` and ``X_{n-2}``).
+    middle_tables:
+        For each middle table, a ``(left_column, right_column)`` pair of
+        equal-length arrays carrying the two join attributes.
+    domain_sizes:
+        Domain size of each join attribute ``X0 .. X_{n-2}``; must have
+        exactly ``len(middle_tables) + 1`` entries.
+
+    The result is computed as the vector-matrix chain
+    ``f1^T * C2 * C3 * ... * f_n`` where ``Ci`` are joint count matrices.
+
+    >>> exact_multiway_chain_size(([0, 1], [0]), [(np.array([0, 1]), np.array([0, 0]))], [2, 1])
+    2
+    """
+    if len(domain_sizes) != len(middle_tables) + 1:
+        raise ParameterError(
+            f"expected {len(middle_tables) + 1} domain sizes, got {len(domain_sizes)}"
+        )
+    domains: List[int] = [require_positive_int("domain size", d) for d in domain_sizes]
+    first = _as_frequency_vector(end_values[0], domains[0]).counts.astype(np.float64)
+    last = _as_frequency_vector(end_values[1], domains[-1]).counts.astype(np.float64)
+
+    acc = first
+    for idx, table in enumerate(middle_tables):
+        matrix = _pair_count_matrix(table, domains[idx], domains[idx + 1]).astype(np.float64)
+        acc = acc @ matrix
+    return int(round(float(acc @ last)))
+
+
+def exact_cyclic_join_size(
+    tables: Sequence[Tuple[np.ndarray, np.ndarray]],
+    domain_sizes: Sequence[int],
+) -> int:
+    """Exact size of the cycle join ``T1(X0,X1) |> T2(X1,X2) |> ... |> TL(X_{L-1},X0)``.
+
+    Table ``i`` joins attribute ``X_i`` (left column) with ``X_{i+1 mod L}``
+    (right column).  The count equals the trace of the cyclic product of
+    the joint frequency matrices.
+
+    >>> t = (np.array([0, 1]), np.array([0, 1]))
+    >>> exact_cyclic_join_size([t, t, t], [2, 2, 2])
+    2
+    """
+    if len(tables) < 2:
+        raise ParameterError("a cycle needs at least two tables")
+    if len(domain_sizes) != len(tables):
+        raise ParameterError(
+            f"expected {len(tables)} domain sizes, got {len(domain_sizes)}"
+        )
+    domains: List[int] = [require_positive_int("domain size", d) for d in domain_sizes]
+    num = len(tables)
+    acc = _pair_count_matrix(tables[0], domains[0], domains[1 % num]).astype(np.float64)
+    for idx in range(1, num):
+        matrix = _pair_count_matrix(
+            tables[idx], domains[idx], domains[(idx + 1) % num]
+        ).astype(np.float64)
+        acc = acc @ matrix
+    return int(round(float(np.trace(acc))))

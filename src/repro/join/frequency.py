@@ -1,0 +1,148 @@
+"""Frequency vectors of join attributes.
+
+A join size is the inner product of two frequency vectors
+(``|A join B| = sum_d f_A(d) * f_B(d)``), so an exact, dense frequency
+vector is the ground truth every estimator in this library is measured
+against.  :class:`FrequencyVector` is a small value class over a dense
+``int64`` NumPy array with the handful of operations the experiments need:
+construction from a value stream, inner products, frequency moments
+(``F1``/``F2`` of Definition 3 in the paper), heavy-hitter extraction, and
+splitting into high-/low-frequency parts (used to decompose the join size
+the way LDPJoinSketch+ does).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..errors import DomainError, ParameterError
+from ..validation import require_domain_values, require_positive_int
+
+__all__ = ["FrequencyVector"]
+
+
+class FrequencyVector:
+    """Dense frequency vector of a value stream over ``[0, domain_size)``."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self, counts: np.ndarray) -> None:
+        counts = np.asarray(counts)
+        if counts.ndim != 1:
+            raise ParameterError(f"counts must be 1-D, got shape {counts.shape}")
+        if counts.size == 0:
+            raise ParameterError("counts must be non-empty")
+        if not np.issubdtype(counts.dtype, np.integer):
+            raise ParameterError(f"counts must be integers, got dtype {counts.dtype}")
+        if counts.min() < 0:
+            raise ParameterError("counts must be non-negative")
+        self.counts = np.ascontiguousarray(counts, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, values: Iterable[int], domain_size: int) -> "FrequencyVector":
+        """Count occurrences of each value of ``[0, domain_size)``."""
+        domain_size = require_positive_int("domain_size", domain_size)
+        arr = require_domain_values(values, domain_size)
+        counts = np.bincount(arr, minlength=domain_size)
+        return cls(counts.astype(np.int64))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def domain_size(self) -> int:
+        """Number of possible values (length of the dense vector)."""
+        return int(self.counts.size)
+
+    @property
+    def total(self) -> int:
+        """``F1``: total number of occurrences (stream length)."""
+        return int(self.counts.sum())
+
+    @property
+    def second_moment(self) -> int:
+        """``F2``: the second frequency moment (self-join size)."""
+        return int(np.dot(self.counts, self.counts))
+
+    @property
+    def distinct(self) -> int:
+        """Number of values with non-zero frequency."""
+        return int(np.count_nonzero(self.counts))
+
+    def frequency(self, value: int) -> int:
+        """Exact frequency of a single value."""
+        if not 0 <= value < self.domain_size:
+            raise DomainError(f"value {value} outside domain [0, {self.domain_size})")
+        return int(self.counts[value])
+
+    # ------------------------------------------------------------------
+    # Join algebra
+    # ------------------------------------------------------------------
+    def inner(self, other: "FrequencyVector") -> int:
+        """Exact join size against ``other`` (inner product)."""
+        if not isinstance(other, FrequencyVector):
+            raise ParameterError(f"expected FrequencyVector, got {type(other).__name__}")
+        if self.domain_size != other.domain_size:
+            raise DomainError(
+                f"domain mismatch: {self.domain_size} vs {other.domain_size}"
+            )
+        return int(np.dot(self.counts, other.counts))
+
+    def restrict(self, values: np.ndarray) -> "FrequencyVector":
+        """A copy keeping only ``values`` (others zeroed)."""
+        mask = np.zeros(self.domain_size, dtype=bool)
+        idx = require_domain_values(values, self.domain_size, "values")
+        mask[idx] = True
+        return FrequencyVector(np.where(mask, self.counts, 0))
+
+    def exclude(self, values: np.ndarray) -> "FrequencyVector":
+        """A copy zeroing out ``values`` (complement of :meth:`restrict`)."""
+        out = self.counts.copy()
+        idx = require_domain_values(values, self.domain_size, "values")
+        out[idx] = 0
+        return FrequencyVector(out)
+
+    def split_by_threshold(self, threshold: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Values with frequency above / at-or-below an absolute threshold.
+
+        Returns ``(heavy, light)`` index arrays; ``heavy`` contains every
+        value ``d`` with ``f(d) > threshold`` (the paper's frequent items
+        for ``threshold = theta * F1``), ``light`` contains the remaining
+        values with non-zero frequency.
+        """
+        heavy = np.flatnonzero(self.counts > threshold)
+        light = np.flatnonzero((self.counts > 0) & (self.counts <= threshold))
+        return heavy.astype(np.int64), light.astype(np.int64)
+
+    def top_k(self, count: int) -> np.ndarray:
+        """The ``count`` most frequent values (ties broken by value id)."""
+        count = require_positive_int("count", count)
+        count = min(count, self.domain_size)
+        # argsort on (-frequency, value) for deterministic ordering.
+        order = np.lexsort((np.arange(self.domain_size), -self.counts))
+        return order[:count].astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FrequencyVector):
+            return NotImplemented
+        return bool(np.array_equal(self.counts, other.counts))
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("FrequencyVector is mutable-backed and unhashable")
+
+    def __len__(self) -> int:
+        return self.domain_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FrequencyVector(domain_size={self.domain_size}, total={self.total}, "
+            f"distinct={self.distinct})"
+        )

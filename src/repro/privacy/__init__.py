@@ -1,0 +1,25 @@
+"""Privacy substrate: randomized-response primitives, budgets, LDP audits."""
+
+from .response import (
+    c_epsilon,
+    flip_probability,
+    grr_probabilities,
+    grr_perturb,
+    keep_probability,
+    random_signs,
+)
+from .budget import BudgetLedger, PrivacySpec
+from .audit import max_privacy_ratio, verify_ldp
+
+__all__ = [
+    "c_epsilon",
+    "flip_probability",
+    "keep_probability",
+    "random_signs",
+    "grr_probabilities",
+    "grr_perturb",
+    "PrivacySpec",
+    "BudgetLedger",
+    "max_privacy_ratio",
+    "verify_ldp",
+]

@@ -1,0 +1,88 @@
+"""Exact LDP auditing by output-distribution enumeration.
+
+For small parameterisations, every mechanism in this library has a finite
+output space whose probabilities can be computed *exactly*.  The auditor
+takes a function ``distribution(x) -> {output: probability}`` and verifies
+the epsilon-LDP dominance condition of Definition 1,
+
+.. math::  \\Pr[R(x) = y] \\le e^{\\epsilon}\\, \\Pr[R(x') = y]
+           \\quad \\forall x, x', y,
+
+by enumerating all input pairs and outputs.  The test-suite runs this
+against the analytic distributions of Algorithm 1 (LDPJoinSketch client),
+Algorithm 4 (FAP, both modes, target and non-target inputs mixed), k-RR,
+and the local-hashing GRR step — turning Theorems 1 and 6 into executable
+checks rather than trusted claims.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Sequence, Tuple
+
+import math
+
+from ..errors import ParameterError
+
+__all__ = ["max_privacy_ratio", "verify_ldp"]
+
+#: A mechanism's exact output distribution for one input.
+DistributionFn = Callable[[Hashable], Dict[Hashable, float]]
+
+_PROB_TOL = 1e-9
+
+
+def _checked_distribution(dist_fn: DistributionFn, x: Hashable) -> Dict[Hashable, float]:
+    dist = dist_fn(x)
+    if not dist:
+        raise ParameterError(f"distribution for input {x!r} is empty")
+    total = sum(dist.values())
+    if abs(total - 1.0) > 1e-6:
+        raise ParameterError(
+            f"distribution for input {x!r} sums to {total!r}, expected 1"
+        )
+    if any(p < -_PROB_TOL for p in dist.values()):
+        raise ParameterError(f"distribution for input {x!r} has negative mass")
+    return dist
+
+
+def max_privacy_ratio(
+    dist_fn: DistributionFn,
+    inputs: Sequence[Hashable],
+) -> float:
+    """The worst output-probability ratio over all input pairs.
+
+    Returns ``max_{x, x', y} Pr[R(x)=y] / Pr[R(x')=y]`` (``inf`` if some
+    output is reachable from one input but impossible from another — such a
+    mechanism satisfies no finite epsilon).
+    """
+    if len(inputs) < 2:
+        raise ParameterError("need at least two inputs to audit privacy")
+    distributions = {x: _checked_distribution(dist_fn, x) for x in inputs}
+    outputs = set()
+    for dist in distributions.values():
+        outputs.update(dist.keys())
+
+    worst = 1.0
+    for y in outputs:
+        probs = [distributions[x].get(y, 0.0) for x in inputs]
+        hi = max(probs)
+        lo = min(probs)
+        if hi <= _PROB_TOL:
+            continue
+        if lo <= _PROB_TOL:
+            return math.inf
+        worst = max(worst, hi / lo)
+    return worst
+
+
+def verify_ldp(
+    dist_fn: DistributionFn,
+    inputs: Sequence[Hashable],
+    epsilon: float,
+    *,
+    rtol: float = 1e-9,
+) -> Tuple[bool, float]:
+    """Check the epsilon-LDP bound; returns ``(holds, max_ratio)``."""
+    ratio = max_privacy_ratio(dist_fn, inputs)
+    bound = math.exp(epsilon) * (1.0 + rtol)
+    return ratio <= bound, ratio

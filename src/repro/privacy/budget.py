@@ -1,0 +1,82 @@
+"""Privacy-budget bookkeeping.
+
+LDP budget accounting is simple but worth making explicit, because the
+paper's two-phase protocol leans on both classic composition results:
+
+* **sequential composition** — running mechanisms ``R1 (eps1)`` and
+  ``R2 (eps2)`` on the *same* user costs ``eps1 + eps2``;
+* **parallel composition** — running mechanisms on *disjoint* user groups
+  costs only the maximum of their budgets.  LDPJoinSketch+ exploits this:
+  phase-1 sample users, phase-2 group-1 users, and phase-2 group-2 users
+  are disjoint, so each group enjoys the full ``eps`` (Section V-A).
+
+:class:`BudgetLedger` records the charges a protocol makes per user group
+and exposes the worst-case per-user spend, which tests assert equals the
+configured ``eps`` for every protocol in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import ParameterError
+from ..validation import require_positive_float
+
+__all__ = ["PrivacySpec", "BudgetLedger"]
+
+
+@dataclass(frozen=True)
+class PrivacySpec:
+    """Declared privacy target of a protocol run."""
+
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        require_positive_float("epsilon", self.epsilon)
+
+    @property
+    def e_epsilon(self) -> float:
+        """``e^eps`` — the dominance ratio every output pair must satisfy."""
+        import math
+
+        return math.exp(self.epsilon)
+
+
+@dataclass
+class BudgetLedger:
+    """Per-user-group ledger of privacy charges.
+
+    Each charge records that every member of ``group`` was subjected to one
+    ``eps``-LDP mechanism invocation.  Sequential composition applies within
+    a group; parallel composition across groups.
+    """
+
+    charges: List[Tuple[str, float, str]] = field(default_factory=list)
+
+    def charge(self, group: str, epsilon: float, mechanism: str) -> None:
+        """Record one ``eps``-LDP invocation against every user in ``group``."""
+        if not group:
+            raise ParameterError("group must be a non-empty label")
+        epsilon = require_positive_float("epsilon", epsilon)
+        self.charges.append((group, epsilon, mechanism))
+
+    def spend_by_group(self) -> Dict[str, float]:
+        """Total (sequentially composed) spend per user group."""
+        spend: Dict[str, float] = {}
+        for group, epsilon, _ in self.charges:
+            spend[group] = spend.get(group, 0.0) + epsilon
+        return spend
+
+    def worst_case_epsilon(self) -> float:
+        """Per-user privacy loss: max over groups (parallel composition)."""
+        spend = self.spend_by_group()
+        return max(spend.values()) if spend else 0.0
+
+    def assert_within(self, spec: PrivacySpec) -> None:
+        """Raise if any user group exceeded the declared budget."""
+        worst = self.worst_case_epsilon()
+        if worst > spec.epsilon + 1e-12:
+            raise ParameterError(
+                f"budget exceeded: worst-case spend {worst} > declared {spec.epsilon}"
+            )

@@ -1,0 +1,118 @@
+"""Randomized-response primitives shared by every LDP mechanism.
+
+Two perturbation channels cover the whole library:
+
+* the **binary sign channel** used by LDPJoinSketch / FAP / Apple-HCMS: a
+  ``{-1, +1}`` payload is multiplied by an independent random sign ``b``
+  with ``Pr[b = -1] = 1 / (e^eps + 1)``.  Its debiasing constant is
+  ``c_eps = (e^eps + 1) / (e^eps - 1)`` (``E[b] = 1 / c_eps``);
+* **generalised randomized response** (GRR / k-RR) over a finite domain of
+  size ``g``: the true value is kept with probability
+  ``p = e^eps / (e^eps + g - 1)`` and replaced by a uniformly random *other*
+  value with probability ``q = 1 / (e^eps + g - 1)`` each.
+
+Both are exposed as vectorised, generator-driven functions so the client
+simulators can perturb millions of reports per call.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..rng import RandomState, ensure_rng
+from ..validation import require_positive_float, require_positive_int
+
+__all__ = [
+    "flip_probability",
+    "keep_probability",
+    "c_epsilon",
+    "random_signs",
+    "grr_probabilities",
+    "grr_perturb",
+]
+
+#: ``math.exp`` overflows just above 709; beyond this the channel is
+#: numerically noise-free anyway, so we clamp instead of overflowing.
+_MAX_EXP = 700.0
+
+
+def _exp_epsilon(epsilon: float) -> float:
+    return math.exp(min(epsilon, _MAX_EXP))
+
+
+def flip_probability(epsilon: float) -> float:
+    """``Pr[b = -1] = 1 / (e^eps + 1)`` of the binary sign channel."""
+    epsilon = require_positive_float("epsilon", epsilon)
+    return 1.0 / (_exp_epsilon(epsilon) + 1.0)
+
+
+def keep_probability(epsilon: float) -> float:
+    """``Pr[b = +1] = e^eps / (e^eps + 1)`` of the binary sign channel."""
+    return 1.0 - flip_probability(epsilon)
+
+
+def c_epsilon(epsilon: float) -> float:
+    """Debiasing constant ``c_eps = (e^eps + 1) / (e^eps - 1)``.
+
+    ``E[b] = (e^eps - 1) / (e^eps + 1) = 1 / c_eps``, so multiplying an
+    aggregated report by ``c_eps`` removes the perturbation bias
+    (Algorithm 2 of the paper).
+    """
+    epsilon = require_positive_float("epsilon", epsilon)
+    e_eps = _exp_epsilon(epsilon)
+    return (e_eps + 1.0) / (e_eps - 1.0)
+
+
+def random_signs(size: int, epsilon: float, rng: RandomState = None) -> np.ndarray:
+    """Draw ``size`` independent signs with ``Pr[-1] = 1/(e^eps + 1)``."""
+    if size < 0:
+        raise ParameterError(f"size must be >= 0, got {size}")
+    prob_flip = flip_probability(epsilon)
+    generator = ensure_rng(rng)
+    flips = generator.random(size) < prob_flip
+    return np.where(flips, -1, 1).astype(np.int64)
+
+
+def grr_probabilities(epsilon: float, domain_size: int) -> Tuple[float, float]:
+    """GRR keep/replace probabilities ``(p, q)`` for a size-``g`` domain.
+
+    ``p = e^eps / (e^eps + g - 1)`` is the probability of reporting the
+    true value, ``q = 1 / (e^eps + g - 1)`` that of reporting any one
+    specific other value; ``p + (g - 1) q = 1`` and ``p / q = e^eps``.
+    """
+    epsilon = require_positive_float("epsilon", epsilon)
+    domain_size = require_positive_int("domain_size", domain_size, minimum=2)
+    e_eps = _exp_epsilon(epsilon)
+    denom = e_eps + domain_size - 1.0
+    return e_eps / denom, 1.0 / denom
+
+
+def grr_perturb(
+    values: np.ndarray,
+    domain_size: int,
+    epsilon: float,
+    rng: RandomState = None,
+) -> np.ndarray:
+    """Perturb ``values`` with generalised randomized response.
+
+    Vectorised: each value is kept with probability ``p``; otherwise it is
+    replaced by a uniform draw from the *other* ``g - 1`` values (the
+    classic shift trick keeps the replacement exactly uniform over the
+    complement without rejection sampling).
+    """
+    domain_size = require_positive_int("domain_size", domain_size, minimum=2)
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.size and (arr.min() < 0 or arr.max() >= domain_size):
+        raise ParameterError(f"values must lie in [0, {domain_size})")
+    p, _ = grr_probabilities(epsilon, domain_size)
+    generator = ensure_rng(rng)
+    keep = generator.random(arr.shape) < p
+    # Uniform over the g-1 "other" values: draw r in [0, g-1) and shift past
+    # the true value.
+    offsets = generator.integers(0, domain_size - 1, size=arr.shape)
+    replacements = np.where(offsets >= arr, offsets + 1, offsets)
+    return np.where(keep, arr, replacements).astype(np.int64)

@@ -1,0 +1,53 @@
+"""Seeded random-number-generator utilities.
+
+Reproducibility is a first-class requirement for an experimental library:
+every stochastic component (hash-function sampling, client perturbation,
+data generation, user sampling) accepts either an integer seed or a
+:class:`numpy.random.Generator`.  The helpers here normalise those inputs
+and derive independent child generators so that, for example, the hash
+functions of a sketch and the perturbation noise of its clients never share
+a stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+__all__ = ["RandomState", "ensure_rng", "spawn", "spawn_many", "derive_seed"]
+
+#: Anything accepted where randomness is required.
+RandomState = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: RandomState = None) -> np.random.Generator:
+    """Normalise ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a nondeterministically seeded generator; an ``int`` or a
+    :class:`numpy.random.SeedSequence` yields a deterministic one; an
+    existing generator is passed through unchanged (not copied).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(f"cannot interpret {seed!r} as a random state")
+
+
+def spawn(rng: np.random.Generator) -> np.random.Generator:
+    """Derive one independent child generator from ``rng``."""
+    return np.random.default_rng(rng.integers(0, 2**63 - 1))
+
+
+def spawn_many(rng: np.random.Generator, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``."""
+    seeds = rng.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh 63-bit integer seed from ``rng``."""
+    return int(rng.integers(0, 2**63 - 1))

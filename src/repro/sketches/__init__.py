@@ -1,0 +1,34 @@
+"""Non-private sketch substrates.
+
+These are the classical streaming summaries the paper builds on or compares
+against:
+
+* :class:`AGMSSketch` — the original tug-of-war sketch (Alon et al.);
+* :class:`FastAGMSSketch` — the Fast-AGMS sketch (Cormode & Garofalakis),
+  the non-private "FAGMS" baseline of the experiments and the structure
+  LDPJoinSketch privatises;
+* :class:`CountMinSketch` and :class:`CountSketch` — standard frequency
+  summaries, used for comparison and by tests;
+* :class:`CountMeanSketch` — the server-side structure of Apple's CMS/HCMS;
+* :class:`CompassChainSketches` — COMPASS-style multiway chain-join
+  sketches (Section VI baseline).
+"""
+
+from .base import LinearSketch
+from .agms import AGMSSketch
+from .fast_agms import FastAGMSSketch
+from .count_min import CountMinSketch
+from .count_sketch import CountSketch
+from .count_mean import CountMeanSketch
+from .compass import CompassChainSketches, CompassMiddleSketch
+
+__all__ = [
+    "LinearSketch",
+    "AGMSSketch",
+    "FastAGMSSketch",
+    "CountMinSketch",
+    "CountSketch",
+    "CountMeanSketch",
+    "CompassChainSketches",
+    "CompassMiddleSketch",
+]

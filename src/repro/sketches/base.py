@@ -1,0 +1,98 @@
+"""Common behaviour of the array-shaped linear sketches.
+
+All the classical sketches in this package share a ``(k, m)`` counter array
+and the *linearity* property: the sketch of the concatenation of two
+streams is the element-wise sum of the two sketches.  :class:`LinearSketch`
+hosts that shared plumbing — counter storage, batched updates via
+``np.add.at``, merging, and compatibility checks — while subclasses define
+how a value maps to (row, bucket, weight) triples and how estimates are
+read out.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import IncompatibleSketchError, ParameterError
+from ..hashing import HashPairs
+from ..validation import as_value_array
+
+__all__ = ["LinearSketch"]
+
+
+class LinearSketch(abc.ABC):
+    """Base class for ``(k, m)``-shaped linear sketches over integer ids."""
+
+    def __init__(self, pairs: HashPairs) -> None:
+        if not isinstance(pairs, HashPairs):
+            raise ParameterError(f"pairs must be HashPairs, got {type(pairs).__name__}")
+        self.pairs = pairs
+        self.counts = np.zeros((pairs.k, pairs.m), dtype=np.float64)
+        self.total_weight = 0.0
+
+    # ------------------------------------------------------------------
+    # Shape / compatibility
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Number of rows (independent estimators)."""
+        return self.pairs.k
+
+    @property
+    def m(self) -> int:
+        """Number of buckets per row."""
+        return self.pairs.m
+
+    def check_compatible(self, other: "LinearSketch") -> None:
+        """Raise unless ``other`` shares this sketch's type and hash pairs."""
+        if type(other) is not type(self):
+            raise IncompatibleSketchError(
+                f"cannot combine {type(self).__name__} with {type(other).__name__}"
+            )
+        if self.pairs != other.pairs:
+            raise IncompatibleSketchError(
+                "sketches use different hash pairs; build both from the same HashPairs"
+            )
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def update_batch(self, values: Iterable[int], weight: float = 1.0) -> None:
+        """Fold a batch of values into the sketch."""
+
+    def update(self, value: int, weight: float = 1.0) -> None:
+        """Fold a single value into the sketch."""
+        self.update_batch(np.asarray([value], dtype=np.int64), weight)
+
+    def merge(self, other: "LinearSketch") -> "LinearSketch":
+        """Add ``other``'s counters into this sketch (linearity). Returns self."""
+        self.check_compatible(other)
+        self.counts += other.counts
+        self.total_weight += other.total_weight
+        return self
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    def _coerce(self, values: Iterable[int]) -> np.ndarray:
+        return as_value_array(values)
+
+    def _scatter_add(self, rows: np.ndarray, buckets: np.ndarray, weights: np.ndarray) -> None:
+        np.add.at(self.counts, (rows, buckets), weights)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Size of the counter array in bytes (space-cost accounting)."""
+        return int(self.counts.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(k={self.k}, m={self.m}, "
+            f"total_weight={self.total_weight:g})"
+        )

@@ -1,0 +1,231 @@
+"""COMPASS-style multiway chain-join sketches (non-private baseline).
+
+COMPASS (Izenov et al., SIGMOD 2021) estimates chain joins such as
+``T1(A) join T2(A, B) join T3(B)`` with Fast-AGMS sketches: end tables keep
+ordinary ``(k, m)`` sketches over their single join attribute; a middle
+table with join attributes ``(A, B)`` keeps, per replica ``j``, an
+``(m_A, m_B)`` matrix updated as
+
+.. math::  M_2[h_A(a), h_B(b)] \\mathrel{+}= \\xi_A(a)\\,\\xi_B(b)
+
+for each tuple ``(a, b)``.  The chain-join estimate of replica ``j`` is the
+vector/matrix chain product
+
+.. math::  \\sum_{l_1, l_2} M_1[l_1]\\, M_2[l_1, l_2]\\, M_3[l_2]
+
+and the final estimate is the median over the ``k`` replicas.  Section VI
+of the paper privatises exactly this construction; this module is the
+non-private "Compass" baseline of Fig. 15.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..errors import IncompatibleSketchError, ParameterError
+from ..hashing import HashPairs
+from ..rng import RandomState, ensure_rng, spawn
+from ..validation import as_value_array, require_positive_int
+from .fast_agms import FastAGMSSketch
+
+__all__ = ["CompassMiddleSketch", "CompassChainSketches"]
+
+
+class CompassMiddleSketch:
+    """Per-replica ``(m_left, m_right)`` matrices for a two-attribute table."""
+
+    def __init__(self, left_pairs: HashPairs, right_pairs: HashPairs) -> None:
+        if left_pairs.k != right_pairs.k:
+            raise ParameterError(
+                f"left and right hash pairs must share k, got {left_pairs.k} vs {right_pairs.k}"
+            )
+        self.left_pairs = left_pairs
+        self.right_pairs = right_pairs
+        self.counts = np.zeros((left_pairs.k, left_pairs.m, right_pairs.m), dtype=np.float64)
+        self.total_weight = 0.0
+
+    @property
+    def k(self) -> int:
+        """Number of replicas."""
+        return self.left_pairs.k
+
+    def update_batch(
+        self,
+        left_values: Iterable[int],
+        right_values: Iterable[int],
+        weight: float = 1.0,
+    ) -> None:
+        """Fold the two-column tuples into every replica."""
+        left = as_value_array(left_values, "left_values")
+        right = as_value_array(right_values, "right_values")
+        if left.shape != right.shape:
+            raise ParameterError("left and right columns must have equal length")
+        if left.size == 0:
+            return
+        for j in range(self.k):
+            rows = self.left_pairs.bucket(j, left)
+            cols = self.right_pairs.bucket(j, right)
+            signs = self.left_pairs.sign(j, left) * self.right_pairs.sign(j, right)
+            np.add.at(self.counts[j], (rows, cols), weight * signs.astype(np.float64))
+        self.total_weight += weight * left.size
+
+    def memory_bytes(self) -> int:
+        """Size of the counter tensor in bytes."""
+        return int(self.counts.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CompassMiddleSketch(k={self.k}, shape=({self.left_pairs.m}, "
+            f"{self.right_pairs.m}), total_weight={self.total_weight:g})"
+        )
+
+
+class CompassChainSketches:
+    """Factory + estimator for a whole chain join.
+
+    Holds one :class:`HashPairs` per join attribute (``X0 .. X_{n-2}``); the
+    sketches it creates all share those pairs, which is what makes the chain
+    product meaningful.
+
+    Parameters
+    ----------
+    attribute_widths:
+        ``m`` for each join attribute.
+    k:
+        Number of replicas (shared across attributes).
+    seed:
+        Master seed for the hash pairs.
+    """
+
+    def __init__(
+        self,
+        attribute_widths: Sequence[int],
+        k: int,
+        seed: RandomState = None,
+    ) -> None:
+        if not attribute_widths:
+            raise ParameterError("need at least one join attribute")
+        k = require_positive_int("k", k)
+        rng = ensure_rng(seed)
+        self.attribute_pairs: List[HashPairs] = [
+            HashPairs(k, require_positive_int("m", m), spawn(rng)) for m in attribute_widths
+        ]
+
+    @property
+    def k(self) -> int:
+        """Number of replicas."""
+        return self.attribute_pairs[0].k
+
+    @property
+    def num_attributes(self) -> int:
+        """Number of join attributes in the chain."""
+        return len(self.attribute_pairs)
+
+    # ------------------------------------------------------------------
+    # Sketch builders
+    # ------------------------------------------------------------------
+    def build_end(self, attribute: int, values: Iterable[int]) -> FastAGMSSketch:
+        """Sketch a single-attribute end table over join attribute ``attribute``."""
+        pairs = self._pairs(attribute)
+        sketch = FastAGMSSketch(pairs)
+        sketch.update_batch(values)
+        return sketch
+
+    def build_middle(
+        self,
+        left_attribute: int,
+        left_values: Iterable[int],
+        right_values: Iterable[int],
+    ) -> CompassMiddleSketch:
+        """Sketch a two-attribute middle table joining on ``left_attribute``
+        and ``left_attribute + 1``."""
+        left_pairs = self._pairs(left_attribute)
+        right_pairs = self._pairs(left_attribute + 1)
+        sketch = CompassMiddleSketch(left_pairs, right_pairs)
+        sketch.update_batch(left_values, right_values)
+        return sketch
+
+    def build_cycle_table(
+        self,
+        index: int,
+        left_values: Iterable[int],
+        right_values: Iterable[int],
+    ) -> CompassMiddleSketch:
+        """Sketch table ``index`` of a cycle join.
+
+        In a cycle over ``n`` attributes, table ``i`` joins attribute ``i``
+        with attribute ``(i + 1) mod n`` — the wrap-around closes the ring.
+        """
+        left_pairs = self._pairs(index)
+        right_pairs = self._pairs((index + 1) % self.num_attributes)
+        sketch = CompassMiddleSketch(left_pairs, right_pairs)
+        sketch.update_batch(left_values, right_values)
+        return sketch
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def estimate_chain(
+        self,
+        first: FastAGMSSketch,
+        middles: Sequence[CompassMiddleSketch],
+        last: FastAGMSSketch,
+    ) -> float:
+        """Median over replicas of the chain product estimate."""
+        if len(middles) != self.num_attributes - 1:
+            raise IncompatibleSketchError(
+                f"chain over {self.num_attributes} attributes needs "
+                f"{self.num_attributes - 1} middle sketches, got {len(middles)}"
+            )
+        if first.pairs != self.attribute_pairs[0]:
+            raise IncompatibleSketchError("first end sketch does not use attribute 0 hash pairs")
+        if last.pairs != self.attribute_pairs[-1]:
+            raise IncompatibleSketchError("last end sketch does not use the final attribute hash pairs")
+        for idx, mid in enumerate(middles):
+            if mid.left_pairs != self.attribute_pairs[idx] or mid.right_pairs != self.attribute_pairs[idx + 1]:
+                raise IncompatibleSketchError(f"middle sketch {idx} does not match the chain hash pairs")
+
+        estimates = np.empty(self.k, dtype=np.float64)
+        for j in range(self.k):
+            acc = first.counts[j]
+            for mid in middles:
+                acc = acc @ mid.counts[j]
+            estimates[j] = float(acc @ last.counts[j])
+        return float(np.median(estimates))
+
+    def estimate_cycle(self, tables: Sequence[CompassMiddleSketch]) -> float:
+        """Median over replicas of the cycle-product trace.
+
+        ``tables[i]`` must join attribute ``i`` with ``(i + 1) mod n`` (see
+        :meth:`build_cycle_table`); the estimate of replica ``j`` is
+        ``trace(M_0[j] @ M_1[j] @ ... @ M_{n-1}[j])`` — the "uncomplicated
+        cyclic joins" of the paper's Section VI discussion.
+        """
+        if len(tables) != self.num_attributes:
+            raise IncompatibleSketchError(
+                f"a cycle over {self.num_attributes} attributes needs "
+                f"{self.num_attributes} tables, got {len(tables)}"
+            )
+        for idx, sketch in enumerate(tables):
+            expected_left = self.attribute_pairs[idx]
+            expected_right = self.attribute_pairs[(idx + 1) % self.num_attributes]
+            if sketch.left_pairs != expected_left or sketch.right_pairs != expected_right:
+                raise IncompatibleSketchError(
+                    f"cycle table {idx} does not match the ring hash pairs"
+                )
+        estimates = np.empty(self.k, dtype=np.float64)
+        for j in range(self.k):
+            acc = tables[0].counts[j]
+            for sketch in tables[1:]:
+                acc = acc @ sketch.counts[j]
+            estimates[j] = float(np.trace(acc))
+        return float(np.median(estimates))
+
+    def _pairs(self, attribute: int) -> HashPairs:
+        if not 0 <= attribute < self.num_attributes:
+            raise ParameterError(
+                f"attribute must lie in [0, {self.num_attributes}), got {attribute}"
+            )
+        return self.attribute_pairs[attribute]

@@ -1,0 +1,59 @@
+"""The Count-Min sketch (Cormode & Muthukrishnan).
+
+Maintains ``M[j, h_j(d)] += w`` per row and answers point queries with
+``min_j M[j, h_j(d)]`` — a one-sided (over-estimating) frequency summary.
+It is not used by the paper's estimators directly, but it is the natural
+non-signed sibling of Count-Sketch/Fast-AGMS, it underlies Apple's CMS
+(:mod:`repro.sketches.count_mean` adds the mean debiasing), and it gives
+the test-suite an independent reference for heavy-hitter extraction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..hashing import HashPairs
+from ..rng import RandomState
+from .base import LinearSketch
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch(LinearSketch):
+    """Count-Min sketch over integer ids (signs unused)."""
+
+    @classmethod
+    def create(cls, k: int, m: int, seed: RandomState = None) -> "CountMinSketch":
+        """Convenience constructor drawing fresh hash pairs."""
+        return cls(HashPairs(k, m, seed))
+
+    def update_batch(self, values: Iterable[int], weight: float = 1.0) -> None:
+        """Fold ``values`` into every row."""
+        arr = self._coerce(values)
+        if arr.size == 0:
+            return
+        buckets = self.pairs.bucket_all(arr)
+        rows = np.repeat(np.arange(self.k, dtype=np.int64), arr.size)
+        self._scatter_add(rows, buckets.ravel(), np.full(arr.size * self.k, weight))
+        self.total_weight += weight * arr.size
+
+    def frequency(self, value: int) -> float:
+        """Point estimate ``min_j M[j, h_j(d)]`` (never under-estimates)."""
+        return float(self.frequencies(np.asarray([value], dtype=np.int64))[0])
+
+    def frequencies(self, values: Iterable[int]) -> np.ndarray:
+        """Vectorised :meth:`frequency`."""
+        arr = self._coerce(values)
+        if arr.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        buckets = self.pairs.bucket_all(arr)
+        rows = np.arange(self.k, dtype=np.int64)[:, None]
+        return np.min(self.counts[rows, buckets], axis=0)
+
+    def heavy_hitters(self, domain_size: int, threshold: float) -> np.ndarray:
+        """All values of ``[0, domain_size)`` whose estimate exceeds ``threshold``."""
+        candidates = np.arange(domain_size, dtype=np.int64)
+        estimates = self.frequencies(candidates)
+        return candidates[estimates > threshold]

@@ -1,0 +1,62 @@
+"""The Count-Sketch (Charikar, Chen, Farach-Colton).
+
+Structurally identical to Fast-AGMS — signed bucket counts with per-row
+``(h_j, xi_j)`` pairs — but read out purely as a *frequency* summary:
+``median_j M[j, h_j(d)] * xi_j(d)``, an unbiased two-sided point estimate.
+Kept as a distinct class because the experiments use it as an independent
+frequency-estimation reference and because its read-out (median of signed
+counters) differs from Count-Min's (min of unsigned counters).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..hashing import HashPairs
+from ..rng import RandomState
+from .base import LinearSketch
+
+__all__ = ["CountSketch"]
+
+
+class CountSketch(LinearSketch):
+    """Count-Sketch over integer ids."""
+
+    @classmethod
+    def create(cls, k: int, m: int, seed: RandomState = None) -> "CountSketch":
+        """Convenience constructor drawing fresh hash pairs."""
+        return cls(HashPairs(k, m, seed))
+
+    def update_batch(self, values: Iterable[int], weight: float = 1.0) -> None:
+        """Fold ``values`` into every row with their signs."""
+        arr = self._coerce(values)
+        if arr.size == 0:
+            return
+        buckets = self.pairs.bucket_all(arr)
+        signs = self.pairs.sign_all(arr)
+        rows = np.repeat(np.arange(self.k, dtype=np.int64), arr.size)
+        self._scatter_add(rows, buckets.ravel(), weight * signs.ravel().astype(np.float64))
+        self.total_weight += weight * arr.size
+
+    def frequency(self, value: int) -> float:
+        """Unbiased point estimate ``median_j M[j, h_j(d)] xi_j(d)``."""
+        return float(self.frequencies(np.asarray([value], dtype=np.int64))[0])
+
+    def frequencies(self, values: Iterable[int]) -> np.ndarray:
+        """Vectorised :meth:`frequency`."""
+        arr = self._coerce(values)
+        if arr.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        buckets = self.pairs.bucket_all(arr)
+        signs = self.pairs.sign_all(arr)
+        rows = np.arange(self.k, dtype=np.int64)[:, None]
+        return np.median(self.counts[rows, buckets] * signs, axis=0)
+
+    def heavy_hitters(self, domain_size: int, threshold: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Values whose estimate exceeds ``threshold`` plus their estimates."""
+        candidates = np.arange(domain_size, dtype=np.int64)
+        estimates = self.frequencies(candidates)
+        mask = estimates > threshold
+        return candidates[mask], estimates[mask]

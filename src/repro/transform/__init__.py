@@ -1,0 +1,19 @@
+"""Hadamard-transform substrate used by the LDP sketch protocols."""
+
+from .hadamard import (
+    fwht,
+    fwht_inplace,
+    hadamard_entry,
+    hadamard_matrix,
+    hadamard_row,
+    sample_hadamard_entries,
+)
+
+__all__ = [
+    "fwht",
+    "fwht_inplace",
+    "hadamard_entry",
+    "hadamard_matrix",
+    "hadamard_row",
+    "sample_hadamard_entries",
+]

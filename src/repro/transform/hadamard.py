@@ -1,0 +1,150 @@
+"""Walsh--Hadamard transform utilities.
+
+The LDP protocols in this library (Algorithm 1 of the paper, the Apple-HCMS
+baseline, and the multiway extension of Section VI) all rely on the
+*naturally ordered* (Sylvester) Hadamard matrix ``H_m`` of a power-of-two
+order ``m``:
+
+.. math::
+
+    H_1 = [1], \\qquad
+    H_m = \\begin{pmatrix} H_{m/2} & H_{m/2} \\\\ H_{m/2} & -H_{m/2}
+    \\end{pmatrix}
+
+Three facts make the protocols cheap:
+
+* individual entries have the closed form
+  ``H_m[i, j] = (-1)^{popcount(i & j)}`` — a client never materialises the
+  matrix, it evaluates one entry in O(1);
+* ``H_m`` is symmetric and ``H_m @ H_m = m * I`` (so the inverse transform is
+  the forward transform divided by ``m``);
+* the matrix-vector product costs ``O(m log m)`` via the in-place butterfly
+  (the fast Walsh--Hadamard transform, FWHT), which the server uses to undo
+  the client-side transform row by row.
+
+Everything here is pure NumPy and operates on float64 arrays; the FWHT
+accepts either a single vector or a batch of row vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..validation import require_power_of_two
+
+__all__ = [
+    "hadamard_entry",
+    "hadamard_row",
+    "hadamard_matrix",
+    "fwht",
+    "fwht_inplace",
+    "sample_hadamard_entries",
+]
+
+
+def _popcount_parity(x: np.ndarray) -> np.ndarray:
+    """Return the parity (0 or 1) of the popcount of each element of ``x``.
+
+    Uses the word-level parity fold; ``x`` must be a non-negative integer
+    array with values below 2**63.
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    x ^= x >> np.uint64(32)
+    x ^= x >> np.uint64(16)
+    x ^= x >> np.uint64(8)
+    x ^= x >> np.uint64(4)
+    x ^= x >> np.uint64(2)
+    x ^= x >> np.uint64(1)
+    return (x & np.uint64(1)).astype(np.int64)
+
+
+def hadamard_entry(i: Union[int, np.ndarray], j: Union[int, np.ndarray], order: int) -> Union[int, np.ndarray]:
+    """Entry ``H_order[i, j]`` of the Sylvester Hadamard matrix.
+
+    Supports broadcasting: ``i`` and ``j`` may be scalars or equally shaped
+    arrays; the result is ``+1`` or ``-1`` (int64).
+
+    >>> hadamard_entry(1, 1, 2)
+    -1
+    >>> hadamard_entry(0, 3, 4)
+    1
+    """
+    order = require_power_of_two("order", order)
+    i_arr = np.asarray(i, dtype=np.int64)
+    j_arr = np.asarray(j, dtype=np.int64)
+    if np.any(i_arr < 0) or np.any(i_arr >= order) or np.any(j_arr < 0) or np.any(j_arr >= order):
+        raise IndexError(f"Hadamard indices must lie in [0, {order})")
+    parity = _popcount_parity(np.bitwise_and(i_arr, j_arr))
+    signs = 1 - 2 * parity
+    if np.isscalar(i) and np.isscalar(j):
+        return int(signs)
+    return signs
+
+
+def hadamard_row(i: int, order: int) -> np.ndarray:
+    """Return row ``i`` of ``H_order`` as an int64 ``(-1/+1)`` vector."""
+    order = require_power_of_two("order", order)
+    cols = np.arange(order, dtype=np.int64)
+    return np.asarray(hadamard_entry(int(i), cols, order), dtype=np.int64)
+
+
+def hadamard_matrix(order: int) -> np.ndarray:
+    """Materialise the full ``order x order`` Hadamard matrix (tests only).
+
+    The matrix costs ``order**2`` memory; production code paths use
+    :func:`hadamard_entry` / :func:`fwht` instead.
+    """
+    order = require_power_of_two("order", order)
+    idx = np.arange(order, dtype=np.int64)
+    return np.asarray(hadamard_entry(idx[:, None], idx[None, :], order), dtype=np.int64)
+
+
+def fwht_inplace(data: np.ndarray) -> np.ndarray:
+    """In-place fast Walsh--Hadamard transform along the last axis.
+
+    ``data`` must be a float array whose last dimension is a power of two.
+    Computes ``data @ H_m`` (equivalently ``H_m @ data`` per row, since the
+    matrix is symmetric) without materialising ``H_m``.  Returns ``data``.
+    """
+    if data.ndim == 0:
+        raise ValueError("fwht requires at least a 1-D array")
+    m = data.shape[-1]
+    require_power_of_two("transform length", m)
+    h = 1
+    while h < m:
+        # Butterfly over blocks of width 2*h.
+        shape_view = data.reshape(*data.shape[:-1], m // (2 * h), 2, h)
+        a = shape_view[..., 0, :].copy()
+        b = shape_view[..., 1, :]
+        shape_view[..., 0, :] = a + b
+        shape_view[..., 1, :] = a - b
+        h *= 2
+    return data
+
+
+def fwht(data: np.ndarray) -> np.ndarray:
+    """Return the Walsh--Hadamard transform of ``data`` (non-destructive).
+
+    Works on a single vector or on a batch of rows; output dtype is float64.
+
+    >>> fwht(np.array([1.0, 0.0]))
+    array([1., 1.])
+    """
+    out = np.array(data, dtype=np.float64, copy=True)
+    return fwht_inplace(out)
+
+
+def sample_hadamard_entries(rows: np.ndarray, cols: np.ndarray, order: int) -> np.ndarray:
+    """Vectorised ``H_order[rows[i], cols[i]]`` for report batches.
+
+    This is the hot path of the batched client simulators: each client
+    contributes one sampled Hadamard entry, so for ``n`` clients we evaluate
+    ``n`` independent entries in one call.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if rows.shape != cols.shape:
+        raise ValueError(f"rows and cols must have the same shape, got {rows.shape} vs {cols.shape}")
+    return np.asarray(hadamard_entry(rows, cols, order), dtype=np.int64)

@@ -1,0 +1,128 @@
+"""Shared argument-validation helpers.
+
+Every public entry point of the library validates its inputs through these
+helpers so that error messages are uniform and informative.  All helpers
+raise :class:`repro.errors.ParameterError` (a ``ValueError`` subclass) on
+rejection and return the *normalised* value on success, so they can be used
+inline::
+
+    self.epsilon = require_positive_float("epsilon", epsilon)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .errors import DomainError, ParameterError
+
+__all__ = [
+    "require_positive_int",
+    "require_positive_float",
+    "require_probability",
+    "require_power_of_two",
+    "require_in_range",
+    "require_choice",
+    "as_value_array",
+    "require_domain_values",
+    "is_power_of_two",
+]
+
+
+def require_positive_int(name: str, value: object, minimum: int = 1) -> int:
+    """Return ``value`` as ``int`` if it is an integer ``>= minimum``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ParameterError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < minimum:
+        raise ParameterError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def require_positive_float(name: str, value: object, *, allow_zero: bool = False) -> float:
+    """Return ``value`` as ``float`` if it is finite and positive."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
+        raise ParameterError(f"{name} must be a number, got {value!r}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ParameterError(f"{name} must be finite, got {value!r}")
+    if value < 0 or (value == 0 and not allow_zero):
+        bound = ">= 0" if allow_zero else "> 0"
+        raise ParameterError(f"{name} must be {bound}, got {value}")
+    return value
+
+
+def require_probability(name: str, value: object, *, allow_zero: bool = False, allow_one: bool = True) -> float:
+    """Return ``value`` as ``float`` if it is a probability in (0, 1]."""
+    value = require_positive_float(name, value, allow_zero=allow_zero)
+    if value > 1 or (value == 1 and not allow_one):
+        raise ParameterError(f"{name} must be a probability <= 1, got {value}")
+    return value
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` if ``value`` is a positive power of two."""
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+def require_power_of_two(name: str, value: object) -> int:
+    """Return ``value`` as ``int`` if it is a positive power of two."""
+    value = require_positive_int(name, value)
+    if not is_power_of_two(value):
+        raise ParameterError(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def require_in_range(name: str, value: object, low: float, high: float) -> float:
+    """Return ``value`` as ``float`` if ``low <= value <= high``."""
+    value = require_positive_float(name, value, allow_zero=True)
+    if not (low <= value <= high):
+        raise ParameterError(f"{name} must lie in [{low}, {high}], got {value}")
+    return value
+
+
+def require_choice(name: str, value: object, choices: Sequence[object]) -> object:
+    """Return ``value`` if it is one of ``choices``."""
+    if value not in choices:
+        raise ParameterError(f"{name} must be one of {list(choices)!r}, got {value!r}")
+    return value
+
+
+def as_value_array(values: Iterable[object], name: str = "values") -> np.ndarray:
+    """Coerce ``values`` into a 1-D ``int64`` array.
+
+    Join-attribute values throughout the library are non-negative integers
+    (item identifiers).  Strings or other hashables must be mapped to ids by
+    the caller; the data generators in :mod:`repro.data` already do so.
+    """
+    arr = np.asarray(values)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ParameterError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        if np.issubdtype(arr.dtype, np.floating) and np.all(arr == np.floor(arr)):
+            arr = arr.astype(np.int64)
+        else:
+            raise ParameterError(f"{name} must contain integers, got dtype {arr.dtype}")
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+def require_domain_values(values: Iterable[object], domain_size: Optional[int], name: str = "values") -> np.ndarray:
+    """Coerce ``values`` to ``int64`` and check them against ``domain_size``.
+
+    Items must satisfy ``0 <= value < domain_size``.  ``domain_size=None``
+    skips the range check (used by non-private sketches, which accept any
+    hashable integer id).
+    """
+    arr = as_value_array(values, name)
+    if domain_size is not None and arr.size:
+        lo = int(arr.min())
+        hi = int(arr.max())
+        if lo < 0 or hi >= domain_size:
+            raise DomainError(
+                f"{name} must lie in [0, {domain_size}), observed range [{lo}, {hi}]"
+            )
+    return arr

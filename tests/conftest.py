@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Statistical tests follow one convention throughout: fixed seeds, sample
+sizes chosen so the checked tolerance is at least four standard deviations
+of the estimator under test.  Nothing here is flaky-by-design; a failure
+means a code change moved an estimator, not that the dice were unlucky.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SketchParams
+from repro.hashing import HashPairs
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator, fresh per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_params() -> SketchParams:
+    """A tiny sketch configuration for exact/enumeration tests."""
+    return SketchParams(k=3, m=8, epsilon=1.0)
+
+
+@pytest.fixture
+def small_pairs(small_params: SketchParams) -> HashPairs:
+    """Hash pairs matching ``small_params``."""
+    return HashPairs(small_params.k, small_params.m, seed=7)
+
+
+@pytest.fixture
+def medium_params() -> SketchParams:
+    """A medium configuration for statistical tests."""
+    return SketchParams(k=5, m=64, epsilon=4.0)
+
+
+@pytest.fixture
+def medium_pairs(medium_params: SketchParams) -> HashPairs:
+    """Hash pairs matching ``medium_params``."""
+    return HashPairs(medium_params.k, medium_params.m, seed=11)
+
+
+def zipf_values(n: int, domain: int, alpha: float, seed: int) -> np.ndarray:
+    """Skewed test data: ``n`` Zipf(``alpha``) draws over ``[0, domain)``."""
+    ranks = np.arange(1, domain + 1, dtype=np.float64)
+    pmf = ranks**-alpha
+    pmf /= pmf.sum()
+    generator = np.random.default_rng(seed)
+    cdf = np.cumsum(pmf)
+    cdf[-1] = 1.0
+    return np.searchsorted(cdf, generator.random(n), side="right").astype(np.int64)
+
+
+@pytest.fixture
+def skewed_pair():
+    """Two independent skewed streams plus their domain."""
+    domain = 512
+    return (
+        zipf_values(20_000, domain, 1.3, seed=1),
+        zipf_values(20_000, domain, 1.3, seed=2),
+        domain,
+    )

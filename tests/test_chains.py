@@ -1,0 +1,91 @@
+"""Tests for multiway chain workloads and estimators
+(:mod:`repro.experiments.chains`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ZipfGenerator
+from repro.experiments.chains import (
+    ChainInstance,
+    compass_estimate,
+    frequency_chain_estimate,
+    ldp_compass_estimate,
+    make_chain_instance,
+)
+from repro.join import exact_multiway_chain_size
+from repro.mechanisms import KRROracle
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return ZipfGenerator(64, alpha=1.4)
+
+
+@pytest.fixture(scope="module")
+def chain3(generator):
+    return make_chain_instance(3, generator, 15_000, seed=1)
+
+
+class TestChainInstance:
+    def test_shapes(self, chain3):
+        assert chain3.num_way == 3
+        assert len(chain3.middles) == 1
+        assert chain3.domain_sizes == [64, 64]
+
+    def test_truth_matches_exact(self, chain3):
+        truth = exact_multiway_chain_size(
+            (chain3.end_first, chain3.end_last), chain3.middles, chain3.domain_sizes
+        )
+        assert chain3.true_size == truth
+
+    def test_truth_cached(self, chain3):
+        first = chain3.true_size
+        assert chain3.true_size == first
+        assert chain3._truth is not None
+
+    def test_two_way_chain(self, generator):
+        chain = make_chain_instance(2, generator, 1_000, seed=2)
+        assert chain.num_way == 2
+        assert chain.middles == []
+
+    def test_four_way_chain(self, generator):
+        chain = make_chain_instance(4, generator, 1_000, seed=3)
+        assert chain.num_way == 4
+        assert len(chain.middles) == 2
+        assert chain.true_size >= 0
+
+    def test_reproducible(self, generator):
+        c1 = make_chain_instance(3, generator, 500, seed=4)
+        c2 = make_chain_instance(3, generator, 500, seed=4)
+        assert np.array_equal(c1.end_first, c2.end_first)
+        assert np.array_equal(c1.middles[0][1], c2.middles[0][1])
+
+
+class TestEstimators:
+    def test_compass_accuracy(self, chain3):
+        est = compass_estimate(chain3, k=9, m=256, seed=5)
+        truth = chain3.true_size
+        assert abs(est - truth) / truth < 0.3
+
+    def test_ldp_compass_large_budget(self, chain3):
+        est = ldp_compass_estimate(chain3, k=9, m=256, epsilon=50.0, seed=6)
+        truth = chain3.true_size
+        assert abs(est - truth) / truth < 0.6
+
+    def test_frequency_chain_with_huge_budget_is_exact_shape(self, chain3):
+        est = frequency_chain_estimate(KRROracle, chain3, epsilon=100.0, seed=7)
+        truth = chain3.true_size
+        # eps=100 k-RR is exact counting; product-domain estimate matches.
+        assert est == pytest.approx(truth, rel=1e-6)
+
+    def test_frequency_chain_noisy_but_finite(self, chain3):
+        est = frequency_chain_estimate(KRROracle, chain3, epsilon=1.0, seed=8)
+        assert np.isfinite(est)
+
+    def test_four_way_ldp(self, generator):
+        chain = make_chain_instance(4, generator, 8_000, seed=9)
+        est = ldp_compass_estimate(chain, k=9, m=128, epsilon=50.0, seed=10)
+        truth = chain.true_size
+        assert abs(est - truth) / truth < 1.5

@@ -1,0 +1,73 @@
+"""Tests for the ``repro-experiments`` command line."""
+
+from __future__ import annotations
+
+import csv
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.figures import ALL_EXPERIMENTS
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig5"])
+        assert args.experiment == "fig5"
+        assert args.scale == 0.002
+        assert args.trials is None
+        assert args.out is None
+
+    def test_run_options(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "fig8", "--scale", "0.01", "--trials", "5", "--seed", "9", "--out", str(tmp_path)]
+        )
+        assert args.scale == 0.01
+        assert args.trials == 5
+        assert args.seed == 9
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_all_is_accepted(self):
+        args = build_parser().parse_args(["run", "all"])
+        assert args.experiment == "all"
+
+
+class TestMain:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_EXPERIMENTS:
+            assert name in out
+
+    def test_run_table2_writes_csv(self, tmp_path, capsys):
+        code = main(["run", "table2", "--scale", "0.0003", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        with (tmp_path / "table2.csv").open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "dataset"
+        assert len(rows) == 7  # header + six datasets
+
+    def test_run_fig7_without_out(self, capsys):
+        assert main(["run", "fig7", "--scale", "0.0003"]) == 0
+        assert "communication" in capsys.readouterr().out
+
+    def test_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "fig15" in result.stdout

@@ -1,0 +1,139 @@
+"""Tests for the streaming aggregator (:mod:`repro.core.aggregator`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LDPJoinSketchAggregator,
+    SketchParams,
+    build_sketch,
+    encode_reports,
+)
+from repro.errors import IncompatibleSketchError, ParameterError, ProtocolError
+from repro.hashing import HashPairs
+
+from .conftest import zipf_values
+
+
+@pytest.fixture
+def setup():
+    params = SketchParams(k=3, m=64, epsilon=4.0)
+    pairs = HashPairs(params.k, params.m, seed=1)
+    return params, pairs
+
+
+class TestIngestion:
+    def test_incremental_equals_batch(self, setup):
+        params, pairs = setup
+        values = zipf_values(5_000, 100, 1.3, seed=2)
+        reports = encode_reports(values, params, pairs, 3)
+        batch_sketch = build_sketch(reports, pairs)
+
+        agg = LDPJoinSketchAggregator(params, pairs)
+        third = len(reports) // 3
+        agg.ingest(
+            type(reports)(
+                reports.ys[:third], reports.rows[:third], reports.cols[:third], params
+            )
+        )
+        agg.ingest(
+            type(reports)(
+                reports.ys[third:], reports.rows[third:], reports.cols[third:], params
+            )
+        )
+        assert np.allclose(agg.sketch().counts, batch_sketch.counts)
+        assert agg.num_reports == batch_sketch.num_reports
+
+    def test_ingest_many(self, setup):
+        params, pairs = setup
+        batches = [
+            encode_reports(zipf_values(500, 50, 1.1, seed=s), params, pairs, s)
+            for s in range(4)
+        ]
+        agg = LDPJoinSketchAggregator(params, pairs).ingest_many(batches)
+        assert agg.num_reports == 2_000
+
+    def test_param_mismatch_rejected(self, setup):
+        params, pairs = setup
+        other_params = SketchParams(params.k, params.m, 9.0)
+        reports = encode_reports([1, 2], other_params, pairs, 4)
+        agg = LDPJoinSketchAggregator(params, pairs)
+        with pytest.raises(IncompatibleSketchError, match="different protocol"):
+            agg.ingest(reports)
+
+    def test_pairs_shape_validated(self, setup):
+        params, _ = setup
+        with pytest.raises(ParameterError):
+            LDPJoinSketchAggregator(params, HashPairs(params.k + 1, params.m, 5))
+
+    def test_query_before_ingest_rejected(self, setup):
+        params, pairs = setup
+        with pytest.raises(ProtocolError, match="no reports"):
+            LDPJoinSketchAggregator(params, pairs).sketch()
+
+
+class TestCachingAndQueries:
+    def test_sketch_cached_until_new_data(self, setup):
+        params, pairs = setup
+        agg = LDPJoinSketchAggregator(params, pairs)
+        agg.ingest(encode_reports([1, 2, 3], params, pairs, 6))
+        first = agg.sketch()
+        assert agg.sketch() is first  # cached
+        agg.ingest(encode_reports([4], params, pairs, 7))
+        assert agg.sketch() is not first  # invalidated
+
+    def test_join_between_aggregators(self, setup):
+        params, pairs = setup
+        a = zipf_values(20_000, 128, 1.4, seed=8)
+        b = zipf_values(20_000, 128, 1.4, seed=9)
+        agg_a = LDPJoinSketchAggregator(params, pairs)
+        agg_a.ingest(encode_reports(a, params, pairs, 10))
+        agg_b = LDPJoinSketchAggregator(params, pairs)
+        agg_b.ingest(encode_reports(b, params, pairs, 11))
+        direct = agg_a.sketch().join_size(agg_b.sketch())
+        assert agg_a.join_size(agg_b) == pytest.approx(direct)
+
+    def test_frequencies_passthrough(self, setup):
+        params, pairs = setup
+        values = np.full(3_000, 7, dtype=np.int64)
+        agg = LDPJoinSketchAggregator(params, pairs)
+        agg.ingest(encode_reports(values, params, pairs, 12))
+        assert agg.frequencies(np.asarray([7]))[0] == pytest.approx(
+            agg.sketch().frequency(7)
+        )
+
+
+class TestSharding:
+    def test_merge_equals_single_collector(self, setup):
+        params, pairs = setup
+        values = zipf_values(4_000, 100, 1.2, seed=13)
+        reports = encode_reports(values, params, pairs, 14)
+        half = len(reports) // 2
+
+        shard1 = LDPJoinSketchAggregator(params, pairs)
+        shard1.ingest(
+            type(reports)(reports.ys[:half], reports.rows[:half], reports.cols[:half], params)
+        )
+        shard2 = LDPJoinSketchAggregator(params, pairs)
+        shard2.ingest(
+            type(reports)(reports.ys[half:], reports.rows[half:], reports.cols[half:], params)
+        )
+        shard1.merge(shard2)
+
+        single = LDPJoinSketchAggregator(params, pairs).ingest(reports)
+        assert np.allclose(shard1.sketch().counts, single.sketch().counts)
+
+    def test_merge_requires_shared_pairs(self, setup):
+        params, pairs = setup
+        other = LDPJoinSketchAggregator(params, HashPairs(params.k, params.m, 15))
+        agg = LDPJoinSketchAggregator(params, pairs)
+        with pytest.raises(IncompatibleSketchError, match="share"):
+            agg.merge(other)
+
+    def test_merge_type_checked(self, setup):
+        params, pairs = setup
+        agg = LDPJoinSketchAggregator(params, pairs)
+        with pytest.raises(IncompatibleSketchError):
+            agg.merge("not an aggregator")

@@ -1,0 +1,130 @@
+"""Tests for :mod:`repro.core.estimator` (Eq. 5 wrapper + frequent items)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SketchParams,
+    build_sketch,
+    encode_reports,
+    estimate_join_size,
+    find_frequent_items,
+)
+from repro.errors import ParameterError
+from repro.hashing import HashPairs
+
+from .conftest import zipf_values
+
+
+def _sketch_of(values, params, pairs, seed):
+    return build_sketch(encode_reports(values, params, pairs, seed), pairs)
+
+
+class TestEstimateJoinSize:
+    def test_delegates_to_sketch(self, medium_params, medium_pairs):
+        a = zipf_values(5_000, 100, 1.3, 1)
+        b = zipf_values(5_000, 100, 1.3, 2)
+        sa = _sketch_of(a, medium_params, medium_pairs, 3)
+        sb = _sketch_of(b, medium_params, medium_pairs, 4)
+        assert estimate_join_size(sa, sb) == sa.join_size(sb)
+
+
+class TestFindFrequentItems:
+    def _heavy_sketch(self, params, pairs, seed=5):
+        # Three planted heavy hitters over light zipf noise.
+        values = np.concatenate(
+            [
+                np.full(6_000, 3, dtype=np.int64),
+                np.full(5_000, 17, dtype=np.int64),
+                np.full(4_000, 41, dtype=np.int64),
+                zipf_values(5_000, 100, 1.05, seed),
+            ]
+        )
+        return _sketch_of(values, params, pairs, seed + 1), values
+
+    def test_recovers_planted_heavy_hitters(self):
+        params = SketchParams(k=5, m=256, epsilon=6.0)
+        pairs = HashPairs(params.k, params.m, seed=6)
+        sketch, values = self._heavy_sketch(params, pairs)
+        fi = find_frequent_items(sketch, 100, threshold=0.1)
+        assert {3, 17, 41} <= set(fi.tolist())
+
+    def test_excludes_light_items(self):
+        params = SketchParams(k=5, m=512, epsilon=6.0)
+        pairs = HashPairs(params.k, params.m, seed=7)
+        sketch, values = self._heavy_sketch(params, pairs)
+        fi = find_frequent_items(sketch, 100, threshold=0.1)
+        # The 10% cutoff sits far above the LDP noise floor here
+        # (~c*sqrt(F1) ~ 145), so only the planted heavy hitters (15-30%
+        # shares) should pass; nothing under a 3% share may appear.
+        counts = np.bincount(values, minlength=100)
+        for item in fi:
+            assert counts[item] / values.size > 0.03
+
+    def test_median_detection_robust_to_heavy_collision(self):
+        # One enormous value plus a light tail: the mean read-out lets the
+        # heavy item's collisions push light items over the threshold; the
+        # median read-out does not.
+        params = SketchParams(k=9, m=64, epsilon=50.0)
+        pairs = HashPairs(params.k, params.m, seed=21)
+        values = np.concatenate(
+            [np.full(50_000, 11, dtype=np.int64), zipf_values(5_000, 100, 1.01, 22)]
+        )
+        sketch = _sketch_of(values, params, pairs, 23)
+        fi_median = find_frequent_items(sketch, 100, threshold=0.05, method="median")
+        fi_mean = find_frequent_items(sketch, 100, threshold=0.05, method="mean")
+        assert 11 in fi_median
+        # Median keeps the set at (or very near) the single true heavy
+        # hitter; the mean read-out admits collision-inflated extras.
+        assert fi_median.size <= fi_mean.size
+        assert fi_median.size <= 3
+
+    def test_method_validation(self):
+        params = SketchParams(k=2, m=8, epsilon=1.0)
+        pairs = HashPairs(2, 8, 24)
+        sketch = _sketch_of([1], params, pairs, 25)
+        with pytest.raises(ParameterError, match="method"):
+            find_frequent_items(sketch, 10, threshold=0.1, method="mode")
+
+    def test_chunking_invariance(self):
+        params = SketchParams(k=3, m=64, epsilon=4.0)
+        pairs = HashPairs(params.k, params.m, seed=8)
+        sketch, _ = self._heavy_sketch(params, pairs)
+        full = find_frequent_items(sketch, 100, threshold=0.05)
+        chunked = find_frequent_items(sketch, 100, threshold=0.05, chunk_size=7)
+        assert np.array_equal(full, chunked)
+
+    def test_total_override(self):
+        params = SketchParams(k=3, m=64, epsilon=4.0)
+        pairs = HashPairs(params.k, params.m, seed=9)
+        sketch, _ = self._heavy_sketch(params, pairs)
+        # Doubling the reference total halves the effective threshold mass.
+        lenient = find_frequent_items(sketch, 100, threshold=0.05, total=sketch.num_reports / 4)
+        strict = find_frequent_items(sketch, 100, threshold=0.05, total=sketch.num_reports * 4)
+        assert set(strict.tolist()) <= set(lenient.tolist())
+
+    def test_threshold_one_returns_empty(self):
+        params = SketchParams(k=3, m=64, epsilon=4.0)
+        pairs = HashPairs(params.k, params.m, seed=10)
+        sketch, _ = self._heavy_sketch(params, pairs)
+        assert find_frequent_items(sketch, 100, threshold=1.0).size == 0
+
+    def test_validation(self):
+        params = SketchParams(k=2, m=8, epsilon=1.0)
+        pairs = HashPairs(2, 8, 11)
+        sketch = _sketch_of([1], params, pairs, 12)
+        with pytest.raises(ParameterError):
+            find_frequent_items(sketch, 0, threshold=0.1)
+        with pytest.raises(ParameterError):
+            find_frequent_items(sketch, 10, threshold=2.0)
+        with pytest.raises(ParameterError):
+            find_frequent_items(sketch, 10, threshold=0.1, total=-5)
+
+    def test_result_sorted_unique(self):
+        params = SketchParams(k=5, m=256, epsilon=6.0)
+        pairs = HashPairs(params.k, params.m, seed=13)
+        sketch, _ = self._heavy_sketch(params, pairs)
+        fi = find_frequent_items(sketch, 100, threshold=0.05)
+        assert np.array_equal(fi, np.unique(fi))

@@ -1,0 +1,197 @@
+"""Tests for the Section VI multiway extension (:mod:`repro.core.multiway`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LDPCompassProtocol
+from repro.core.multiway import LDPMiddleSketch, MiddleReportBatch
+from repro.errors import IncompatibleSketchError, ParameterError
+from repro.join import exact_multiway_chain_size
+from repro.privacy import c_epsilon
+from repro.sketches import CompassChainSketches
+from repro.transform import hadamard_matrix
+
+from .conftest import zipf_values
+
+
+def make_chain_data(domain: int, size: int, seed: int):
+    t1 = zipf_values(size, domain, 1.3, seed)
+    t2 = (zipf_values(size, domain, 1.3, seed + 1), zipf_values(size, domain, 1.3, seed + 2))
+    t3 = zipf_values(size, domain, 1.3, seed + 3)
+    return t1, t2, t3
+
+
+class TestConstruction:
+    def test_middle_reports_shape_and_bits(self):
+        protocol = LDPCompassProtocol([16, 8], k=3, epsilon=2.0, seed=1)
+        reports = protocol.encode_middle(0, [1, 2, 3], [4, 5, 6], rng=2)
+        assert len(reports) == 3
+        assert reports.m_left == 16 and reports.m_right == 8
+        # 1 sign + ceil(log2 3)=2 + log2 16=4 + log2 8=3.
+        assert reports.report_bits == 1 + 2 + 4 + 3
+        assert reports.total_bits == 3 * reports.report_bits
+
+    def test_middle_report_validation(self):
+        with pytest.raises(ParameterError, match="equal-length"):
+            MiddleReportBatch(
+                np.array([1]), np.array([0, 0]), np.array([0]), np.array([0]),
+                k=2, m_left=4, m_right=4, epsilon=1.0,
+            )
+
+    def test_middle_column_length_mismatch(self):
+        protocol = LDPCompassProtocol([8, 8], k=2, epsilon=1.0, seed=3)
+        with pytest.raises(ParameterError, match="equal length"):
+            protocol.encode_middle(0, [1, 2], [3])
+
+    def test_single_report_transform_identity(self):
+        """Server inversion: one report contributes
+        k*c_eps*y*H[l1,:]^T outer H[l2,:] to its replica."""
+        protocol = LDPCompassProtocol([8, 4], k=2, epsilon=3.0, seed=4)
+        reports = protocol.encode_middle(0, [5], [2], rng=5)
+        sketch = protocol.build_middle(0, reports)
+        j = int(reports.replicas[0])
+        l1, l2 = int(reports.left_cols[0]), int(reports.right_cols[0])
+        y = float(reports.ys[0])
+        h1 = hadamard_matrix(8)
+        h2 = hadamard_matrix(4)
+        expected = (
+            protocol.k
+            * c_epsilon(3.0)
+            * y
+            * np.outer(h1[:, l1], h2[l2, :])
+        )
+        assert np.allclose(sketch.counts[j], expected)
+        other = 1 - j
+        assert not sketch.counts[other].any()
+
+    def test_middle_cell_expectation(self):
+        """E[M~[j, h_A(a), h_B(b)]] = xi_A(a) xi_B(b) * count."""
+        protocol = LDPCompassProtocol([16, 16], k=2, epsilon=4.0, seed=6)
+        a_val, b_val, count = 3, 9, 4000
+        left = np.full(count, a_val, dtype=np.int64)
+        right = np.full(count, b_val, dtype=np.int64)
+        rng = np.random.default_rng(7)
+        total = np.zeros((2, 16, 16))
+        runs = 40
+        for _ in range(runs):
+            sketch = protocol.build_middle(0, protocol.encode_middle(0, left, right, rng))
+            total += sketch.counts
+        mean = total / runs
+        lp = protocol.attribute_pairs[0]
+        rp = protocol.attribute_pairs[1]
+        for j in range(2):
+            cell = mean[j, lp.bucket(j, np.array([a_val]))[0], rp.bucket(j, np.array([b_val]))[0]]
+            sign = lp.sign(j, np.array([a_val]))[0] * rp.sign(j, np.array([b_val]))[0]
+            # sd per run ~ sqrt(k c^2 count) ~ 130; mean of 40 runs ~ 20.
+            assert abs(cell - sign * count) < 6 * 25
+
+    def test_report_shape_mismatch_rejected(self):
+        protocol = LDPCompassProtocol([8, 8], k=2, epsilon=1.0, seed=8)
+        other = LDPCompassProtocol([16, 8], k=2, epsilon=1.0, seed=9)
+        reports = other.encode_middle(0, [1], [1], rng=10)
+        with pytest.raises(IncompatibleSketchError):
+            protocol.build_middle(0, reports)
+
+
+class TestChainEstimation:
+    def test_three_way_accuracy_large_budget(self):
+        domain = 64
+        t1, t2, t3 = make_chain_data(domain, 30_000, seed=11)
+        truth = exact_multiway_chain_size((t1, t3), [t2], [domain, domain])
+        protocol = LDPCompassProtocol([256, 256], k=9, epsilon=50.0, seed=12)
+        rng = np.random.default_rng(13)
+        first = protocol.build_end(0, protocol.encode_end(0, t1, rng))
+        mid = protocol.build_middle(0, protocol.encode_middle(0, *t2, rng))
+        last = protocol.build_end(1, protocol.encode_end(1, t3, rng))
+        est = protocol.estimate_chain(first, [mid], last)
+        assert abs(est - truth) / truth < 0.5
+
+    def test_three_way_tracks_compass_shape(self):
+        """Both estimators answer the same query; under a huge budget the
+        LDP estimate should sit in the same range as COMPASS's."""
+        domain = 64
+        t1, t2, t3 = make_chain_data(domain, 20_000, seed=14)
+        truth = exact_multiway_chain_size((t1, t3), [t2], [domain, domain])
+        compass = CompassChainSketches([256, 256], k=9, seed=15)
+        c_est = compass.estimate_chain(
+            compass.build_end(0, t1),
+            [compass.build_middle(0, *t2)],
+            compass.build_end(1, t3),
+        )
+        protocol = LDPCompassProtocol([256, 256], k=9, epsilon=50.0, seed=16)
+        rng = np.random.default_rng(17)
+        l_est = protocol.estimate_chain(
+            protocol.build_end(0, protocol.encode_end(0, t1, rng)),
+            [protocol.build_middle(0, protocol.encode_middle(0, *t2, rng))],
+            protocol.build_end(1, protocol.encode_end(1, t3, rng)),
+        )
+        assert abs(c_est - truth) / truth < 0.2
+        assert abs(l_est - truth) / truth < 0.6
+
+    def test_four_way_runs_and_is_positive(self):
+        domain = 32
+        rng = np.random.default_rng(18)
+        t1 = zipf_values(20_000, domain, 1.4, 19)
+        m1 = (zipf_values(20_000, domain, 1.4, 20), zipf_values(20_000, domain, 1.4, 21))
+        m2 = (zipf_values(20_000, domain, 1.4, 22), zipf_values(20_000, domain, 1.4, 23))
+        t4 = zipf_values(20_000, domain, 1.4, 24)
+        truth = exact_multiway_chain_size((t1, t4), [m1, m2], [domain] * 3)
+        protocol = LDPCompassProtocol([128] * 3, k=9, epsilon=50.0, seed=25)
+        est = protocol.estimate_chain(
+            protocol.build_end(0, protocol.encode_end(0, t1, rng)),
+            [
+                protocol.build_middle(0, protocol.encode_middle(0, *m1, rng)),
+                protocol.build_middle(1, protocol.encode_middle(1, *m2, rng)),
+            ],
+            protocol.build_end(2, protocol.encode_end(2, t4, rng)),
+        )
+        assert abs(est - truth) / truth < 1.0
+
+    def test_epsilon_reduces_error_on_average(self):
+        domain = 32
+        t1, t2, t3 = make_chain_data(domain, 10_000, seed=26)
+        truth = exact_multiway_chain_size((t1, t3), [t2], [domain, domain])
+
+        def mean_error(epsilon: float) -> float:
+            errors = []
+            for seed in range(5):
+                protocol = LDPCompassProtocol([64, 64], k=9, epsilon=epsilon, seed=27)
+                rng = np.random.default_rng(100 + seed)
+                est = protocol.estimate_chain(
+                    protocol.build_end(0, protocol.encode_end(0, t1, rng)),
+                    [protocol.build_middle(0, protocol.encode_middle(0, *t2, rng))],
+                    protocol.build_end(1, protocol.encode_end(1, t3, rng)),
+                )
+                errors.append(abs(est - truth))
+            return float(np.mean(errors))
+
+        assert mean_error(8.0) < mean_error(0.5)
+
+    def test_wrong_middle_count(self):
+        protocol = LDPCompassProtocol([8, 8], k=2, epsilon=1.0, seed=28)
+        rng = np.random.default_rng(29)
+        first = protocol.build_end(0, protocol.encode_end(0, [1], rng))
+        last = protocol.build_end(1, protocol.encode_end(1, [1], rng))
+        with pytest.raises(IncompatibleSketchError, match="middle"):
+            protocol.estimate_chain(first, [], last)
+
+    def test_foreign_end_sketch(self):
+        protocol = LDPCompassProtocol([8, 8], k=2, epsilon=1.0, seed=30)
+        other = LDPCompassProtocol([8, 8], k=2, epsilon=1.0, seed=31)
+        rng = np.random.default_rng(32)
+        first = other.build_end(0, other.encode_end(0, [1], rng))
+        mid = protocol.build_middle(0, protocol.encode_middle(0, [1], [1], rng))
+        last = protocol.build_end(1, protocol.encode_end(1, [1], rng))
+        with pytest.raises(IncompatibleSketchError):
+            protocol.estimate_chain(first, [mid], last)
+
+    def test_attribute_out_of_range(self):
+        protocol = LDPCompassProtocol([8], k=2, epsilon=1.0, seed=33)
+        with pytest.raises(ParameterError):
+            protocol.encode_end(1, [0])
+
+    def test_width_must_be_power_of_two(self):
+        with pytest.raises(ParameterError, match="power of two"):
+            LDPCompassProtocol([12], k=2, epsilon=1.0)

@@ -1,0 +1,75 @@
+"""Tests for :class:`repro.core.SketchParams`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import SketchParams
+from repro.errors import ParameterError
+
+
+class TestSketchParams:
+    def test_basic_construction(self):
+        params = SketchParams(k=18, m=1024, epsilon=4.0)
+        assert params.k == 18 and params.m == 1024 and params.epsilon == 4.0
+
+    def test_m_must_be_power_of_two(self):
+        with pytest.raises(ParameterError, match="power of two"):
+            SketchParams(k=2, m=100, epsilon=1.0)
+
+    def test_k_positive(self):
+        with pytest.raises(ParameterError):
+            SketchParams(k=0, m=8, epsilon=1.0)
+
+    def test_epsilon_positive(self):
+        with pytest.raises(ParameterError):
+            SketchParams(k=2, m=8, epsilon=0.0)
+
+    def test_c_epsilon(self):
+        params = SketchParams(k=2, m=8, epsilon=1.0)
+        assert params.c_epsilon == pytest.approx((math.e + 1) / (math.e - 1))
+
+    def test_flip_probability(self):
+        params = SketchParams(k=2, m=8, epsilon=2.0)
+        assert params.flip_probability == pytest.approx(1 / (math.exp(2) + 1))
+
+    def test_scale(self):
+        params = SketchParams(k=5, m=8, epsilon=1.0)
+        assert params.scale == pytest.approx(5 * params.c_epsilon)
+
+    def test_report_bits(self):
+        params = SketchParams(k=18, m=1024, epsilon=4.0)
+        # 1 sign bit + ceil(log2 18) = 5 + log2 1024 = 10.
+        assert params.report_bits == 1 + 5 + 10
+
+    def test_report_bits_minimum_one_per_index(self):
+        params = SketchParams(k=1, m=1, epsilon=1.0)
+        assert params.report_bits == 3
+
+    def test_frozen(self):
+        params = SketchParams(k=2, m=8, epsilon=1.0)
+        with pytest.raises(AttributeError):
+            params.k = 3
+
+    def test_equality(self):
+        assert SketchParams(2, 8, 1.0) == SketchParams(2, 8, 1.0)
+        assert SketchParams(2, 8, 1.0) != SketchParams(2, 8, 2.0)
+
+    def test_with_epsilon(self):
+        params = SketchParams(k=2, m=8, epsilon=1.0)
+        bumped = params.with_epsilon(3.0)
+        assert bumped.epsilon == 3.0
+        assert bumped.k == params.k and bumped.m == params.m
+        assert params.epsilon == 1.0  # original untouched
+
+    def test_for_failure_probability(self):
+        # Theorem 5: k = ceil(4 log(1/delta)).
+        params = SketchParams.for_failure_probability(0.01, m=64, epsilon=2.0)
+        assert params.k == math.ceil(4 * math.log(100))
+        assert params.m == 64
+
+    def test_for_failure_probability_validation(self):
+        with pytest.raises(ValueError):
+            SketchParams.for_failure_probability(1.5, m=64, epsilon=2.0)

@@ -1,0 +1,142 @@
+"""Tests for cyclic (triangle & longer) joins — the Section VI discussion
+extension implemented across the exact substrate, COMPASS, and the LDP
+protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LDPCompassProtocol
+from repro.errors import IncompatibleSketchError, ParameterError
+from repro.join import exact_cyclic_join_size
+from repro.sketches import CompassChainSketches
+
+from .conftest import zipf_values
+
+
+def triangle_tables(domain: int, size: int, seed: int):
+    """Three two-column tables forming T1(A,B) |> T2(B,C) |> T3(C,A)."""
+    return [
+        (zipf_values(size, domain, 1.4, seed + 2 * i), zipf_values(size, domain, 1.4, seed + 2 * i + 1))
+        for i in range(3)
+    ]
+
+
+class TestExactCyclic:
+    def test_triangle_brute_force(self):
+        rng = np.random.default_rng(1)
+        d = 5
+        tables = [
+            (rng.integers(0, d, size=30), rng.integers(0, d, size=30)) for _ in range(3)
+        ]
+        brute = 0
+        for a1, b1 in zip(*tables[0]):
+            for b2, c2 in zip(*tables[1]):
+                if b2 != b1:
+                    continue
+                for c3, a3 in zip(*tables[2]):
+                    brute += int(c3 == c2 and a3 == a1)
+        assert exact_cyclic_join_size(tables, [d, d, d]) == brute
+
+    def test_two_cycle_is_symmetric_product(self):
+        # T1(A,B) |> T2(B,A): trace(C1 @ C2).
+        rng = np.random.default_rng(2)
+        d = 4
+        t1 = (rng.integers(0, d, size=50), rng.integers(0, d, size=50))
+        t2 = (rng.integers(0, d, size=50), rng.integers(0, d, size=50))
+        c1 = np.zeros((d, d))
+        np.add.at(c1, t1, 1)
+        c2 = np.zeros((d, d))
+        np.add.at(c2, t2, 1)
+        expected = int(np.trace(c1 @ c2))
+        assert exact_cyclic_join_size([t1, t2], [d, d]) == expected
+
+    def test_validation(self):
+        t = (np.array([0]), np.array([0]))
+        with pytest.raises(ParameterError, match="at least two"):
+            exact_cyclic_join_size([t], [1])
+        with pytest.raises(ParameterError, match="domain sizes"):
+            exact_cyclic_join_size([t, t], [1])
+
+
+class TestCompassCyclic:
+    def test_triangle_accuracy(self):
+        domain, size = 32, 20_000
+        tables = triangle_tables(domain, size, seed=3)
+        truth = exact_cyclic_join_size(tables, [domain] * 3)
+        sketches = CompassChainSketches([256, 256, 256], k=9, seed=4)
+        built = [
+            sketches.build_cycle_table(i, left, right)
+            for i, (left, right) in enumerate(tables)
+        ]
+        estimate = sketches.estimate_cycle(built)
+        assert truth > 0
+        assert abs(estimate - truth) / truth < 0.5
+
+    def test_cycle_table_count_validated(self):
+        sketches = CompassChainSketches([8, 8, 8], k=2, seed=5)
+        t = sketches.build_cycle_table(0, [1], [1])
+        with pytest.raises(IncompatibleSketchError, match="cycle"):
+            sketches.estimate_cycle([t])
+
+    def test_ring_pairing_validated(self):
+        sketches = CompassChainSketches([8, 8, 8], k=2, seed=6)
+        t0 = sketches.build_cycle_table(0, [1], [1])
+        t1 = sketches.build_cycle_table(1, [1], [1])
+        # Using table 0's sketch in slot 2 breaks the ring.
+        with pytest.raises(IncompatibleSketchError, match="ring"):
+            sketches.estimate_cycle([t0, t1, t0])
+
+
+class TestLDPCyclic:
+    def test_triangle_with_large_budget(self):
+        domain, size = 32, 25_000
+        tables = triangle_tables(domain, size, seed=7)
+        truth = exact_cyclic_join_size(tables, [domain] * 3)
+        protocol = LDPCompassProtocol([128, 128, 128], k=9, epsilon=50.0, seed=8)
+        rng = np.random.default_rng(9)
+        built = [
+            protocol.build_cycle_table(
+                i, protocol.encode_cycle_table(i, left, right, rng)
+            )
+            for i, (left, right) in enumerate(tables)
+        ]
+        estimate = protocol.estimate_cycle(built)
+        assert truth > 0
+        assert abs(estimate - truth) / truth < 1.0
+
+    def test_wraparound_pairs_used(self):
+        protocol = LDPCompassProtocol([8, 16, 32], k=2, epsilon=2.0, seed=10)
+        reports = protocol.encode_cycle_table(2, [1], [1], rng=11)
+        # Table 2 joins attribute 2 (m=32) with attribute 0 (m=8).
+        assert reports.m_left == 32
+        assert reports.m_right == 8
+
+    def test_cycle_validation(self):
+        protocol = LDPCompassProtocol([8, 8, 8], k=2, epsilon=2.0, seed=12)
+        rng = np.random.default_rng(13)
+        t0 = protocol.build_cycle_table(0, protocol.encode_cycle_table(0, [1], [1], rng))
+        with pytest.raises(IncompatibleSketchError):
+            protocol.estimate_cycle([t0, t0, t0])
+
+    def test_epsilon_improves_cycle_estimate(self):
+        domain, size = 16, 15_000
+        tables = triangle_tables(domain, size, seed=14)
+        truth = exact_cyclic_join_size(tables, [domain] * 3)
+
+        def mean_error(epsilon: float) -> float:
+            errors = []
+            for seed in range(4):
+                protocol = LDPCompassProtocol([64] * 3, k=9, epsilon=epsilon, seed=15)
+                rng = np.random.default_rng(200 + seed)
+                built = [
+                    protocol.build_cycle_table(
+                        i, protocol.encode_cycle_table(i, left, right, rng)
+                    )
+                    for i, (left, right) in enumerate(tables)
+                ]
+                errors.append(abs(protocol.estimate_cycle(built) - truth))
+            return float(np.mean(errors))
+
+        assert mean_error(10.0) < mean_error(0.5)

@@ -1,0 +1,230 @@
+"""Tests for the synthetic data substrate (:mod:`repro.data`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DATASETS,
+    EgoNetworkGenerator,
+    GaussianGenerator,
+    JoinInstance,
+    MovieLensGenerator,
+    TPCDSStoreSalesGenerator,
+    ZipfGenerator,
+    make_join_instance,
+    paper_dataset_table,
+    sample_from_pmf,
+)
+from repro.errors import DataGenerationError
+from repro.join import FrequencyVector
+
+
+class TestSampleFromPMF:
+    def test_range(self):
+        pmf = np.ones(10) / 10
+        out = sample_from_pmf(pmf, 1000, rng=0)
+        assert out.min() >= 0 and out.max() < 10
+
+    def test_deterministic(self):
+        pmf = np.ones(5) / 5
+        assert np.array_equal(sample_from_pmf(pmf, 100, rng=1), sample_from_pmf(pmf, 100, rng=1))
+
+    def test_zero_size(self):
+        assert sample_from_pmf(np.ones(3), 0).size == 0
+
+    def test_respects_zero_mass(self):
+        pmf = np.array([0.0, 1.0, 0.0])
+        out = sample_from_pmf(pmf, 1000, rng=2)
+        assert np.all(out == 1)
+
+    def test_distribution_chi2(self):
+        pmf = np.array([0.5, 0.3, 0.2])
+        n = 100_000
+        out = sample_from_pmf(pmf, n, rng=3)
+        counts = np.bincount(out, minlength=3)
+        chi2 = float(np.sum((counts - n * pmf) ** 2 / (n * pmf)))
+        assert chi2 < 20  # 2 dof, generous
+
+    def test_unnormalised_pmf_accepted(self):
+        out = sample_from_pmf(np.array([2.0, 2.0]), 1000, rng=4)
+        frac = float(np.mean(out == 0))
+        assert abs(frac - 0.5) < 0.05
+
+    def test_invalid_pmf_rejected(self):
+        with pytest.raises(DataGenerationError):
+            sample_from_pmf(np.array([-1.0, 2.0]), 10)
+        with pytest.raises(DataGenerationError):
+            sample_from_pmf(np.zeros(3), 10)
+        with pytest.raises(DataGenerationError):
+            sample_from_pmf(np.array([np.nan, 1.0]), 10)
+
+
+class TestZipf:
+    def test_pmf_is_zipf(self):
+        gen = ZipfGenerator(100, alpha=2.0)
+        pmf = gen.pmf()
+        # p(1)/p(2) = 2^alpha.
+        assert pmf[0] / pmf[1] == pytest.approx(4.0)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_skew_monotone_in_alpha(self):
+        top_share = lambda a: ZipfGenerator(1000, alpha=a).pmf()[0]
+        assert top_share(1.1) < top_share(1.5) < top_share(2.0)
+
+    def test_shuffle_preserves_multiset(self):
+        plain = ZipfGenerator(50, alpha=1.5)
+        shuffled = ZipfGenerator(50, alpha=1.5, shuffle_seed=9)
+        assert np.allclose(np.sort(plain.pmf()), np.sort(shuffled.pmf()))
+        assert not np.allclose(plain.pmf(), shuffled.pmf())
+
+    def test_sample_reproducible(self):
+        gen = ZipfGenerator(100, alpha=1.3)
+        assert np.array_equal(gen.sample(500, rng=5), gen.sample(500, rng=5))
+
+    def test_name_carries_alpha(self):
+        assert ZipfGenerator(10, alpha=1.5).name == "zipf(a=1.5)"
+
+
+class TestGaussian:
+    def test_pmf_peaks_at_mean(self):
+        gen = GaussianGenerator(1000, mean=400.0, std=50.0)
+        assert int(np.argmax(gen.pmf())) == 400
+
+    def test_default_parameters(self):
+        gen = GaussianGenerator(800)
+        assert gen.mean == 400.0
+        assert gen.std == 100.0
+
+    def test_symmetry(self):
+        gen = GaussianGenerator(101, mean=50.0, std=10.0)
+        pmf = gen.pmf()
+        assert np.allclose(pmf, pmf[::-1], atol=1e-12)
+
+    def test_degenerate_std_handled(self):
+        gen = GaussianGenerator(10_000, mean=5000.0, std=1e-9)
+        pmf = gen.pmf()
+        assert pmf.sum() == pytest.approx(1.0)
+        assert pmf[5000] == pytest.approx(1.0)
+
+    def test_low_skew(self):
+        # Gaussian top-1 share is tiny compared to zipf.
+        g = GaussianGenerator(10_000).pmf()[np.argmax(GaussianGenerator(10_000).pmf())]
+        z = ZipfGenerator(10_000, alpha=1.5).pmf()[0]
+        assert g < z / 10
+
+
+class TestDomainSpecificGenerators:
+    def test_tpcds_shape(self):
+        gen = TPCDSStoreSalesGenerator()
+        assert gen.domain_size == 18_000
+        pmf = gen.pmf()
+        assert pmf.sum() == pytest.approx(1.0)
+        # Moderate skew: top item below 1%, far above uniform.
+        assert 1.0 / 18_000 < pmf.max() < 0.01
+
+    def test_tpcds_weights_fixed_by_seed(self):
+        assert np.allclose(
+            TPCDSStoreSalesGenerator(weights_seed=1).pmf(),
+            TPCDSStoreSalesGenerator(weights_seed=1).pmf(),
+        )
+        assert not np.allclose(
+            TPCDSStoreSalesGenerator(weights_seed=1).pmf(),
+            TPCDSStoreSalesGenerator(weights_seed=2).pmf(),
+        )
+
+    def test_movielens_longtail(self):
+        gen = MovieLensGenerator()
+        pmf = gen.pmf()
+        assert gen.domain_size == 83_239
+        # Zipf-Mandelbrot: flattened head (ratio near 1), power-law tail.
+        assert pmf[0] / pmf[1] < 1.05
+        assert pmf[0] / pmf[-1] > 100
+
+    def test_ego_presets(self):
+        tw = EgoNetworkGenerator.twitter()
+        fb = EgoNetworkGenerator.facebook()
+        assert tw.domain_size == 77_072 and tw.name == "twitter"
+        assert fb.domain_size == 4_039 and fb.name == "facebook"
+
+    def test_ego_gamma_validation(self):
+        with pytest.raises(Exception):
+            EgoNetworkGenerator(100, gamma=1.0)
+
+    def test_ego_degree_skew(self):
+        gen = EgoNetworkGenerator(10_000, gamma=2.1)
+        pmf = gen.pmf()
+        # Heavier tail exponent -> more skew than gamma=3.
+        flat = EgoNetworkGenerator(10_000, gamma=3.0).pmf()
+        assert pmf[0] > flat[0]
+
+
+class TestJoinInstance:
+    def test_truth_matches_frequency_vectors(self):
+        gen = ZipfGenerator(64, alpha=1.3)
+        instance = gen.make_join_instance(2_000, rng=6)
+        fa = FrequencyVector.from_values(instance.values_a, 64)
+        fb = FrequencyVector.from_values(instance.values_b, 64)
+        assert instance.true_join_size == fa.inner(fb)
+
+    def test_split_mode_partitions_one_stream(self):
+        gen = ZipfGenerator(64, alpha=1.3)
+        instance = gen.make_join_instance(1_000, rng=7, mode="split")
+        assert instance.size_a == instance.size_b == 1_000
+
+    def test_size_b_override(self):
+        gen = ZipfGenerator(64, alpha=1.3)
+        instance = gen.make_join_instance(500, rng=8, size_b=700)
+        assert instance.size_a == 500 and instance.size_b == 700
+
+    def test_unknown_mode(self):
+        gen = ZipfGenerator(64, alpha=1.3)
+        with pytest.raises(DataGenerationError):
+            gen.make_join_instance(10, rng=9, mode="clone")
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_property_reproducible(self, seed):
+        gen = ZipfGenerator(32, alpha=1.2)
+        i1 = gen.make_join_instance(200, rng=seed)
+        i2 = gen.make_join_instance(200, rng=seed)
+        assert np.array_equal(i1.values_a, i2.values_a)
+        assert np.array_equal(i1.values_b, i2.values_b)
+
+
+class TestRegistry:
+    def test_all_fig5_datasets_registered(self):
+        for name in ("zipf-1.1", "gaussian", "movielens", "tpcds", "twitter", "facebook"):
+            assert name in DATASETS
+
+    def test_make_join_instance_scales(self):
+        instance = make_join_instance("facebook", scale=0.01, seed=10)
+        assert instance.size_a == round(352_936 * 0.01)
+        assert instance.name == "facebook"
+
+    def test_size_override(self):
+        instance = make_join_instance("tpcds", size=1234, seed=11)
+        assert instance.size_a == 1234
+
+    def test_minimum_size_floor(self):
+        instance = make_join_instance("facebook", scale=1e-9, seed=12)
+        assert instance.size_a == 100
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DataGenerationError, match="unknown dataset"):
+            make_join_instance("imdb")
+
+    def test_paper_table_rows(self):
+        rows = paper_dataset_table(["facebook", "tpcds"])
+        assert rows[0] == ("facebook", "4,039", 352_936)
+        assert rows[1] == ("tpcds", "18,000", 5_760_808)
+
+    def test_zipf_alpha_variants_distinct(self):
+        low = make_join_instance("zipf-1.1", size=20_000, seed=13)
+        high = make_join_instance("zipf-1.9", size=20_000, seed=13)
+        top_low = FrequencyVector.from_values(low.values_a, low.domain_size).counts.max()
+        top_high = FrequencyVector.from_values(high.values_a, high.domain_size).counts.max()
+        assert top_high > top_low

@@ -1,0 +1,19 @@
+"""Keep the docstring examples executable."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.join.exact
+import repro.transform.hadamard
+
+MODULES = [repro.transform.hadamard, repro.join.exact]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.failed == 0
+    assert result.attempted > 0

@@ -1,0 +1,207 @@
+"""Tests for the experiment harness (metrics, methods, runner, reporting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ZipfGenerator
+from repro.errors import ParameterError
+from repro.experiments import (
+    FAGMSMethod,
+    FLHMethod,
+    HCMSMethod,
+    KRRMethod,
+    LDPJoinSketchMethod,
+    LDPJoinSketchPlusMethod,
+    ResultTable,
+    absolute_error,
+    default_methods,
+    mean_squared_error,
+    relative_error,
+    run_trials,
+    summarize,
+)
+from repro.experiments.harness import TrialRecord
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return ZipfGenerator(128, alpha=1.4).make_join_instance(8_000, rng=1)
+
+
+class TestMetrics:
+    def test_absolute_error_scalar(self):
+        assert absolute_error(100.0, [90.0]) == 10.0
+
+    def test_absolute_error_mean(self):
+        assert absolute_error(100.0, [90.0, 130.0]) == 20.0
+
+    def test_relative_error(self):
+        assert relative_error(50.0, [60.0]) == pytest.approx(0.2)
+
+    def test_relative_error_zero_truth(self):
+        with pytest.raises(ParameterError):
+            relative_error(0.0, [1.0])
+
+    def test_mse(self):
+        assert mean_squared_error([1.0, 2.0], [2.0, 4.0]) == pytest.approx(2.5)
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            mean_squared_error([1.0], [1.0, 2.0])
+
+    def test_empty_estimates_rejected(self):
+        with pytest.raises(ParameterError):
+            absolute_error(1.0, [])
+
+
+class TestMethods:
+    @pytest.mark.parametrize(
+        "method",
+        [
+            FAGMSMethod(5, 128),
+            KRRMethod(),
+            FLHMethod(pool_size=64),
+            HCMSMethod(5, 128),
+            LDPJoinSketchMethod(5, 128),
+            LDPJoinSketchPlusMethod(5, 128, 0.2, 0.05),
+        ],
+        ids=lambda m: m.name,
+    )
+    def test_each_method_estimates(self, method, instance):
+        result = method.estimate(instance, epsilon=8.0, seed=2)
+        truth = instance.true_join_size
+        assert np.isfinite(result.estimate)
+        # Generous sanity bound: right order of magnitude.
+        assert abs(result.estimate - truth) < 3 * truth
+        assert result.offline_seconds > 0
+        assert result.uplink_bits > 0
+
+    def test_default_methods_lineup(self):
+        methods = default_methods()
+        assert list(methods) == [
+            "FAGMS",
+            "k-RR",
+            "Apple-HCMS",
+            "FLH",
+            "LDPJoinSketch",
+            "LDPJoinSketch+",
+        ]
+
+    def test_default_methods_include_filter(self):
+        methods = default_methods(include=["FAGMS", "LDPJoinSketch"])
+        assert list(methods) == ["FAGMS", "LDPJoinSketch"]
+
+    def test_fagms_is_nonprivate(self):
+        assert FAGMSMethod().private is False
+        assert LDPJoinSketchMethod().private is True
+
+    def test_olh_method_runs(self, instance):
+        from repro.experiments.methods import OLHMethod
+
+        result = OLHMethod().estimate(instance, epsilon=8.0, seed=9)
+        truth = instance.true_join_size
+        assert abs(result.estimate - truth) < 3 * truth
+
+    def test_calibration_flag_changes_estimate(self, instance):
+        calibrated = KRRMethod(calibrate=True).estimate(instance, 1.0, seed=10)
+        raw = KRRMethod(calibrate=False).estimate(instance, 1.0, seed=10)
+        assert calibrated.estimate != raw.estimate
+
+    def test_report_bits_for(self):
+        assert LDPJoinSketchMethod(16, 1024).report_bits_for(10**6, 4.0) == 1 + 4 + 10
+        assert KRRMethod().report_bits_for(1024, 4.0) == 10
+        assert FAGMSMethod().report_bits_for(1024, 4.0) == 10
+
+
+class TestHarness:
+    def test_run_trials_count_and_fields(self, instance):
+        method = FAGMSMethod(3, 64)
+        records = run_trials(method, instance, epsilon=4.0, trials=3, seed=3)
+        assert len(records) == 3
+        for record in records:
+            assert record.method == "FAGMS"
+            assert record.dataset == instance.name
+            assert record.truth == instance.true_join_size
+
+    def test_trials_vary_by_seed(self, instance):
+        method = LDPJoinSketchMethod(3, 64)
+        records = run_trials(method, instance, epsilon=4.0, trials=3, seed=4)
+        assert len({r.estimate for r in records}) == 3
+
+    def test_deterministic_given_seed(self, instance):
+        method = LDPJoinSketchMethod(3, 64)
+        r1 = run_trials(method, instance, epsilon=4.0, trials=2, seed=5)
+        r2 = run_trials(method, instance, epsilon=4.0, trials=2, seed=5)
+        assert [x.estimate for x in r1] == [x.estimate for x in r2]
+
+    def test_summarize_aggregates(self):
+        records = [
+            TrialRecord("m", "d", 1.0, 100.0, 90.0, 0.1, 0.01, 8, 64),
+            TrialRecord("m", "d", 1.0, 100.0, 130.0, 0.3, 0.03, 8, 64),
+        ]
+        stats = summarize(records)
+        assert stats["ae"] == pytest.approx(20.0)
+        assert stats["re"] == pytest.approx(0.2)
+        assert stats["mean_estimate"] == pytest.approx(110.0)
+        assert stats["offline_seconds"] == pytest.approx(0.2)
+
+    def test_summarize_empty(self):
+        assert summarize([]) == {}
+
+    def test_record_error_properties(self):
+        record = TrialRecord("m", "d", 1.0, 200.0, 150.0, 0.0, 0.0, 0, 0)
+        assert record.absolute_error == 50.0
+        assert record.relative_error == 0.25
+
+
+class TestResultTable:
+    def make_table(self):
+        table = ResultTable("Demo", ["method", "value"])
+        table.add_row("a", 1.5)
+        table.add_row("b", 2_000_000.0)
+        return table
+
+    def test_add_row_width_checked(self):
+        table = ResultTable("T", ["x"])
+        with pytest.raises(ParameterError):
+            table.add_row(1, 2)
+
+    def test_text_rendering(self):
+        text = self.make_table().to_text()
+        assert "Demo" in text
+        assert "method" in text
+        assert "2.000e+06" in text
+
+    def test_notes_rendered(self):
+        table = self.make_table()
+        table.add_note("hello")
+        assert "note: hello" in table.to_text()
+
+    def test_column_extraction(self):
+        assert self.make_table().column("method") == ["a", "b"]
+
+    def test_column_missing(self):
+        with pytest.raises(ParameterError):
+            self.make_table().column("nope")
+
+    def test_filtered(self):
+        table = self.make_table()
+        sub = table.filtered(method="a")
+        assert len(sub.rows) == 1
+        assert sub.rows[0][1] == 1.5
+
+    def test_csv_roundtrip(self, tmp_path):
+        import csv
+
+        path = self.make_table().to_csv(tmp_path / "out.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["method", "value"]
+        assert rows[1][0] == "a"
+        assert len(rows) == 3
+
+    def test_str_is_text(self):
+        table = self.make_table()
+        assert str(table) == table.to_text()

@@ -1,0 +1,167 @@
+"""Miniature integration runs of every figure experiment.
+
+Each test runs the figure function at a tiny scale and checks the table's
+*structure* (columns, row coverage) plus cheap sanity conditions on the
+numbers.  Shape fidelity against the paper is the benchmark suite's job;
+these tests guarantee the experiment code paths stay runnable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+
+TINY = dict(scale=0.0003, trials=1, seed=5)
+
+
+@pytest.fixture(scope="module")
+def fig5_table():
+    return figures.fig5_accuracy(datasets=("tpcds", "facebook"), **TINY)
+
+
+class TestTable2:
+    def test_rows_and_columns(self):
+        table = figures.table2_datasets(scale=0.0003, seed=5)
+        assert len(table.rows) == 6
+        assert "paper_domain" in table.headers
+        sizes = table.column("sample_size")
+        assert all(s >= 100 for s in sizes)
+
+
+class TestFig5:
+    def test_all_methods_present(self, fig5_table):
+        methods = set(fig5_table.column("method"))
+        assert methods == {
+            "FAGMS",
+            "k-RR",
+            "Apple-HCMS",
+            "FLH",
+            "LDPJoinSketch",
+            "LDPJoinSketch+",
+        }
+
+    def test_re_nonnegative(self, fig5_table):
+        assert all(re >= 0 for re in fig5_table.column("re"))
+
+    def test_truth_consistent_within_dataset(self, fig5_table):
+        for dataset in ("tpcds", "facebook"):
+            truths = set(fig5_table.filtered(dataset=dataset).column("truth"))
+            assert len(truths) == 1
+
+
+class TestFig6:
+    def test_space_grows_with_m(self):
+        table = figures.fig6_space(widths=(256, 512), **TINY)
+        ldpjs = table.filtered(method="LDPJoinSketch")
+        spaces = ldpjs.column("space_kb")
+        assert spaces[1] > spaces[0]
+
+    def test_plus_uses_more_space_at_same_m(self):
+        table = figures.fig6_space(widths=(256,), **TINY)
+        plus_space = table.filtered(method="LDPJoinSketch+").column("space_kb")[0]
+        plain_space = table.filtered(method="LDPJoinSketch").column("space_kb")[0]
+        assert plus_space == pytest.approx(3 * plain_space)
+
+
+class TestFig7:
+    def test_bits_accounting(self):
+        table = figures.fig7_communication(scale=0.0003, seed=5)
+        for row_clients, row_bits, row_total in zip(
+            table.column("clients"), table.column("bits_per_report"), table.column("total_bits")
+        ):
+            assert row_total == row_clients * row_bits
+
+    def test_krr_costs_most_on_large_domain(self):
+        table = figures.fig7_communication(scale=0.0003, seed=5, datasets=("zipf-1.1",))
+        bits = dict(zip(table.column("method"), table.column("bits_per_report")))
+        assert bits["k-RR"] >= bits["LDPJoinSketch"]
+
+
+class TestFig8:
+    def test_grid_coverage(self):
+        table = figures.fig8_epsilon(
+            datasets=("facebook",), epsilons=(1.0, 8.0), **TINY
+        )
+        assert len(table.rows) == 6 * 2  # methods x epsilons
+        assert set(table.column("epsilon")) == {1.0, 8.0}
+
+
+class TestFig9:
+    def test_sweep_structure(self):
+        table = figures.fig9_sketch_size(
+            datasets=("facebook",), widths=(256,), depths=(5,), **TINY
+        )
+        sweeps = set(table.column("sweep"))
+        assert sweeps == {"m", "k"}
+        assert len(table.rows) == 8  # 4 methods x (1 width + 1 depth)
+
+
+class TestFig10:
+    def test_rates_covered(self):
+        table = figures.fig10_sampling_rate(rates=(0.1, 0.3), scale=0.0003, trials=1, seed=5)
+        assert table.column("r") == [0.1, 0.3]
+
+
+class TestFig11:
+    def test_thresholds_covered_and_fi_monotone(self):
+        table = figures.fig11_threshold(
+            thresholds=(0.01, 0.2), scale=0.0003, trials=1, seed=5
+        )
+        fi_sizes = table.column("fi_size")
+        assert fi_sizes[0] >= fi_sizes[1]  # larger theta -> fewer frequent items
+
+
+class TestFig12:
+    def test_alpha_panels(self):
+        table = figures.fig12_skewness(alphas=(1.1, 1.9), **TINY)
+        assert set(table.column("dataset")) == {"zipf-1.1", "zipf-1.9"}
+
+
+class TestFig13:
+    def test_timings_positive(self):
+        table = figures.fig13_efficiency(datasets=("facebook",), **TINY)
+        assert all(t > 0 for t in table.column("offline_seconds"))
+        assert all(t >= 0 for t in table.column("online_seconds"))
+
+
+class TestFig14:
+    def test_mechanisms_and_mse(self):
+        table = figures.fig14_frequency(
+            datasets=("facebook",), epsilons=(1.0, 8.0), scale=0.0003, trials=1, seed=5
+        )
+        assert set(table.column("mechanism")) == {
+            "k-RR",
+            "Apple-HCMS",
+            "FLH",
+            "LDPJoinSketch",
+        }
+        assert all(mse >= 0 for mse in table.column("mse"))
+
+    def test_krr_improves_with_epsilon(self):
+        table = figures.fig14_frequency(
+            datasets=("facebook",), epsilons=(0.5, 8.0), scale=0.0003, trials=1, seed=5
+        )
+        krr = table.filtered(mechanism="k-RR")
+        assert krr.column("mse")[0] > krr.column("mse")[1]
+
+
+class TestFig15:
+    def test_queries_and_methods(self):
+        table = figures.fig15_multiway(
+            epsilons=(2.0,), scale=0.0003, trials=1, seed=5, domain=128, m=64,
+            flh_pool_size=16,
+        )
+        queries = set(table.column("query"))
+        assert queries == {"3-way", "4-way"}
+        three_way = set(table.filtered(query="3-way").column("method"))
+        assert three_way == {"Compass", "LDPJoinSketch", "k-RR", "Apple-HCMS", "FLH"}
+        four_way = set(table.filtered(query="4-way").column("method"))
+        assert four_way == {"Compass", "LDPJoinSketch"}
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {"table2"} | {f"fig{i}" for i in range(5, 16)}
+        assert set(figures.ALL_EXPERIMENTS) == expected

@@ -1,0 +1,188 @@
+"""Unit + property tests for :mod:`repro.transform.hadamard`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transform import (
+    fwht,
+    fwht_inplace,
+    hadamard_entry,
+    hadamard_matrix,
+    hadamard_row,
+    sample_hadamard_entries,
+)
+
+ORDERS = [1, 2, 4, 8, 16, 64]
+
+
+class TestHadamardEntry:
+    def test_base_case(self):
+        assert hadamard_entry(0, 0, 1) == 1
+
+    def test_order_two(self):
+        assert hadamard_entry(0, 0, 2) == 1
+        assert hadamard_entry(0, 1, 2) == 1
+        assert hadamard_entry(1, 0, 2) == 1
+        assert hadamard_entry(1, 1, 2) == -1
+
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_first_row_and_column_all_ones(self, order):
+        idx = np.arange(order)
+        assert np.all(hadamard_entry(np.zeros(order, dtype=int), idx, order) == 1)
+        assert np.all(hadamard_entry(idx, np.zeros(order, dtype=int), order) == 1)
+
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_symmetry(self, order):
+        rng = np.random.default_rng(1)
+        i = rng.integers(0, order, size=50)
+        j = rng.integers(0, order, size=50)
+        assert np.array_equal(
+            hadamard_entry(i, j, order), hadamard_entry(j, i, order)
+        )
+
+    @pytest.mark.parametrize("order", [2, 4, 8, 32])
+    def test_matches_recursive_definition(self, order):
+        # Build H recursively and compare with the closed form.
+        h = np.array([[1]])
+        while h.shape[0] < order:
+            h = np.block([[h, h], [h, -h]])
+        assert np.array_equal(hadamard_matrix(order), h)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            hadamard_entry(4, 0, 4)
+        with pytest.raises(IndexError):
+            hadamard_entry(0, -1, 4)
+
+    def test_non_power_of_two_order_rejected(self):
+        with pytest.raises(ValueError):
+            hadamard_entry(0, 0, 3)
+
+    def test_scalar_returns_python_int(self):
+        assert isinstance(hadamard_entry(1, 1, 4), int)
+
+
+class TestHadamardMatrix:
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_orthogonality(self, order):
+        h = hadamard_matrix(order)
+        assert np.array_equal(h @ h.T, order * np.eye(order, dtype=np.int64))
+
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_entries_are_signs(self, order):
+        h = hadamard_matrix(order)
+        assert set(np.unique(h)) <= {-1, 1}
+
+    def test_row_extraction(self):
+        h = hadamard_matrix(16)
+        for i in (0, 5, 15):
+            assert np.array_equal(hadamard_row(i, 16), h[i])
+
+
+class TestFWHT:
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_matches_matrix_product(self, order):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=order)
+        assert np.allclose(fwht(x), x @ hadamard_matrix(order))
+
+    def test_batch_rows(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(5, 32))
+        expected = x @ hadamard_matrix(32)
+        assert np.allclose(fwht(x), expected)
+
+    def test_three_dimensional_batch(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(2, 3, 16))
+        out = fwht(x)
+        for i in range(2):
+            for j in range(3):
+                assert np.allclose(out[i, j], fwht(x[i, j]))
+
+    def test_involution(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=64)
+        assert np.allclose(fwht(fwht(x)) / 64, x)
+
+    def test_non_destructive(self):
+        x = np.ones(8)
+        fwht(x)
+        assert np.array_equal(x, np.ones(8))
+
+    def test_inplace_returns_same_object(self):
+        x = np.ones(8)
+        assert fwht_inplace(x) is x
+
+    def test_inplace_modifies(self):
+        x = np.array([1.0, 0.0])
+        fwht_inplace(x)
+        assert np.array_equal(x, [1.0, 1.0])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fwht(np.ones(6))
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            fwht_inplace(np.float64(1.0))
+
+    def test_one_hot_transform_is_matrix_row(self):
+        # The client-side identity: fwht(one-hot at r) == H[r, :].
+        m = 32
+        for r in (0, 7, 31):
+            v = np.zeros(m)
+            v[r] = 1.0
+            assert np.array_equal(fwht(v), hadamard_matrix(m)[r].astype(float))
+
+
+class TestFWHTProperties:
+    @given(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_involution_random(self, log_m, seed):
+        m = 2**log_m
+        x = np.random.default_rng(seed).normal(size=m)
+        assert np.allclose(fwht(fwht(x)) / m, x, atol=1e-9)
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_parseval(self, log_m, seed):
+        m = 2**log_m
+        x = np.random.default_rng(seed).normal(size=m)
+        assert np.isclose(np.sum(fwht(x) ** 2), m * np.sum(x**2))
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=-5, max_value=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_linearity(self, log_m, seed, scale):
+        m = 2**log_m
+        rng = np.random.default_rng(seed)
+        x, y = rng.normal(size=m), rng.normal(size=m)
+        assert np.allclose(fwht(x + scale * y), fwht(x) + scale * fwht(y), atol=1e-8)
+
+
+class TestSampleHadamardEntries:
+    def test_matches_matrix(self):
+        order = 16
+        rng = np.random.default_rng(6)
+        rows = rng.integers(0, order, size=100)
+        cols = rng.integers(0, order, size=100)
+        h = hadamard_matrix(order)
+        assert np.array_equal(sample_hadamard_entries(rows, cols, order), h[rows, cols])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same shape"):
+            sample_hadamard_entries(np.zeros(3, dtype=int), np.zeros(4, dtype=int), 8)

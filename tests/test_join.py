@@ -1,0 +1,203 @@
+"""Unit + property tests for :mod:`repro.join` (ground-truth substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DomainError, ParameterError
+from repro.join import (
+    FrequencyVector,
+    exact_join_size,
+    exact_multiway_chain_size,
+    exact_self_join_size,
+)
+
+small_stream = st.lists(st.integers(min_value=0, max_value=19), min_size=0, max_size=200)
+
+
+class TestFrequencyVector:
+    def test_from_values_counts(self):
+        fv = FrequencyVector.from_values([0, 0, 2, 3, 3, 3], 5)
+        assert fv.counts.tolist() == [2, 0, 1, 3, 0]
+
+    def test_total_and_moments(self):
+        fv = FrequencyVector.from_values([0, 0, 1], 3)
+        assert fv.total == 3
+        assert fv.second_moment == 5  # 2^2 + 1^2
+        assert fv.distinct == 2
+
+    def test_frequency_lookup(self):
+        fv = FrequencyVector.from_values([1, 1, 1], 3)
+        assert fv.frequency(1) == 3
+        assert fv.frequency(0) == 0
+        with pytest.raises(DomainError):
+            fv.frequency(3)
+
+    def test_inner_product(self):
+        fa = FrequencyVector.from_values([0, 0, 1], 3)
+        fb = FrequencyVector.from_values([0, 2, 2], 3)
+        assert fa.inner(fb) == 2
+
+    def test_inner_domain_mismatch(self):
+        fa = FrequencyVector.from_values([0], 2)
+        fb = FrequencyVector.from_values([0], 3)
+        with pytest.raises(DomainError):
+            fa.inner(fb)
+
+    def test_inner_type_check(self):
+        fa = FrequencyVector.from_values([0], 2)
+        with pytest.raises(ParameterError):
+            fa.inner([1, 0])
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(DomainError):
+            FrequencyVector.from_values([5], 5)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ParameterError):
+            FrequencyVector(np.array([1, -1]))
+
+    def test_float_counts_rejected(self):
+        with pytest.raises(ParameterError):
+            FrequencyVector(np.array([1.0, 2.0]))
+
+    def test_restrict_and_exclude_partition(self):
+        fv = FrequencyVector.from_values([0, 1, 1, 2, 2, 2], 4)
+        keep = np.array([1])
+        restricted = fv.restrict(keep)
+        excluded = fv.exclude(keep)
+        assert restricted.counts.tolist() == [0, 2, 0, 0]
+        assert excluded.counts.tolist() == [1, 0, 3, 0]
+        assert np.array_equal(restricted.counts + excluded.counts, fv.counts)
+
+    def test_split_by_threshold(self):
+        fv = FrequencyVector.from_values([0] * 10 + [1] * 3 + [2], 4)
+        heavy, light = fv.split_by_threshold(2.5)
+        assert heavy.tolist() == [0, 1]
+        assert light.tolist() == [2]
+
+    def test_split_partition_of_join(self):
+        # Join size decomposes over any heavy/light partition.
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 50, size=2000)
+        b = rng.integers(0, 50, size=2000)
+        fa = FrequencyVector.from_values(a, 50)
+        fb = FrequencyVector.from_values(b, 50)
+        heavy, _ = fa.split_by_threshold(50)
+        low_part = fa.exclude(heavy).inner(fb.exclude(heavy))
+        high_part = fa.restrict(heavy).inner(fb.restrict(heavy))
+        assert low_part + high_part == fa.inner(fb)
+
+    def test_top_k(self):
+        fv = FrequencyVector.from_values([3, 3, 3, 1, 1, 0], 5)
+        assert fv.top_k(2).tolist() == [3, 1]
+
+    def test_top_k_tie_break_by_id(self):
+        fv = FrequencyVector.from_values([2, 4], 6)
+        assert fv.top_k(2).tolist() == [2, 4]
+
+    def test_top_k_clamps_to_domain(self):
+        fv = FrequencyVector.from_values([0], 2)
+        assert fv.top_k(10).size == 2
+
+    def test_equality(self):
+        fa = FrequencyVector.from_values([0, 1], 2)
+        fb = FrequencyVector.from_values([1, 0], 2)
+        assert fa == fb
+
+    def test_unhashable(self):
+        fv = FrequencyVector.from_values([0], 1)
+        with pytest.raises(TypeError):
+            hash(fv)
+
+    def test_len(self):
+        assert len(FrequencyVector.from_values([0], 7)) == 7
+
+    @given(small_stream, small_stream)
+    @settings(max_examples=50, deadline=None)
+    def test_property_linearity_of_counts(self, a, b):
+        fa = FrequencyVector.from_values(a, 20)
+        fb = FrequencyVector.from_values(b, 20)
+        fab = FrequencyVector.from_values(list(a) + list(b), 20)
+        assert np.array_equal(fa.counts + fb.counts, fab.counts)
+
+    @given(small_stream, small_stream)
+    @settings(max_examples=50, deadline=None)
+    def test_property_inner_symmetry(self, a, b):
+        fa = FrequencyVector.from_values(a, 20)
+        fb = FrequencyVector.from_values(b, 20)
+        assert fa.inner(fb) == fb.inner(fa)
+
+    @given(small_stream)
+    @settings(max_examples=50, deadline=None)
+    def test_property_self_join_is_second_moment(self, a):
+        fv = FrequencyVector.from_values(a, 20)
+        assert fv.inner(fv) == fv.second_moment
+
+
+class TestExactJoins:
+    def test_two_way_brute_force(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 10, size=300)
+        b = rng.integers(0, 10, size=300)
+        brute = sum(int(x == y) for x in a for y in b)
+        assert exact_join_size(a, b, 10) == brute
+
+    def test_accepts_frequency_vectors(self):
+        fa = FrequencyVector.from_values([0, 0], 2)
+        fb = FrequencyVector.from_values([0], 2)
+        assert exact_join_size(fa, fb, 2) == 2
+
+    def test_self_join(self):
+        assert exact_self_join_size([0, 0, 1], 2) == 5
+
+    def test_empty_streams(self):
+        assert exact_join_size([], [], 4) == 0
+
+    def test_three_way_brute_force(self):
+        rng = np.random.default_rng(2)
+        d0, d1 = 6, 5
+        t1 = rng.integers(0, d0, size=40)
+        t2 = (rng.integers(0, d0, size=60), rng.integers(0, d1, size=60))
+        t3 = rng.integers(0, d1, size=40)
+        brute = 0
+        for x in t1:
+            for la, lb in zip(*t2):
+                if la != x:
+                    continue
+                brute += int(np.sum(t3 == lb))
+        assert exact_multiway_chain_size((t1, t3), [t2], [d0, d1]) == brute
+
+    def test_four_way_consistency_with_matrix_algebra(self):
+        rng = np.random.default_rng(3)
+        d = 4
+        t1 = rng.integers(0, d, size=30)
+        mid1 = (rng.integers(0, d, size=50), rng.integers(0, d, size=50))
+        mid2 = (rng.integers(0, d, size=50), rng.integers(0, d, size=50))
+        t4 = rng.integers(0, d, size=30)
+        f1 = np.bincount(t1, minlength=d).astype(float)
+        f4 = np.bincount(t4, minlength=d).astype(float)
+        c2 = np.zeros((d, d))
+        np.add.at(c2, mid1, 1)
+        c3 = np.zeros((d, d))
+        np.add.at(c3, mid2, 1)
+        expected = int(f1 @ c2 @ c3 @ f4)
+        assert exact_multiway_chain_size((t1, t4), [mid1, mid2], [d, d, d]) == expected
+
+    def test_two_way_as_degenerate_chain(self):
+        a = [0, 1, 1]
+        b = [1, 1, 2]
+        assert exact_multiway_chain_size((a, b), [], [3]) == exact_join_size(a, b, 3)
+
+    def test_domain_count_mismatch_rejected(self):
+        with pytest.raises(ParameterError, match="domain sizes"):
+            exact_multiway_chain_size(([0], [0]), [], [2, 2])
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError, match="equal length"):
+            exact_multiway_chain_size(
+                ([0], [0]), [(np.array([0, 1]), np.array([0]))], [2, 2]
+            )

@@ -1,0 +1,82 @@
+"""Tests for :mod:`repro.rng` and the exception hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DataGenerationError,
+    DomainError,
+    IncompatibleSketchError,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+)
+from repro.rng import derive_seed, ensure_rng, spawn, spawn_many
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_deterministic(self):
+        assert ensure_rng(5).integers(0, 100) == ensure_rng(5).integers(0, 100)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(42)
+        g1 = ensure_rng(seq)
+        assert isinstance(g1, np.random.Generator)
+
+    def test_invalid_seed_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawning:
+    def test_spawn_independent(self):
+        parent = ensure_rng(7)
+        child1 = spawn(parent)
+        child2 = spawn(parent)
+        assert child1.integers(0, 2**31) != child2.integers(0, 2**31)
+
+    def test_spawn_deterministic_chain(self):
+        a = spawn(ensure_rng(7)).integers(0, 2**31)
+        b = spawn(ensure_rng(7)).integers(0, 2**31)
+        assert a == b
+
+    def test_spawn_many_count(self):
+        children = spawn_many(ensure_rng(8), 5)
+        assert len(children) == 5
+        draws = {c.integers(0, 2**31) for c in children}
+        assert len(draws) == 5  # all distinct streams
+
+    def test_derive_seed_range(self):
+        for _ in range(100):
+            seed = derive_seed(ensure_rng(None))
+            assert 0 <= seed < 2**63
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ParameterError, DomainError, IncompatibleSketchError, ProtocolError, DataGenerationError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_parameter_error_is_value_error(self):
+        assert issubclass(ParameterError, ValueError)
+        assert issubclass(DomainError, ValueError)
+        assert issubclass(IncompatibleSketchError, ValueError)
+
+    def test_protocol_error_is_runtime_error(self):
+        assert issubclass(ProtocolError, RuntimeError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise DomainError("out of range")

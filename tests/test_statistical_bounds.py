@@ -1,0 +1,111 @@
+"""Statistical tests of the paper's error bounds (Theorems 4 and 5).
+
+These are not point-estimate checks but *bound* checks: the empirical
+spread of the estimators must respect the variance bound of Theorem 4 and
+the tail bound of Theorem 5.  Because the bounds are upper bounds, the
+assertions are one-sided and therefore robust — a failure means the
+implementation is noisier than the theory permits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SketchParams, build_sketch, encode_reports
+from repro.hashing import HashPairs
+from repro.join import FrequencyVector, exact_join_size
+
+from .conftest import zipf_values
+
+
+def run_estimates(a, b, params, runs, seed):
+    """Collect `runs` independent Eq. 5 estimates and per-row estimators."""
+    rng = np.random.default_rng(seed)
+    medians, rows = [], []
+    for _ in range(runs):
+        pairs = HashPairs(params.k, params.m, rng)
+        sa = build_sketch(encode_reports(a, params, pairs, rng), pairs)
+        sb = build_sketch(encode_reports(b, params, pairs, rng), pairs)
+        rows.extend(sa.row_inner_products(sb).tolist())
+        medians.append(sa.join_size(sb))
+    return np.asarray(medians), np.asarray(rows)
+
+
+class TestTheorem4VarianceBound:
+    def test_row_estimator_variance_within_bound(self):
+        """Var[MA[j] MB[j]] <= (2/m)(F1+ (k c^2 - 1)/2)^2 (F1'+...)^2."""
+        params = SketchParams(k=2, m=64, epsilon=2.0)
+        a = zipf_values(4_000, 128, 1.3, seed=1)
+        b = zipf_values(4_000, 128, 1.3, seed=2)
+        _, rows = run_estimates(a, b, params, runs=40, seed=3)
+
+        c2 = params.c_epsilon**2
+        half_noise = (params.k * c2 - 1) / 2.0
+        bound = (2.0 / params.m) * (a.size + half_noise) ** 2 * (b.size + half_noise) ** 2
+        observed = float(np.var(rows))
+        # With 80 samples the variance estimate itself has ~20% noise;
+        # the theoretical bound is loose enough that 1.0x suffices.
+        assert observed < bound
+
+    def test_variance_decreases_with_m(self):
+        a = zipf_values(3_000, 128, 1.3, seed=4)
+        b = zipf_values(3_000, 128, 1.3, seed=5)
+
+        def spread(m: int) -> float:
+            params = SketchParams(k=2, m=m, epsilon=4.0)
+            _, rows = run_estimates(a, b, params, runs=25, seed=6)
+            return float(np.var(rows))
+
+        assert spread(256) < spread(16)
+
+
+class TestTheorem5TailBound:
+    def test_median_of_k_rows_concentrates(self):
+        """Pr[|Est - J| >= 4/sqrt(m) (F1 + ...)^2] <= delta for k=4log(1/delta)."""
+        delta = 0.05
+        k = max(1, int(np.ceil(4 * np.log(1 / delta))))
+        params = SketchParams(k=k, m=256, epsilon=2.0)
+        a = zipf_values(4_000, 128, 1.2, seed=7)
+        b = zipf_values(4_000, 128, 1.2, seed=8)
+        truth = exact_join_size(a, b, 128)
+        medians, _ = run_estimates(a, b, params, runs=30, seed=9)
+
+        half_noise = (params.k * params.c_epsilon**2 - 1) / 2.0
+        radius = (4.0 / np.sqrt(params.m)) * (a.size + half_noise) * (b.size + half_noise)
+        failures = float(np.mean(np.abs(medians - truth) >= radius))
+        # Binomial(30, 0.05) exceeds 9 failures with probability < 1e-5.
+        assert failures <= 0.3
+
+    def test_median_tighter_than_single_row(self):
+        """The k-row median spreads less than individual rows."""
+        params = SketchParams(k=9, m=128, epsilon=2.0)
+        a = zipf_values(3_000, 128, 1.2, seed=10)
+        b = zipf_values(3_000, 128, 1.2, seed=11)
+        medians, rows = run_estimates(a, b, params, runs=30, seed=12)
+        truth = exact_join_size(a, b, 128)
+        median_mad = float(np.median(np.abs(medians - truth)))
+        row_mad = float(np.median(np.abs(rows - truth)))
+        assert median_mad <= row_mad * 1.2
+
+
+class TestFrequencyEstimatorSpread:
+    def test_frequency_error_scales_with_sqrt_f1(self):
+        """Theorem 7's estimator noise grows ~ sqrt(F1) (DESIGN.md noise floor)."""
+        params = SketchParams(k=5, m=256, epsilon=4.0)
+        pairs = HashPairs(params.k, params.m, seed=13)
+
+        def spread(n: int) -> float:
+            values = zipf_values(n, 1024, 1.05, seed=14)
+            rng = np.random.default_rng(15)
+            absent = np.arange(900, 1000)  # essentially unused values
+            errors = []
+            for _ in range(10):
+                sketch = build_sketch(encode_reports(values, params, pairs, rng), pairs)
+                errors.extend(np.abs(sketch.frequencies(absent)).tolist())
+            return float(np.mean(errors))
+
+        small, large = spread(2_000), spread(32_000)
+        ratio = large / small
+        # sqrt(32000/2000) = 4; allow wide tolerance around it.
+        assert 2.0 < ratio < 8.0

@@ -1,0 +1,189 @@
+"""Unit tests for :mod:`repro.validation`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError, ParameterError
+from repro.validation import (
+    as_value_array,
+    is_power_of_two,
+    require_choice,
+    require_domain_values,
+    require_in_range,
+    require_positive_float,
+    require_positive_int,
+    require_power_of_two,
+    require_probability,
+)
+
+
+class TestRequirePositiveInt:
+    def test_accepts_int(self):
+        assert require_positive_int("x", 5) == 5
+
+    def test_accepts_numpy_integer(self):
+        assert require_positive_int("x", np.int64(7)) == 7
+
+    def test_returns_builtin_int(self):
+        assert type(require_positive_int("x", np.int64(7))) is int
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ParameterError, match="must be >= 1"):
+            require_positive_int("x", 0)
+
+    def test_custom_minimum(self):
+        assert require_positive_int("x", 0, minimum=0) == 0
+
+    def test_rejects_bool(self):
+        with pytest.raises(ParameterError, match="integer"):
+            require_positive_int("x", True)
+
+    def test_rejects_float(self):
+        with pytest.raises(ParameterError, match="integer"):
+            require_positive_int("x", 2.5)
+
+    def test_rejects_string(self):
+        with pytest.raises(ParameterError):
+            require_positive_int("x", "3")
+
+    def test_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            require_positive_int("x", -1)
+
+
+class TestRequirePositiveFloat:
+    def test_accepts_float(self):
+        assert require_positive_float("x", 1.5) == 1.5
+
+    def test_accepts_int(self):
+        assert require_positive_float("x", 2) == 2.0
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ParameterError, match="> 0"):
+            require_positive_float("x", 0.0)
+
+    def test_allow_zero(self):
+        assert require_positive_float("x", 0.0, allow_zero=True) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            require_positive_float("x", -0.1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ParameterError, match="finite"):
+            require_positive_float("x", float("nan"))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ParameterError, match="finite"):
+            require_positive_float("x", float("inf"))
+
+    def test_rejects_bool(self):
+        with pytest.raises(ParameterError):
+            require_positive_float("x", True)
+
+
+class TestRequireProbability:
+    def test_accepts_half(self):
+        assert require_probability("p", 0.5) == 0.5
+
+    def test_accepts_one_by_default(self):
+        assert require_probability("p", 1.0) == 1.0
+
+    def test_rejects_one_when_excluded(self):
+        with pytest.raises(ParameterError):
+            require_probability("p", 1.0, allow_one=False)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ParameterError, match="<= 1"):
+            require_probability("p", 1.2)
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ParameterError):
+            require_probability("p", 0.0)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024, 2**20])
+    def test_is_power_of_two_true(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, 3, 6, 1000, -4])
+    def test_is_power_of_two_false(self, value):
+        assert not is_power_of_two(value)
+
+    def test_require_accepts(self):
+        assert require_power_of_two("m", 64) == 64
+
+    def test_require_rejects(self):
+        with pytest.raises(ParameterError, match="power of two"):
+            require_power_of_two("m", 48)
+
+
+class TestRequireInRange:
+    def test_accepts_inside(self):
+        assert require_in_range("x", 0.5, 0.0, 1.0) == 0.5
+
+    def test_accepts_bounds(self):
+        assert require_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert require_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ParameterError, match="lie in"):
+            require_in_range("x", 1.5, 0.0, 1.0)
+
+
+class TestRequireChoice:
+    def test_accepts_member(self):
+        assert require_choice("mode", "H", ("H", "L")) == "H"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ParameterError, match="one of"):
+            require_choice("mode", "X", ("H", "L"))
+
+
+class TestAsValueArray:
+    def test_list_to_int64(self):
+        arr = as_value_array([1, 2, 3])
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [1, 2, 3]
+
+    def test_scalar_promoted(self):
+        assert as_value_array(5).tolist() == [5]
+
+    def test_integral_floats_accepted(self):
+        assert as_value_array(np.array([1.0, 2.0])).tolist() == [1, 2]
+
+    def test_fractional_floats_rejected(self):
+        with pytest.raises(ParameterError, match="integers"):
+            as_value_array(np.array([1.5]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ParameterError, match="one-dimensional"):
+            as_value_array(np.zeros((2, 2), dtype=np.int64))
+
+    def test_contiguous_output(self):
+        arr = as_value_array(np.arange(10)[::2])
+        assert arr.flags["C_CONTIGUOUS"]
+
+
+class TestRequireDomainValues:
+    def test_in_range_passes(self):
+        arr = require_domain_values([0, 4], 5)
+        assert arr.tolist() == [0, 4]
+
+    def test_above_domain_rejected(self):
+        with pytest.raises(DomainError, match="lie in"):
+            require_domain_values([5], 5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(DomainError):
+            require_domain_values([-1], 5)
+
+    def test_none_domain_skips_check(self):
+        arr = require_domain_values([10**9], None)
+        assert arr.tolist() == [10**9]
+
+    def test_empty_ok(self):
+        assert require_domain_values([], 5).size == 0
