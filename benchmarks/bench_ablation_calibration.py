@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import get_estimator
 from repro.data import make_join_instance
-from repro.experiments.methods import KRRMethod
 from repro.experiments.reporting import ResultTable
 
 from conftest import BENCH_SCALE, BENCH_SEED, RESULTS_DIR
@@ -31,7 +31,7 @@ def test_ablation_calibration(benchmark):
             ["variant", "mean_estimate", "re"],
         )
         for name, calibrate in (("calibrated (paper)", True), ("raw debiased", False)):
-            method = KRRMethod(calibrate=calibrate)
+            method = get_estimator("krr", calibrate=calibrate)
             estimates = [
                 method.estimate(instance, 4.0, seed=seed).estimate for seed in range(3)
             ]

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import LDPJoinSketchPlus, SketchParams, run_ldp_join_sketch
+from repro.api import run_join_sketch
+from repro.core import LDPJoinSketchPlus, SketchParams
 from repro.data import ZipfGenerator
 from repro.experiments.reporting import ResultTable
 from repro.join import exact_join_size
@@ -41,7 +42,7 @@ def test_scale_regime(benchmark):
             plus = LDPJoinSketchPlus(params, sample_rate=0.1, threshold=0.01)
             plain_errors, plus_errors, fi_sizes = [], [], []
             for seed in SEEDS:
-                plain = run_ldp_join_sketch(a, b, params, seed=seed)
+                plain = run_join_sketch(a, b, params, seed=seed)
                 plain_errors.append(abs(plain.estimate - truth) / truth)
                 result = plus.estimate(a, b, generator.domain_size, rng=seed)
                 plus_errors.append(abs(result.estimate - truth) / truth)

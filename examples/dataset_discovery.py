@@ -4,22 +4,24 @@ A hospital holds a query column (patient genome-panel ids) and wants to
 find, among a genetics company's catalogue of columns, the ones it joins
 most strongly with — before any data-sharing agreement exists.  Join size
 estimation under LDP lets both sides rank candidate columns without
-exchanging raw values.
+exchanging raw values.  The estimator is obtained from the registry, so
+swapping the method is a one-string change (try ``"ldpjs+"`` or
+``"hcms"``).
 
 Run:  python examples/dataset_discovery.py
 """
 
-import numpy as np
-
-from repro import SketchParams, run_ldp_join_sketch
+from repro.api import get_estimator
 from repro.data import EgoNetworkGenerator, GaussianGenerator, TPCDSStoreSalesGenerator, ZipfGenerator
+from repro.data.base import JoinInstance
 from repro.join import exact_join_size
 
 
 def main() -> None:
     domain = 16_384
     n = 150_000
-    params = SketchParams(k=18, m=1024, epsilon=4.0)
+    epsilon = 4.0
+    estimator = get_estimator("ldp-join-sketch", k=18, m=1024)
 
     # The hospital's query column.
     query = ZipfGenerator(domain, alpha=1.3).sample(n, rng=1)
@@ -38,7 +40,8 @@ def main() -> None:
     ranked = []
     for idx, (name, column) in enumerate(catalogue.items()):
         truth = exact_join_size(query, column, domain)
-        result = run_ldp_join_sketch(query, column, params, seed=100 + idx)
+        instance = JoinInstance(name, query, column, domain)
+        result = estimator.estimate(instance, epsilon, seed=100 + idx)
         re = abs(result.estimate - truth) / truth
         ranked.append((result.estimate, name))
         print(f"{name:30s} {truth:14,d} {result.estimate:14,.0f} {re:8.2%}")

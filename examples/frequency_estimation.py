@@ -2,17 +2,20 @@
 
 Beyond join sizes, the same sketch answers "how often does value d occur?"
 with unbiased estimates — the capability phase 1 of LDPJoinSketch+ builds
-on to find frequent items.  This example compares it against the dedicated
-LDP frequency oracles on a skewed workload.
+on to find frequent items.  This example compares a
+:class:`repro.api.JoinSession` read-out against the dedicated LDP
+frequency oracles on a skewed workload; the oracles themselves are
+collected on two shards and merged, exercising their shardable state.
 
 Run:  python examples/frequency_estimation.py
 """
 
 import numpy as np
 
+from repro import JoinSession, SketchParams
 from repro.data import ZipfGenerator
 from repro.join import FrequencyVector
-from repro.mechanisms import FLHOracle, HCMSOracle, KRROracle, LDPJoinSketchOracle
+from repro.mechanisms import FLHOracle, HCMSOracle, KRROracle
 
 
 def main() -> None:
@@ -23,32 +26,49 @@ def main() -> None:
     freq = FrequencyVector.from_values(values, domain)
     top = freq.top_k(8)
 
-    oracles = [
-        KRROracle(domain, epsilon, seed=2),
-        FLHOracle(domain, epsilon, seed=3),
-        HCMSOracle(domain, epsilon, seed=4, k=18, m=1024),
-        LDPJoinSketchOracle(domain, epsilon, seed=5, k=18, m=1024),
-    ]
-    for oracle in oracles:
-        oracle.collect(values)
+    # Dedicated oracles, each collected on two shards and merged — every
+    # oracle's server state is a linear aggregate, so this is lossless.
+    half = values.size // 2
+    oracles = []
+    for make in (
+        lambda seed: KRROracle(domain, epsilon, seed=seed),
+        lambda seed: FLHOracle(domain, epsilon, seed=seed),
+        lambda seed: HCMSOracle(domain, epsilon, seed=seed, k=18, m=1024),
+    ):
+        seed = 2 + len(oracles)
+        primary, shard = make(seed), make(seed)  # same seed = shared hashes
+        # Distinct perturbation generators: the shards share published
+        # hashes but their clients' random draws must be independent.
+        primary.collect(values[:half], rng=100 + seed)
+        shard.collect(values[half:], rng=200 + seed)
+        oracles.append(primary.merge(shard))
 
-    header = f"{'value':>8s} {'true':>9s}" + "".join(f"{o.name:>16s}" for o in oracles)
+    # The join sketch, collected through a session, read out per value.
+    session = JoinSession(SketchParams(k=18, m=1024, epsilon=epsilon), seed=5)
+    session.collect("values", values)
+
+    names = [o.name for o in oracles] + ["LDPJoinSketch"]
+    header = f"{'value':>8s} {'true':>9s}" + "".join(f"{n:>16s}" for n in names)
     print(header)
     for value in top:
         row = f"{value:8d} {freq.frequency(int(value)):9,d}"
         for oracle in oracles:
             estimate = float(oracle.frequencies(np.asarray([value]))[0])
             row += f"{estimate:16,.0f}"
+        row += f"{float(session.frequencies('values', [value])[0]):16,.0f}"
         print(row)
 
     # Whole-domain MSE over the distinct values (the paper's Fig. 14 metric).
     support = np.flatnonzero(freq.counts)
     true_counts = freq.counts[support].astype(float)
     print(f"\nMSE over {support.size:,} distinct values (eps={epsilon}):")
-    for oracle in oracles:
-        estimates = oracle.frequencies(support)
+    estimate_fns = [o.frequencies for o in oracles] + [
+        lambda vals: session.frequencies("values", vals)
+    ]
+    for name, frequencies in zip(names, estimate_fns):
+        estimates = frequencies(support)
         mse = float(np.mean((estimates - true_counts) ** 2))
-        print(f"  {oracle.name:16s} {mse:14,.0f}")
+        print(f"  {name:16s} {mse:14,.0f}")
 
     print("\nLDPJoinSketch tracks Apple-HCMS (the structures differ only by")
     print("the sign hash) while additionally supporting join estimation.")

@@ -3,15 +3,15 @@
 Estimates ``|T1(A) join T2(A, B) join T3(B)|`` where every tuple belongs
 to a different user: end-table users run the ordinary LDPJoinSketch
 client; middle-table users report one doubly-Hadamard-sampled bit about
-their tuple ``(a, b)``.  Compared against the non-private COMPASS baseline
-and the exact answer.
+their tuple ``(a, b)``.  The whole collection runs through one
+:class:`repro.api.JoinSession` with two join attributes and three
+streams.  Compared against the non-private COMPASS baseline and the
+exact answer.
 
 Run:  python examples/multiway_join.py
 """
 
-import numpy as np
-
-from repro import LDPCompassProtocol
+from repro import JoinSession, SketchParams
 from repro.data import ZipfGenerator
 from repro.experiments.chains import compass_estimate, make_chain_instance
 from repro.rng import ensure_rng
@@ -29,18 +29,21 @@ def main() -> None:
     print(f"COMPASS (non-private)      : {compass:,.0f}  "
           f"(RE {abs(compass - truth) / truth:.2%})")
 
-    # The LDP protocol at a few budgets.
+    # The LDP protocol at a few budgets: one session per collection period,
+    # attributes A and B each with their own published hash pairs.
     for epsilon in (1.0, 4.0, 10.0):
-        protocol = LDPCompassProtocol([256, 256], k=18, epsilon=epsilon, seed=3)
-        rng = ensure_rng(4)
-        first = protocol.build_end(0, protocol.encode_end(0, chain.end_first, rng))
-        middle = protocol.build_middle(
-            0, protocol.encode_middle(0, *chain.middles[0], rng)
+        session = JoinSession(
+            SketchParams(k=18, m=256, epsilon=epsilon),
+            attribute_widths=[256, 256],
+            seed=3,
         )
-        last = protocol.build_end(1, protocol.encode_end(1, chain.end_last, rng))
-        estimate = protocol.estimate_chain(first, [middle], last)
-        print(f"LDPJoinSketch (eps={epsilon:>4}) : {estimate:,.0f}  "
-              f"(RE {abs(estimate - truth) / truth:.2%})")
+        rng = ensure_rng(4)
+        session.collect("T1", chain.end_first, attribute=0, seed=rng)
+        session.collect_pair("T2", *chain.middles[0], left_attribute=0, seed=rng)
+        session.collect("T3", chain.end_last, attribute=1, seed=rng)
+        result = session.estimate_chain(["T1", "T2", "T3"])
+        print(f"LDPJoinSketch (eps={epsilon:>4}) : {result.estimate:,.0f}  "
+              f"(RE {abs(result.estimate - truth) / truth:.2%})")
 
     print("\nEach client sent one perturbed bit plus its sketch coordinates;")
     print("no raw (A, B) tuple ever left a client.")
@@ -49,6 +52,7 @@ def main() -> None:
     # Bonus: the Section VI discussion's "uncomplicated cyclic join"
     # T1(A, B) |x| T2(B, C) |x| T3(C, A) — the triangle query.
     # ------------------------------------------------------------------
+    from repro import LDPCompassProtocol
     from repro.join import exact_cyclic_join_size
 
     domain = 256

@@ -7,31 +7,28 @@ similarity:
 
     cos(A, B) = <f_A, f_B> / (||f_A|| * ||f_B||)
 
-Under LDP we estimate all three quantities from sketches: <f_A, f_B> is
-the cross join size and each squared norm is a self-join size (second
-frequency moment, estimable from the same sketches).
+Under LDP all three quantities come out of one :class:`repro.api.JoinSession`:
+<f_A, f_B> is the cross join size and each squared norm is a self-join
+size (second frequency moment, estimable from the same sketches).
 
 Run:  python examples/private_similarity.py
 """
 
 import numpy as np
 
-from repro import SketchParams, build_sketch, encode_reports
-from repro.data import MovieLensGenerator, ZipfGenerator
-from repro.hashing import HashPairs
+from repro import JoinSession, SketchParams
+from repro.data import ZipfGenerator
 from repro.join import FrequencyVector
-from repro.rng import ensure_rng, spawn
 
 
 def private_cosine(values_a, values_b, params, seed):
-    """Estimate cos(A, B) from LDP sketches alone."""
-    rng = ensure_rng(seed)
-    pairs = HashPairs(params.k, params.m, spawn(rng))
-    sketch_a = build_sketch(encode_reports(values_a, params, pairs, rng), pairs)
-    sketch_b = build_sketch(encode_reports(values_b, params, pairs, rng), pairs)
-    inner = sketch_a.join_size(sketch_b)
-    norm_a = sketch_a.second_moment()  # debiased ||f_A||^2
-    norm_b = sketch_b.second_moment()
+    """Estimate cos(A, B) from one LDP collection session."""
+    session = JoinSession(params, seed=seed)
+    session.collect("buyer", values_a)
+    session.collect("seller", values_b)
+    inner = session.estimate("buyer", "seller").estimate
+    norm_a = session.second_moment("buyer")   # debiased ||f_A||^2
+    norm_b = session.second_moment("seller")
     if norm_a <= 0 or norm_b <= 0:
         return 0.0
     return inner / np.sqrt(norm_a * norm_b)

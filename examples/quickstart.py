@@ -6,12 +6,18 @@ hospitals).  Neither side may reveal individual values, yet both want
 their value locally (Algorithm 1 of the paper); the untrusted server
 aggregates the noisy reports into sketches and estimates the join size.
 
+The unified API has two entry points, both shown below:
+
+* :class:`repro.api.JoinSession` — collect streams incrementally, query
+  between waves;
+* the estimator registry — every method of the paper's evaluation behind
+  one name-addressable interface.
+
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro import SketchParams, exact_join_size, run_ldp_join_sketch, run_ldp_join_sketch_plus
+from repro import JoinSession, SketchParams, exact_join_size
+from repro.api import available_estimators, get_estimator
 from repro.data import ZipfGenerator
 
 
@@ -28,35 +34,42 @@ def main() -> None:
     print(f"exact join size            : {truth:,}")
 
     # ------------------------------------------------------------------
-    # 2. LDPJoinSketch: one round, epsilon-LDP per user.
+    # 2. LDPJoinSketch via a JoinSession: one round, epsilon-LDP per user.
     # ------------------------------------------------------------------
     params = SketchParams(k=18, m=1024, epsilon=4.0)
-    result = run_ldp_join_sketch(values_a, values_b, params, seed=7)
+    session = JoinSession(params, seed=7)
+    session.collect("A", values_a)
+    session.collect("B", values_b)
+    result = session.estimate()
     error = abs(result.estimate - truth) / truth
     print(f"LDPJoinSketch  (eps=4)     : {result.estimate:,.0f}  (RE {error:.2%})")
     print(f"  uplink: {result.uplink_bits / 8 / 1024:,.0f} KiB "
           f"for {values_a.size + values_b.size:,} clients "
           f"({params.report_bits} bits each)")
 
+    # The same session keeps answering: frequencies, self-join moments...
+    top = int(values_a[0])
+    print(f"  frequency of value {top:4d}  : "
+          f"{session.frequencies('A', [top])[0]:,.0f} (exact "
+          f"{int((values_a == top).sum()):,})")
+
     # ------------------------------------------------------------------
-    # 3. LDPJoinSketch+: two phases, frequent items separated.
+    # 3. Any registered estimator, by name.
     # ------------------------------------------------------------------
-    result_plus = run_ldp_join_sketch_plus(
-        values_a,
-        values_b,
-        domain_size,
-        params,
-        sample_rate=0.1,
-        threshold=0.01,
-        seed=8,
-    )
-    error_plus = abs(result_plus.estimate - truth) / truth
-    print(f"LDPJoinSketch+ (eps=4)     : {result_plus.estimate:,.0f}  (RE {error_plus:.2%})")
+    print(f"\nregistry: {', '.join(available_estimators())}")
+    instance = generator.make_join_instance(200_000, rng=3)
+    truth2 = instance.true_join_size
+    for name in ("fagms", "ldp-join-sketch", "ldp-join-sketch-plus"):
+        estimator = get_estimator(name)
+        res = estimator.estimate(instance, epsilon=4.0, seed=8)
+        err = abs(res.estimate - truth2) / truth2
+        # LDPJoinSketch+ is the display name of ldp-join-sketch-plus.
+        print(f"{estimator.name:27s}: {res.estimate:,.0f}  (RE {err:.2%})")
 
     # ------------------------------------------------------------------
     # 4. Every client kept its epsilon budget.
     # ------------------------------------------------------------------
-    print(f"per-user privacy spend     : eps = {result_plus.ledger.worst_case_epsilon()}")
+    print(f"\nper-user privacy spend     : eps = {result.ledger.worst_case_epsilon()}")
 
 
 if __name__ == "__main__":

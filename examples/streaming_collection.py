@@ -2,21 +2,21 @@
 
 Real collectors don't see all clients at once — reports arrive in cohorts
 (daily app-telemetry uploads, say) and are often ingested by several
-server shards in parallel.  :class:`LDPJoinSketchAggregator` supports
-exactly this: ingestion is a pre-transform sum, so shards merge losslessly
-and the join query can be answered after every wave, watching the estimate
-sharpen as data accumulates.
+server shards in parallel.  :class:`repro.api.JoinSession` supports
+exactly this: ingestion is a pre-transform integer sum, so shards merge
+losslessly (bit-for-bit identical to a single collector) and the join
+query can be answered after every wave, watching the estimate sharpen as
+data accumulates.
 
 Run:  python examples/streaming_collection.py
 """
 
 import numpy as np
 
-from repro.core import LDPJoinSketchAggregator, SketchParams, encode_reports
+from repro import JoinSession, SketchParams
 from repro.data import ZipfGenerator
-from repro.hashing import HashPairs
 from repro.join import exact_join_size
-from repro.rng import ensure_rng, spawn
+from repro.rng import ensure_rng
 
 
 def main() -> None:
@@ -25,39 +25,40 @@ def main() -> None:
     generator = ZipfGenerator(domain, alpha=1.4)
     rng = ensure_rng(1)
 
-    # The server publishes one set of hash pairs for the collection period.
-    pairs = HashPairs(params.k, params.m, spawn(rng))
-    collector_a = LDPJoinSketchAggregator(params, pairs)
-    collector_b = LDPJoinSketchAggregator(params, pairs)
+    # The coordinator publishes one set of hash pairs for the collection
+    # period; every shard spawned from it shares them.
+    coordinator = JoinSession(params, seed=2)
 
     all_a, all_b = [], []
     print(f"{'day':>4s} {'clients so far':>15s} {'estimate':>15s} {'true so far':>15s} {'RE':>8s}")
     for day in range(1, 8):
         # Each day, a fresh cohort of clients reports once, split over two
-        # ingestion shards which are merged into the day's collector state.
+        # ingestion shards which are merged back into the coordinator.
         cohort_a = generator.sample(60_000, rng)
         cohort_b = generator.sample(60_000, rng)
         all_a.append(cohort_a)
         all_b.append(cohort_b)
 
-        for collector, cohort in ((collector_a, cohort_a), (collector_b, cohort_b)):
-            half = cohort.size // 2
-            shard1 = LDPJoinSketchAggregator(params, pairs)
-            shard1.ingest(encode_reports(cohort[:half], params, pairs, rng))
-            shard2 = LDPJoinSketchAggregator(params, pairs)
-            shard2.ingest(encode_reports(cohort[half:], params, pairs, rng))
-            collector.merge(shard1).merge(shard2)
+        shard1 = coordinator.spawn_shard(seed=int(rng.integers(2**31)))
+        shard2 = coordinator.spawn_shard(seed=int(rng.integers(2**31)))
+        half_a, half_b = cohort_a.size // 2, cohort_b.size // 2
+        shard1.collect("A", cohort_a[:half_a])
+        shard1.collect("B", cohort_b[:half_b])
+        shard2.collect("A", cohort_a[half_a:])
+        shard2.collect("B", cohort_b[half_b:])
+        coordinator.merge(shard1).merge(shard2)
 
-        estimate = collector_a.join_size(collector_b)
+        result = coordinator.estimate("A", "B")
         truth = exact_join_size(np.concatenate(all_a), np.concatenate(all_b), domain)
-        re = abs(estimate - truth) / truth
+        re = abs(result.estimate - truth) / truth
         print(
-            f"{day:4d} {collector_a.num_reports:15,d} {estimate:15,.0f} "
+            f"{day:4d} {coordinator.num_reports('A'):15,d} {result.estimate:15,.0f} "
             f"{truth:15,d} {re:8.2%}"
         )
 
     print("\nThe estimate is queryable after every wave; shard merging is")
-    print("lossless because ingestion is a pre-transform linear sum.")
+    print("lossless because ingestion is a pre-transform integer sum —")
+    print("a merged session is bit-for-bit the single-collector state.")
 
 
 if __name__ == "__main__":

@@ -2,32 +2,50 @@
 
 A from-scratch, laptop-scale reproduction of *"Sketches-based join size
 estimation under local differential privacy"* (Zhang, Liu, Yin — ICDE
-2024).  The package provides:
+2024), grown around one idea the paper makes precise: a single private
+sketch answers join-size, frequency and multiway queries.  The package
+serves them through one interface:
 
-* the paper's contributions — :class:`~repro.core.LDPJoinSketch` /
-  :func:`~repro.core.build_sketch` (Algorithms 1-2),
-  Frequency-Aware Perturbation (Algorithm 4),
+* the **unified API** (:mod:`repro.api`) — the estimator registry
+  (:func:`get_estimator` / :func:`available_estimators` over
+  LDPJoinSketch, LDPJoinSketch+/FAP, LDP-COMPASS, FAGMS and the k-RR /
+  OLH / FLH / Apple-HCMS baselines), the streaming shardable
+  :class:`JoinSession`, and the single frozen :class:`EstimateResult`
+  every query returns;
+* the paper's contributions (:mod:`repro.core`) —
+  :class:`~repro.core.LDPJoinSketch` / :func:`~repro.core.build_sketch`
+  (Algorithms 1-2), Frequency-Aware Perturbation (Algorithm 4),
   :class:`~repro.core.LDPJoinSketchPlus` (Algorithms 3 and 5), and the
   Section VI multiway extension (:class:`~repro.core.LDPCompassProtocol`);
 * every substrate they stand on — Hadamard transforms, k-wise independent
   hashing, the classical AGMS / Fast-AGMS / Count-Min / Count-Sketch /
   Count-Mean sketches and COMPASS chain sketches;
-* the competitor LDP frequency oracles of the evaluation — k-RR, OLH,
-  FLH, Apple-HCMS — under one interface (:mod:`repro.mechanisms`);
+* the competitor LDP frequency oracles of the evaluation, with mergeable
+  (shardable) server-side state, under one interface
+  (:mod:`repro.mechanisms`);
 * synthetic workload generators matching the paper's datasets
   (:mod:`repro.data`) and the experiment harness regenerating every table
-  and figure (:mod:`repro.experiments`).
+  and figure through the registry (:mod:`repro.experiments`).
 
 Quickstart::
 
     import numpy as np
-    from repro import SketchParams, run_ldp_join_sketch
+    from repro import JoinSession, SketchParams
 
     rng = np.random.default_rng(7)
-    a = rng.integers(0, 4096, size=100_000)
-    b = rng.integers(0, 4096, size=100_000)
-    result = run_ldp_join_sketch(a, b, SketchParams(k=18, m=1024, epsilon=4.0), seed=7)
-    print(result.estimate)
+    session = JoinSession(SketchParams(k=18, m=1024, epsilon=4.0), seed=7)
+    session.collect("A", rng.integers(0, 4096, size=100_000))
+    session.collect("B", rng.integers(0, 4096, size=100_000))
+    print(session.estimate().estimate)
+
+or, by registry name::
+
+    from repro.api import get_estimator
+    from repro.data import ZipfGenerator
+
+    instance = ZipfGenerator(4096, alpha=1.4).make_join_instance(100_000, rng=1)
+    result = get_estimator("ldpjs+").estimate(instance, epsilon=4.0, seed=7)
+    print(result.estimate, result.uplink_bits)
 """
 
 from ._version import __version__
@@ -38,6 +56,14 @@ from .errors import (
     ParameterError,
     ProtocolError,
     ReproError,
+    UnknownEstimatorError,
+)
+from .api import (
+    EstimateResult,
+    JoinSession,
+    available_estimators,
+    get_estimator,
+    register,
 )
 from .core import (
     JoinEstimate,
@@ -68,6 +94,13 @@ __all__ = [
     "IncompatibleSketchError",
     "ProtocolError",
     "DataGenerationError",
+    "UnknownEstimatorError",
+    # unified API
+    "EstimateResult",
+    "JoinSession",
+    "get_estimator",
+    "available_estimators",
+    "register",
     # core protocol
     "SketchParams",
     "ReportBatch",

@@ -1,0 +1,465 @@
+"""Every join-size estimator of the evaluation, registered by name.
+
+This module is the single home of per-method estimation logic.  The
+experiment harness (:mod:`repro.experiments.methods`), the CLI, the
+benchmarks and the examples all obtain these estimators through the
+registry (:func:`repro.api.get_estimator`); the historical
+``experiments.methods`` classes are aliases of the classes here.
+
+Fig. 5's legend is the core line-up: FAGMS (non-private Fast-AGMS), k-RR,
+Apple-HCMS, FLH, LDPJoinSketch, LDPJoinSketch+.  OLH (the exact variant
+FLH approximates) and the Section VI COMPASS protocol complete the
+registry.
+
+Frequency-oracle baselines (k-RR, OLH, FLH, Apple-HCMS) estimate the join
+size the way the paper describes: estimate the whole frequency vector of
+each attribute, then sum the products over the domain — accumulating one
+estimation error per candidate value.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import time
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..core.params import SketchParams
+from ..core.plus import LDPJoinSketchPlus
+from ..data.base import JoinInstance
+from ..hashing import HashPairs
+from ..mechanisms import (
+    FLHOracle,
+    FrequencyOracle,
+    HCMSOracle,
+    KRROracle,
+    OLHOracle,
+    estimate_join_via_frequencies,
+)
+from ..privacy.budget import BudgetLedger, PrivacySpec
+from ..rng import RandomState, derive_seed, ensure_rng
+from ..sketches import FastAGMSSketch
+from ..validation import require_positive_int
+from .registry import register
+from .result import EstimateResult
+from .session import JoinSession
+
+__all__ = [
+    "BaseEstimator",
+    "FAGMSEstimator",
+    "KRREstimator",
+    "FLHEstimator",
+    "HCMSEstimator",
+    "OLHEstimator",
+    "LDPJoinSketchEstimator",
+    "LDPJoinSketchPlusEstimator",
+    "CompassEstimator",
+    "run_join_sketch",
+    "run_join_sketch_plus",
+]
+
+
+# ----------------------------------------------------------------------
+# Canonical one-call drivers (the logic behind the deprecated ``run_*``
+# shims in :mod:`repro.core.protocol`).
+# ----------------------------------------------------------------------
+def run_join_sketch(
+    values_a: Iterable[int],
+    values_b: Iterable[int],
+    params: SketchParams,
+    seed: RandomState = None,
+) -> EstimateResult:
+    """Run the single-phase LDPJoinSketch protocol end to end.
+
+    Simulates every client of both attributes (Algorithm 1), builds the
+    two sketches (Algorithm 2) through a :class:`JoinSession` and
+    evaluates Eq. (5).
+    """
+    session = JoinSession(params, seed=seed)
+    session.collect("A", values_a)
+    session.collect("B", values_b)
+    result = session.estimate("A", "B")
+    result.ledger.assert_within(PrivacySpec(params.epsilon))
+    return result
+
+
+def run_join_sketch_plus(
+    values_a: Iterable[int],
+    values_b: Iterable[int],
+    domain_size: int,
+    params: SketchParams,
+    *,
+    sample_rate: float = 0.1,
+    threshold: float = 0.01,
+    phase1_params: Optional[SketchParams] = None,
+    paper_faithful_correction: bool = False,
+    seed: RandomState = None,
+) -> EstimateResult:
+    """Run the two-phase LDPJoinSketch+ protocol end to end."""
+    domain_size = require_positive_int("domain_size", domain_size)
+    rng = ensure_rng(seed)
+    protocol = LDPJoinSketchPlus(
+        params,
+        sample_rate=sample_rate,
+        threshold=threshold,
+        phase1_params=phase1_params,
+        paper_faithful_correction=paper_faithful_correction,
+    )
+
+    arr_a = np.asarray(values_a, dtype=np.int64)
+    arr_b = np.asarray(values_b, dtype=np.int64)
+
+    start = time.perf_counter()
+    result = protocol.estimate(arr_a, arr_b, domain_size, rng)
+    offline = time.perf_counter() - start
+
+    # Each user belongs to exactly one of the six disjoint groups (sampled,
+    # group 1, group 2 - per attribute) and is perturbed once.
+    ledger = BudgetLedger()
+    for group in ("A-sample", "A1", "A2", "B-sample", "B1", "B2"):
+        ledger.charge(group, params.epsilon, "LDPJoinSketch+/FAP")
+    ledger.assert_within(PrivacySpec(params.epsilon))
+
+    # sketch_bytes already set by the protocol (single source of the
+    # phase-1/phase-2 memory formula).
+    return result.with_costs(offline_seconds=offline, ledger=ledger)
+
+
+# ----------------------------------------------------------------------
+# Registry estimators
+# ----------------------------------------------------------------------
+class BaseEstimator(abc.ABC):
+    """A join-size estimation method (private or baseline).
+
+    Concrete subclasses satisfy the :class:`repro.api.JoinEstimator`
+    protocol; the registry hands out instances by name.
+    """
+
+    #: Display name used in result tables (matches the figure legends).
+    name: str = "abstract"
+    #: Whether the method provides an LDP guarantee.
+    private: bool = True
+
+    @abc.abstractmethod
+    def estimate(
+        self,
+        instance: JoinInstance,
+        epsilon: float,
+        seed: RandomState = None,
+    ) -> EstimateResult:
+        """Estimate the join size of ``instance`` under budget ``epsilon``."""
+
+    def report_bits_for(self, domain_size: int, epsilon: float) -> int:
+        """Uplink bits one client transmits (cheap, no simulation).
+
+        Default: the raw value, ``ceil(log2 domain)`` bits (non-private
+        transmission); LDP methods override with their wire format.
+        """
+        return max(1, math.ceil(math.log2(domain_size)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _two_stream_ledger(epsilon: float, mechanism: str) -> BudgetLedger:
+    """The ledger of any one-report-per-user two-table collection."""
+    ledger = BudgetLedger()
+    ledger.charge("A", epsilon, mechanism)
+    ledger.charge("B", epsilon, mechanism)
+    return ledger
+
+
+class FAGMSEstimator(BaseEstimator):
+    """Non-private Fast-AGMS — the accuracy ceiling of the sketch family."""
+
+    name = "FAGMS"
+    private = False
+
+    def __init__(self, k: int = 18, m: int = 1024) -> None:
+        self.k = k
+        self.m = m
+
+    def estimate(
+        self,
+        instance: JoinInstance,
+        epsilon: float,
+        seed: RandomState = None,
+    ) -> EstimateResult:
+        """Build two plain Fast-AGMS sketches; ``epsilon`` is ignored."""
+        rng = ensure_rng(seed)
+        start = time.perf_counter()
+        pairs = HashPairs(self.k, self.m, rng)
+        sketch_a = FastAGMSSketch(pairs)
+        sketch_a.update_batch(instance.values_a)
+        sketch_b = FastAGMSSketch(pairs)
+        sketch_b.update_batch(instance.values_b)
+        offline = time.perf_counter() - start
+        start = time.perf_counter()
+        estimate = sketch_a.inner_product(sketch_b)
+        online = time.perf_counter() - start
+        raw_bits = max(1, math.ceil(math.log2(instance.domain_size)))
+        return EstimateResult(
+            estimate=estimate,
+            offline_seconds=offline,
+            online_seconds=online,
+            uplink_bits=(instance.size_a + instance.size_b) * raw_bits,
+            sketch_bytes=sketch_a.memory_bytes() + sketch_b.memory_bytes(),
+        )
+
+
+class _FrequencyOracleEstimator(BaseEstimator):
+    """Shared driver for the frequency-vector join baselines.
+
+    ``calibrate`` clips negative frequency estimates to zero before the
+    product, matching the paper's "calibrated frequency vectors".  On
+    large domains the clipped noise no longer cancels across candidates,
+    which is precisely the cumulative-error behaviour the paper reports
+    for these baselines; ``calibrate=False`` keeps the raw unbiased
+    estimates (see the calibration ablation bench).
+    """
+
+    def __init__(self, *, calibrate: bool = True) -> None:
+        self.calibrate = calibrate
+
+    def _make_oracle(
+        self, domain_size: int, epsilon: float, seed: RandomState
+    ) -> FrequencyOracle:
+        raise NotImplementedError
+
+    def estimate(
+        self,
+        instance: JoinInstance,
+        epsilon: float,
+        seed: RandomState = None,
+    ) -> EstimateResult:
+        """Collect both attributes' reports, join via frequency vectors."""
+        rng = ensure_rng(seed)
+        start = time.perf_counter()
+        oracle_a = self._make_oracle(instance.domain_size, epsilon, derive_seed(rng))
+        oracle_b = self._make_oracle(instance.domain_size, epsilon, derive_seed(rng))
+        oracle_a.collect(instance.values_a)
+        oracle_b.collect(instance.values_b)
+        offline = time.perf_counter() - start
+        start = time.perf_counter()
+        estimate = estimate_join_via_frequencies(
+            oracle_a, oracle_b, clip_negative=self.calibrate
+        )
+        online = time.perf_counter() - start
+        return EstimateResult(
+            estimate=estimate,
+            offline_seconds=offline,
+            online_seconds=online,
+            uplink_bits=(instance.size_a * oracle_a.report_bits)
+            + (instance.size_b * oracle_b.report_bits),
+            sketch_bytes=oracle_a.memory_bytes() + oracle_b.memory_bytes(),
+            ledger=_two_stream_ledger(epsilon, self.name),
+        )
+
+
+class KRREstimator(_FrequencyOracleEstimator):
+    """k-RR with calibrated frequency vectors."""
+
+    name = "k-RR"
+
+    def _make_oracle(self, domain_size: int, epsilon: float, seed: RandomState) -> KRROracle:
+        return KRROracle(domain_size, epsilon, seed)
+
+    def report_bits_for(self, domain_size: int, epsilon: float) -> int:
+        """One domain value per client."""
+        return KRROracle(domain_size, epsilon, 0).report_bits
+
+
+class FLHEstimator(_FrequencyOracleEstimator):
+    """Fast Local Hashing with a shared hash pool.
+
+    The pool size (``K'``) defaults to 256 — inside the range Cormode et
+    al. recommend (1e2-1e4) and 2x cheaper to scan at estimation time than
+    the oracle-level default; accuracy at laptop-scale n is unaffected.
+    """
+
+    name = "FLH"
+
+    def __init__(self, pool_size: int = 256, *, calibrate: bool = True) -> None:
+        super().__init__(calibrate=calibrate)
+        self.pool_size = pool_size
+
+    def _make_oracle(self, domain_size: int, epsilon: float, seed: RandomState) -> FLHOracle:
+        return FLHOracle(domain_size, epsilon, seed, pool_size=self.pool_size)
+
+    def report_bits_for(self, domain_size: int, epsilon: float) -> int:
+        """Pool index plus a GRR report over [g]."""
+        return FLHOracle(domain_size, epsilon, 0, pool_size=self.pool_size).report_bits
+
+
+class HCMSEstimator(_FrequencyOracleEstimator):
+    """Apple-HCMS summed over the domain."""
+
+    name = "Apple-HCMS"
+
+    def __init__(self, k: int = 18, m: int = 1024, *, calibrate: bool = True) -> None:
+        super().__init__(calibrate=calibrate)
+        self.k = k
+        self.m = m
+
+    def _make_oracle(self, domain_size: int, epsilon: float, seed: RandomState) -> HCMSOracle:
+        return HCMSOracle(domain_size, epsilon, seed, k=self.k, m=self.m)
+
+    def report_bits_for(self, domain_size: int, epsilon: float) -> int:
+        """Sign bit plus row and column indices."""
+        return SketchParams(self.k, self.m, epsilon).report_bits
+
+
+class OLHEstimator(_FrequencyOracleEstimator):
+    """Exact Optimal Local Hashing (one fresh hash per client).
+
+    Not part of the paper's Fig. 5 line-up (FLH is its fast variant), but
+    included for completeness; server-side estimation is Theta(n * |D|),
+    so keep it to moderate domains.
+    """
+
+    name = "OLH"
+
+    def _make_oracle(self, domain_size: int, epsilon: float, seed: RandomState) -> OLHOracle:
+        return OLHOracle(domain_size, epsilon, seed)
+
+    def report_bits_for(self, domain_size: int, epsilon: float) -> int:
+        """64-bit hash seed plus a GRR report over [g]."""
+        return OLHOracle(domain_size, epsilon, 0).report_bits
+
+
+class LDPJoinSketchEstimator(BaseEstimator):
+    """The paper's single-phase protocol (Algorithms 1-2, Eq. 5)."""
+
+    name = "LDPJoinSketch"
+
+    def __init__(self, k: int = 18, m: int = 1024) -> None:
+        self.k = k
+        self.m = m
+
+    def estimate(
+        self,
+        instance: JoinInstance,
+        epsilon: float,
+        seed: RandomState = None,
+    ) -> EstimateResult:
+        """Run the full client/server simulation through a JoinSession."""
+        return run_join_sketch(
+            instance.values_a,
+            instance.values_b,
+            SketchParams(self.k, self.m, epsilon),
+            seed=seed,
+        )
+
+    def report_bits_for(self, domain_size: int, epsilon: float) -> int:
+        """Sign bit plus row and column indices."""
+        return SketchParams(self.k, self.m, epsilon).report_bits
+
+
+class LDPJoinSketchPlusEstimator(BaseEstimator):
+    """The paper's two-phase protocol (Algorithms 3-5)."""
+
+    name = "LDPJoinSketch+"
+
+    def __init__(
+        self,
+        k: int = 18,
+        m: int = 1024,
+        sample_rate: float = 0.1,
+        threshold: float = 0.01,
+        *,
+        phase1_m: Optional[int] = None,
+        paper_faithful_correction: bool = False,
+    ) -> None:
+        self.k = k
+        self.m = m
+        self.sample_rate = sample_rate
+        self.threshold = threshold
+        self.phase1_m = phase1_m
+        self.paper_faithful_correction = paper_faithful_correction
+
+    def estimate(
+        self,
+        instance: JoinInstance,
+        epsilon: float,
+        seed: RandomState = None,
+    ) -> EstimateResult:
+        """Run both phases of the protocol."""
+        params = SketchParams(self.k, self.m, epsilon)
+        phase1 = (
+            SketchParams(self.k, self.phase1_m, epsilon) if self.phase1_m is not None else None
+        )
+        return run_join_sketch_plus(
+            instance.values_a,
+            instance.values_b,
+            instance.domain_size,
+            params,
+            sample_rate=self.sample_rate,
+            threshold=self.threshold,
+            phase1_params=phase1,
+            paper_faithful_correction=self.paper_faithful_correction,
+            seed=seed,
+        )
+
+    def report_bits_for(self, domain_size: int, epsilon: float) -> int:
+        """Sign bit plus row and column indices (both phases)."""
+        return SketchParams(self.k, self.m, epsilon).report_bits
+
+
+class CompassEstimator(BaseEstimator):
+    """The Section VI LDP-COMPASS protocol applied to a two-way join.
+
+    A two-way join is the degenerate one-attribute chain: both tables are
+    end tables over the same join attribute and Eq. (27) collapses to
+    Eq. (5).  For real chains use :meth:`JoinSession.estimate_chain` or
+    :func:`repro.experiments.chains.ldp_compass_estimate`; this adapter
+    makes the multiway protocol addressable through the same registry as
+    every other method.
+    """
+
+    name = "LDP-COMPASS"
+
+    def __init__(self, k: int = 18, m: int = 1024) -> None:
+        self.k = k
+        self.m = m
+
+    def estimate(
+        self,
+        instance: JoinInstance,
+        epsilon: float,
+        seed: RandomState = None,
+    ) -> EstimateResult:
+        """Run the chain protocol over the degenerate one-attribute chain."""
+        params = SketchParams(self.k, self.m, epsilon)
+        session = JoinSession(params, seed=seed)
+        session.collect("A", instance.values_a)
+        session.collect("B", instance.values_b)
+        # estimate_chain over [A, B] contracts first[j] @ last[j] per
+        # replica — exactly the row-wise inner products of Eq. (5).
+        return session.estimate_chain(["A", "B"])
+
+    def report_bits_for(self, domain_size: int, epsilon: float) -> int:
+        """End-table clients transmit the LDPJoinSketch wire format."""
+        return SketchParams(self.k, self.m, epsilon).report_bits
+
+
+# ----------------------------------------------------------------------
+# Registrations — canonical key first, figure-legend names as aliases.
+# ----------------------------------------------------------------------
+register("fagms", FAGMSEstimator, aliases=("fast-agms",))
+register("krr", KRREstimator, aliases=("k-rr",))
+register("olh", OLHEstimator)
+register("flh", FLHEstimator, aliases=("fast-local-hashing",))
+register("hcms", HCMSEstimator, aliases=("apple-hcms",))
+register(
+    "ldp-join-sketch",
+    LDPJoinSketchEstimator,
+    aliases=("ldpjs", "ldpjoinsketch"),
+)
+register(
+    "ldp-join-sketch-plus",
+    LDPJoinSketchPlusEstimator,
+    aliases=("ldpjs+", "ldpjs-plus", "ldpjoinsketch+", "fap"),
+)
+register("compass", CompassEstimator, aliases=("ldp-compass", "multiway"))

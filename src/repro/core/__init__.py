@@ -15,7 +15,9 @@ Public surface:
   protocol;
 * :class:`LDPCompassProtocol` — the Section VI multiway extension;
 * :func:`run_ldp_join_sketch` / :func:`run_ldp_join_sketch_plus` —
-  one-call client/server simulations returning estimates and accounting.
+  deprecated one-call shims over the unified API in :mod:`repro.api`
+  (``JoinEstimate`` / ``PlusEstimate`` are aliases of
+  :class:`~repro.api.EstimateResult`).
 """
 
 from .params import SketchParams
@@ -25,7 +27,12 @@ from .aggregator import LDPJoinSketchAggregator
 from .estimator import estimate_join_size, find_frequent_items
 from .fap import fap_encode_report, fap_encode_reports
 from .plus import LDPJoinSketchPlus, PlusEstimate
-from .multiway import LDPCompassProtocol, MiddleReportBatch
+from .multiway import (
+    LDPCompassProtocol,
+    LDPMiddleSketch,
+    MiddleReportBatch,
+    finalize_middle_counts,
+)
 from .protocol import JoinEstimate, run_ldp_join_sketch, run_ldp_join_sketch_plus
 
 __all__ = [
@@ -43,7 +50,9 @@ __all__ = [
     "LDPJoinSketchPlus",
     "PlusEstimate",
     "LDPCompassProtocol",
+    "LDPMiddleSketch",
     "MiddleReportBatch",
+    "finalize_middle_counts",
     "JoinEstimate",
     "run_ldp_join_sketch",
     "run_ldp_join_sketch_plus",

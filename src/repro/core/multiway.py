@@ -46,7 +46,27 @@ from .client import ReportBatch, encode_reports
 from .params import SketchParams
 from .server import LDPJoinSketch, build_sketch
 
-__all__ = ["MiddleReportBatch", "LDPMiddleSketch", "LDPCompassProtocol"]
+__all__ = [
+    "MiddleReportBatch",
+    "LDPMiddleSketch",
+    "LDPCompassProtocol",
+    "finalize_middle_counts",
+]
+
+
+def finalize_middle_counts(raw: np.ndarray) -> np.ndarray:
+    """Invert the client transform of a middle-table accumulator on both
+    axes: ``M~ = H_m1 M H_m2`` (one FWHT per axis).
+
+    Shared by :meth:`LDPCompassProtocol.build_middle` and the incremental
+    :class:`~repro.api.JoinSession`, which accumulates pre-transform and
+    finalises on demand.
+    """
+    raw = np.ascontiguousarray(raw, dtype=np.float64)
+    fwht_inplace(raw)                       # right axis
+    raw = np.swapaxes(raw, 1, 2).copy()
+    fwht_inplace(raw)                       # left axis
+    return np.swapaxes(raw, 1, 2).copy()
 
 
 @dataclass(frozen=True)
@@ -122,6 +142,31 @@ class LDPMiddleSketch:
         """Size of the counter tensor in bytes."""
         return int(self.counts.nbytes)
 
+    def check_mergeable(self, other: "LDPMiddleSketch") -> None:
+        """Raise :class:`IncompatibleSketchError` unless ``other`` shares
+        hash pairs (both attributes) and privacy budget."""
+        if not isinstance(other, LDPMiddleSketch):
+            raise IncompatibleSketchError(
+                f"cannot merge LDPMiddleSketch with {type(other).__name__}"
+            )
+        if self.left_pairs != other.left_pairs or self.right_pairs != other.right_pairs:
+            raise IncompatibleSketchError(
+                "middle sketches use different hash pairs; merging requires "
+                "shared pairs on both attributes"
+            )
+        if self.epsilon != other.epsilon:
+            raise IncompatibleSketchError(
+                "cannot merge middle sketches built under different privacy budgets"
+            )
+
+    def merge(self, other: "LDPMiddleSketch") -> "LDPMiddleSketch":
+        """Add ``other``'s counters into this sketch (post-transform sum —
+        valid because the FWHT is linear). Returns self."""
+        self.check_mergeable(other)
+        self.counts += other.counts
+        self.num_reports += other.num_reports
+        return self
+
 
 class LDPCompassProtocol:
     """End-to-end LDP chain-join protocol over ``n`` join attributes.
@@ -145,16 +190,49 @@ class LDPCompassProtocol:
         k: int,
         epsilon: float,
         seed: RandomState = None,
+        *,
+        pairs: Optional[Sequence[HashPairs]] = None,
     ) -> None:
-        if not attribute_widths:
-            raise ParameterError("need at least one join attribute")
         self.k = require_positive_int("k", k)
         self.epsilon = require_positive_float("epsilon", epsilon)
+        if pairs is not None:
+            pairs = list(pairs)
+            if not pairs:
+                raise ParameterError("need at least one join attribute")
+            for p in pairs:
+                if p.k != self.k:
+                    raise ParameterError(
+                        f"shared hash pairs must have k={self.k}, got {p.k}"
+                    )
+            if attribute_widths and [p.m for p in pairs] != list(attribute_widths):
+                raise ParameterError(
+                    "attribute_widths do not match the provided hash pairs"
+                )
+            self.attribute_pairs: List[HashPairs] = pairs
+            return
+        if not attribute_widths:
+            raise ParameterError("need at least one join attribute")
         rng = ensure_rng(seed)
-        self.attribute_pairs: List[HashPairs] = [
+        self.attribute_pairs = [
             HashPairs(self.k, require_power_of_two("m", m), spawn(rng))
             for m in attribute_widths
         ]
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Sequence[HashPairs], epsilon: float
+    ) -> "LDPCompassProtocol":
+        """A protocol over pre-built hash pairs (one per join attribute).
+
+        This is the sharding path: every shard (and every client cohort)
+        of one collection period must run against the *same* pairs, so the
+        coordinator builds them once and the shards are constructed from
+        them.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            raise ParameterError("need at least one join attribute")
+        return cls((), pairs[0].k, epsilon, pairs=pairs)
 
     @property
     def num_attributes(self) -> int:
@@ -281,11 +359,7 @@ class LDPCompassProtocol:
             (reports.replicas, reports.left_cols, reports.right_cols),
             scale * reports.ys.astype(np.float64),
         )
-        # Invert the client transform on both axes: M~ = H_m1 M H_m2.
-        fwht_inplace(raw)                       # right axis
-        raw = np.swapaxes(raw, 1, 2).copy()
-        fwht_inplace(raw)                       # left axis
-        raw = np.swapaxes(raw, 1, 2).copy()
+        raw = finalize_middle_counts(raw)
         return LDPMiddleSketch(left_pairs, right_pairs, raw, self.epsilon, len(reports))
 
     # ------------------------------------------------------------------

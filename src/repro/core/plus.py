@@ -31,11 +31,11 @@ group-scaled mass ``HighFreq_A * |A_1| / |A|``; set
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
+from ..api.result import EstimateResult
 from ..errors import ParameterError, ProtocolError
 from ..hashing import HashPairs
 from ..rng import RandomState, ensure_rng, spawn
@@ -52,37 +52,13 @@ from .server import LDPJoinSketch, build_sketch
 
 __all__ = ["LDPJoinSketchPlus", "PlusEstimate"]
 
-
-@dataclass(frozen=True)
-class PlusEstimate:
-    """Result of one LDPJoinSketch+ run, with intermediate artefacts."""
-
-    estimate: float
-    """Final population-scale join-size estimate."""
-
-    low_estimate: float
-    """Population-scaled join size of low-frequency values (``LEst`` scaled)."""
-
-    high_estimate: float
-    """Population-scaled join size of high-frequency values (``HEst`` scaled)."""
-
-    frequent_items: np.ndarray
-    """The frequent-item set ``FI`` broadcast to phase-2 clients."""
-
-    high_freq_mass_a: float
-    """Estimated population frequency mass of ``FI`` in attribute A."""
-
-    high_freq_mass_b: float
-    """Estimated population frequency mass of ``FI`` in attribute B."""
-
-    phase1_bits: int
-    """Uplink bits spent by sampled phase-1 clients."""
-
-    phase2_bits: int
-    """Uplink bits spent by phase-2 clients."""
-
-    fi_broadcast_bits: int
-    """Downlink bits to broadcast ``FI`` to phase-2 clients (per client)."""
+#: Deprecated alias — one LDPJoinSketch+ run now returns the unified
+#: :class:`~repro.api.EstimateResult`; the protocol artefacts
+#: (``low_estimate``, ``high_estimate``, ``frequent_items``,
+#: ``high_freq_mass_a/b``, ``phase1_bits``, ``phase2_bits``,
+#: ``fi_broadcast_bits``) travel in ``extras`` and stay reachable as
+#: attributes.
+PlusEstimate = EstimateResult
 
 
 class LDPJoinSketchPlus:
@@ -139,8 +115,14 @@ class LDPJoinSketchPlus:
         values_b: np.ndarray,
         domain_size: int,
         rng: RandomState = None,
-    ) -> PlusEstimate:
-        """Run both phases end to end and return the join-size estimate."""
+    ) -> EstimateResult:
+        """Run both phases end to end and return the join-size estimate.
+
+        The returned :class:`~repro.api.EstimateResult` carries the
+        uplink accounting of both phases and, in ``extras``, the
+        intermediate artefacts of Algorithm 5 (partial estimates,
+        frequent-item set, mass estimates, per-phase bit counts).
+        """
         domain_size = require_positive_int("domain_size", domain_size)
         arr_a = as_value_array(values_a, "values_a")
         arr_b = as_value_array(values_b, "values_b")
@@ -192,17 +174,25 @@ class LDPJoinSketchPlus:
         high_scaled = scale_high * high_est
 
         fi_bits = int(frequent_items.size) * max(1, int(np.ceil(np.log2(max(domain_size, 2)))))
-        return PlusEstimate(
+        phase1_bits = reports_sa.total_bits + reports_sb.total_bits
+        phase2_bits = self.params.report_bits * (
+            group_a1.size + group_a2.size + group_b1.size + group_b2.size
+        )
+        phase1 = self.phase1_params
+        return EstimateResult(
             estimate=low_scaled + high_scaled,
-            low_estimate=low_scaled,
-            high_estimate=high_scaled,
-            frequent_items=frequent_items,
-            high_freq_mass_a=high_mass_a,
-            high_freq_mass_b=high_mass_b,
-            phase1_bits=reports_sa.total_bits + reports_sb.total_bits,
-            phase2_bits=self.params.report_bits
-            * (group_a1.size + group_a2.size + group_b1.size + group_b2.size),
-            fi_broadcast_bits=fi_bits,
+            uplink_bits=phase1_bits + phase2_bits,
+            sketch_bytes=2 * phase1.k * phase1.m * 8 + 4 * self.params.k * self.params.m * 8,
+            extras={
+                "low_estimate": low_scaled,
+                "high_estimate": high_scaled,
+                "frequent_items": frequent_items,
+                "high_freq_mass_a": high_mass_a,
+                "high_freq_mass_b": high_mass_b,
+                "phase1_bits": phase1_bits,
+                "phase2_bits": phase2_bits,
+                "fi_broadcast_bits": fi_bits,
+            },
         )
 
     # ------------------------------------------------------------------

@@ -1,54 +1,43 @@
-"""One-call protocol drivers.
+"""Deprecated one-call protocol drivers.
 
-The classes in this package expose every phase of the protocols for tests
-and power users; most callers just want "two private value streams in, a
-join-size estimate out".  These drivers simulate the full client/server
-round trip (all clients encode under one RNG, the server aggregates) and
-return the estimate together with the accounting the experiments need:
-offline/online wall time, uplink bits, and sketch memory.
+These entry points predate the unified API in :mod:`repro.api`.  They are
+kept as thin shims so existing callers keep working, but new code should
+go through the registry / session instead::
+
+    from repro.api import JoinSession, get_estimator
+
+    session = JoinSession(params, seed=7)
+    session.collect("A", values_a)
+    session.collect("B", values_b)
+    result = session.estimate()
+
+``JoinEstimate`` is now an alias of the single result type
+:class:`~repro.api.EstimateResult`; both shims return it unchanged from
+the canonical drivers :func:`repro.api.run_join_sketch` /
+:func:`repro.api.run_join_sketch_plus`.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+import warnings
 from typing import Iterable, Optional
 
-import numpy as np
-
-from ..hashing import HashPairs
-from ..privacy.budget import BudgetLedger, PrivacySpec
-from ..rng import RandomState, ensure_rng, spawn
-from ..validation import require_positive_int
-from .client import encode_reports
+from ..api.result import EstimateResult
+from ..rng import RandomState
 from .params import SketchParams
-from .plus import LDPJoinSketchPlus
-from .server import build_sketch
 
 __all__ = ["JoinEstimate", "run_ldp_join_sketch", "run_ldp_join_sketch_plus"]
 
+#: Deprecated alias of the unified result type.
+JoinEstimate = EstimateResult
 
-@dataclass(frozen=True)
-class JoinEstimate:
-    """A join-size estimate with cost accounting."""
 
-    estimate: float
-    """Estimated join size."""
-
-    offline_seconds: float
-    """Time to perturb all reports and construct the sketches."""
-
-    online_seconds: float
-    """Time to answer the join query from the constructed sketches."""
-
-    uplink_bits: int
-    """Total client-to-server communication."""
-
-    sketch_bytes: int
-    """Server-side memory held by the constructed sketches."""
-
-    ledger: BudgetLedger
-    """Per-user-group privacy charges of the run."""
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def run_ldp_join_sketch(
@@ -56,38 +45,19 @@ def run_ldp_join_sketch(
     values_b: Iterable[int],
     params: SketchParams,
     seed: RandomState = None,
-) -> JoinEstimate:
-    """Run the single-phase LDPJoinSketch protocol end to end.
+) -> EstimateResult:
+    """Deprecated shim for :func:`repro.api.run_join_sketch`.
 
-    Simulates every client of both attributes (Algorithm 1), builds the
-    two sketches (Algorithm 2) and evaluates Eq. (5).
+    Runs the single-phase LDPJoinSketch protocol end to end (Algorithms
+    1-2, Eq. 5) through a :class:`~repro.api.JoinSession`.
     """
-    rng = ensure_rng(seed)
-    ledger = BudgetLedger()
-
-    start = time.perf_counter()
-    pairs = HashPairs(params.k, params.m, spawn(rng))
-    reports_a = encode_reports(values_a, params, pairs, rng)
-    reports_b = encode_reports(values_b, params, pairs, rng)
-    ledger.charge("A", params.epsilon, "LDPJoinSketch")
-    ledger.charge("B", params.epsilon, "LDPJoinSketch")
-    sketch_a = build_sketch(reports_a, pairs)
-    sketch_b = build_sketch(reports_b, pairs)
-    offline = time.perf_counter() - start
-
-    start = time.perf_counter()
-    estimate = sketch_a.join_size(sketch_b)
-    online = time.perf_counter() - start
-
-    ledger.assert_within(PrivacySpec(params.epsilon))
-    return JoinEstimate(
-        estimate=estimate,
-        offline_seconds=offline,
-        online_seconds=online,
-        uplink_bits=reports_a.total_bits + reports_b.total_bits,
-        sketch_bytes=sketch_a.memory_bytes() + sketch_b.memory_bytes(),
-        ledger=ledger,
+    _deprecated(
+        "repro.core.run_ldp_join_sketch",
+        "repro.api.run_join_sketch (or repro.api.JoinSession)",
     )
+    from ..api.estimators import run_join_sketch
+
+    return run_join_sketch(values_a, values_b, params, seed=seed)
 
 
 def run_ldp_join_sketch_plus(
@@ -101,39 +71,26 @@ def run_ldp_join_sketch_plus(
     phase1_params: Optional[SketchParams] = None,
     paper_faithful_correction: bool = False,
     seed: RandomState = None,
-) -> JoinEstimate:
-    """Run the two-phase LDPJoinSketch+ protocol end to end."""
-    domain_size = require_positive_int("domain_size", domain_size)
-    rng = ensure_rng(seed)
-    ledger = BudgetLedger()
-    protocol = LDPJoinSketchPlus(
+) -> EstimateResult:
+    """Deprecated shim for :func:`repro.api.run_join_sketch_plus`.
+
+    Runs the two-phase LDPJoinSketch+ protocol end to end (Algorithms
+    3-5).
+    """
+    _deprecated(
+        "repro.core.run_ldp_join_sketch_plus",
+        "repro.api.run_join_sketch_plus",
+    )
+    from ..api.estimators import run_join_sketch_plus
+
+    return run_join_sketch_plus(
+        values_a,
+        values_b,
+        domain_size,
         params,
         sample_rate=sample_rate,
         threshold=threshold,
         phase1_params=phase1_params,
         paper_faithful_correction=paper_faithful_correction,
-    )
-
-    arr_a = np.asarray(values_a, dtype=np.int64)
-    arr_b = np.asarray(values_b, dtype=np.int64)
-
-    start = time.perf_counter()
-    result = protocol.estimate(arr_a, arr_b, domain_size, rng)
-    offline = time.perf_counter() - start
-
-    # Each user belongs to exactly one of the six disjoint groups (sampled,
-    # group 1, group 2 - per attribute) and is perturbed once.
-    for group in ("A-sample", "A1", "A2", "B-sample", "B1", "B2"):
-        ledger.charge(group, params.epsilon, "LDPJoinSketch+/FAP")
-    ledger.assert_within(PrivacySpec(params.epsilon))
-
-    phase1 = phase1_params if phase1_params is not None else params
-    sketch_bytes = 2 * phase1.k * phase1.m * 8 + 4 * params.k * params.m * 8
-    return JoinEstimate(
-        estimate=result.estimate,
-        offline_seconds=offline,
-        online_seconds=0.0,
-        uplink_bits=result.phase1_bits + result.phase2_bits,
-        sketch_bytes=sketch_bytes,
-        ledger=ledger,
+        seed=seed,
     )

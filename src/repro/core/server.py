@@ -188,13 +188,26 @@ class LDPJoinSketch:
     # ------------------------------------------------------------------
     # Linearity
     # ------------------------------------------------------------------
+    def check_mergeable(self, other: "LDPJoinSketch") -> None:
+        """Raise :class:`IncompatibleSketchError` unless ``other`` can be
+        merged into this sketch.
+
+        Merging requires everything :meth:`check_compatible` checks (shape
+        and shared hash pairs) *plus* identical :class:`SketchParams` —
+        sketches built under different privacy budgets carry different
+        debiasing scales, so their sum estimates nothing.  Shared by
+        :meth:`merge` and :meth:`repro.api.JoinSession.merge`.
+        """
+        self.check_compatible(other)
+        if self.params != other.params:
+            raise IncompatibleSketchError(
+                f"cannot merge sketches with mismatched parameters (shape or "
+                f"privacy budget): {self.params} vs {other.params}"
+            )
+
     def merge(self, other: "LDPJoinSketch") -> "LDPJoinSketch":
         """Add ``other``'s counters into this sketch. Returns self."""
-        self.check_compatible(other)
-        if self.params.epsilon != other.params.epsilon:
-            raise IncompatibleSketchError(
-                "cannot merge sketches built under different privacy budgets"
-            )
+        self.check_mergeable(other)
         self.counts += other.counts
         self.num_reports += other.num_reports
         return self

@@ -18,6 +18,9 @@ part of the pipeline rejected the input:
     estimating a join size before any report has been ingested.
 ``DataGenerationError``
     A synthetic dataset generator received an unsatisfiable request.
+``UnknownEstimatorError``
+    A name passed to the estimator registry (:mod:`repro.api`) does not
+    resolve to any registered estimator, or a registration collides.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ __all__ = [
     "IncompatibleSketchError",
     "ProtocolError",
     "DataGenerationError",
+    "UnknownEstimatorError",
 ]
 
 
@@ -54,3 +58,10 @@ class ProtocolError(ReproError, RuntimeError):
 
 class DataGenerationError(ReproError, ValueError):
     """A synthetic data generator received an unsatisfiable request."""
+
+
+class UnknownEstimatorError(ReproError, KeyError):
+    """An estimator-registry lookup or registration failed."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it plain
+        return self.args[0] if self.args else ""

@@ -3,8 +3,8 @@
 Layout:
 
 * :mod:`repro.experiments.metrics` — AE / RE / MSE (Section VII metrics);
-* :mod:`repro.experiments.methods` — the six join-size estimators of the
-  evaluation behind one interface;
+* :mod:`repro.experiments.methods` — back-compat names for the
+  evaluation's estimators, now served by the :mod:`repro.api` registry;
 * :mod:`repro.experiments.harness` — repeated-trial runner;
 * :mod:`repro.experiments.chains` — multiway chain-join workloads;
 * :mod:`repro.experiments.figures` — one function per table/figure

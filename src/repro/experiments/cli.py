@@ -3,6 +3,7 @@
 Usage::
 
     repro-experiments list
+    repro-experiments estimators
     repro-experiments run fig5 --scale 0.002 --trials 3 --seed 7
     repro-experiments run all --out results/
 
@@ -32,6 +33,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
+
+    sub.add_parser(
+        "estimators", help="list the registered join-size estimators (repro.api)"
+    )
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", choices=[*ALL_EXPERIMENTS, "all"])
@@ -69,6 +74,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             for name in ALL_EXPERIMENTS:
                 doc = (ALL_EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
                 print(f"{name:8s} {doc}")
+            return 0
+        if args.command == "estimators":
+            from ..api import available_estimators, get_estimator
+
+            for name in available_estimators():
+                estimator = get_estimator(name)
+                tag = "LDP" if estimator.private else "non-private"
+                print(f"{name:22s} {estimator.name:16s} [{tag}]")
             return 0
         names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
         for name in names:

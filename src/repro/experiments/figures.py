@@ -47,16 +47,9 @@ from .chains import (
     make_chain_instance,
 )
 from .harness import run_trials, summarize
-from .methods import (
-    FAGMSMethod,
-    HCMSMethod,
-    JoinMethod,
-    KRRMethod,
-    FLHMethod,
-    LDPJoinSketchMethod,
-    LDPJoinSketchPlusMethod,
-    default_methods,
-)
+from ..api import get_estimator
+from ..api.registry import JoinEstimator
+from .methods import default_methods
 from .metrics import mean_squared_error
 from .reporting import ResultTable
 
@@ -115,7 +108,7 @@ def table2_datasets(scale: float = 0.002, seed: int = 2024) -> ResultTable:
 def _accuracy_sweep(
     title: str,
     datasets: Sequence[str],
-    methods: Dict[str, JoinMethod],
+    methods: Dict[str, JoinEstimator],
     epsilons: Sequence[float],
     *,
     scale: float,
@@ -196,10 +189,16 @@ def fig6_space(
     rng = ensure_rng(seed)
     instance = make_join_instance("zipf-2.0", scale=scale, seed=derive_seed(rng))
     for m in widths:
-        methods: List[JoinMethod] = [
-            HCMSMethod(k, m),
-            LDPJoinSketchMethod(k, m),
-            LDPJoinSketchPlusMethod(k, m, sample_rate, threshold),
+        methods: List[JoinEstimator] = [
+            get_estimator("hcms", k=k, m=m),
+            get_estimator("ldp-join-sketch", k=k, m=m),
+            get_estimator(
+                "ldp-join-sketch-plus",
+                k=k,
+                m=m,
+                sample_rate=sample_rate,
+                threshold=threshold,
+            ),
         ]
         for method in methods:
             records = run_trials(method, instance, epsilon, trials, derive_seed(rng))
@@ -230,11 +229,11 @@ def fig7_communication(
         ["dataset", "method", "clients", "bits_per_report", "total_bits"],
     )
     rng = ensure_rng(seed)
-    methods: List[JoinMethod] = [
-        KRRMethod(),
-        HCMSMethod(k, m),
-        FLHMethod(),
-        LDPJoinSketchMethod(k, m),
+    methods: List[JoinEstimator] = [
+        get_estimator("krr"),
+        get_estimator("hcms", k=k, m=m),
+        get_estimator("flh"),
+        get_estimator("ldp-join-sketch", k=k, m=m),
     ]
     for dataset in datasets:
         instance = make_join_instance(dataset, scale=scale, seed=derive_seed(rng))
@@ -292,12 +291,18 @@ def fig9_sketch_size(
     )
     rng = ensure_rng(seed)
 
-    def sketch_methods(k: int, m: int) -> List[JoinMethod]:
+    def sketch_methods(k: int, m: int) -> List[JoinEstimator]:
         return [
-            FAGMSMethod(k, m),
-            HCMSMethod(k, m),
-            LDPJoinSketchMethod(k, m),
-            LDPJoinSketchPlusMethod(k, m, sample_rate, threshold),
+            get_estimator("fagms", k=k, m=m),
+            get_estimator("hcms", k=k, m=m),
+            get_estimator("ldp-join-sketch", k=k, m=m),
+            get_estimator(
+                "ldp-join-sketch-plus",
+                k=k,
+                m=m,
+                sample_rate=sample_rate,
+                threshold=threshold,
+            ),
         ]
 
     for dataset in datasets:
@@ -335,7 +340,9 @@ def fig10_sampling_rate(
     rng = ensure_rng(seed)
     instance = make_join_instance("zipf-1.1", scale=scale, seed=derive_seed(rng))
     for rate in rates:
-        method = LDPJoinSketchPlusMethod(k, m, rate, threshold)
+        method = get_estimator(
+            "ldp-join-sketch-plus", k=k, m=m, sample_rate=rate, threshold=threshold
+        )
         records = run_trials(method, instance, epsilon, trials, derive_seed(rng))
         stats = summarize(records)
         table.add_row(float(rate), stats["truth"], stats["ae"])

@@ -14,10 +14,10 @@ from typing import Dict, Iterable, List
 
 import numpy as np
 
+from ..api.registry import JoinEstimator
 from ..data.base import JoinInstance
 from ..rng import RandomState, derive_seed, ensure_rng
 from ..validation import require_positive_int
-from .methods import JoinMethod
 
 __all__ = ["TrialRecord", "run_trials", "summarize"]
 
@@ -48,7 +48,7 @@ class TrialRecord:
 
 
 def run_trials(
-    method: JoinMethod,
+    method: JoinEstimator,
     instance: JoinInstance,
     epsilon: float,
     trials: int = 3,

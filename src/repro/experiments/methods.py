@@ -1,38 +1,31 @@
-"""The six join-size estimators of the evaluation behind one interface.
+"""Back-compat surface over the estimator registry (:mod:`repro.api`).
 
-Fig. 5's legend is the definitive list: FAGMS (non-private Fast-AGMS),
-k-RR, Apple-HCMS, FLH, LDPJoinSketch, LDPJoinSketch+.  Every adapter turns
-a :class:`~repro.data.JoinInstance` and a privacy budget into a
-:class:`MethodResult` carrying the estimate plus the cost accounting the
-space/communication/efficiency figures need.
-
-Frequency-oracle baselines (k-RR, FLH, Apple-HCMS) estimate the join size
-the way the paper describes: estimate the whole frequency vector of each
-attribute, then sum the products over the domain — accumulating one
-estimation error per candidate value.
+The per-method estimation logic used to live here as a parallel adapter
+hierarchy; it now lives once, in :mod:`repro.api.estimators`, behind the
+string-keyed registry.  This module keeps the historical names importable
+(``FAGMSMethod``, ``LDPJoinSketchMethod``, ``MethodResult``, ...) and
+provides :func:`default_methods`, the Fig. 5 line-up, resolved through
+:func:`repro.api.get_estimator`.
 """
 
 from __future__ import annotations
 
-import abc
-import math
-import time
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..core import SketchParams, run_ldp_join_sketch, run_ldp_join_sketch_plus
-from ..data.base import JoinInstance
-from ..hashing import HashPairs
-from ..mechanisms import (
-    FLHOracle,
-    FrequencyOracle,
-    HCMSOracle,
-    KRROracle,
-    OLHOracle,
-    estimate_join_via_frequencies,
+from ..api import get_estimator
+from ..api.estimators import (
+    BaseEstimator,
+    CompassEstimator,
+    FAGMSEstimator,
+    FLHEstimator,
+    HCMSEstimator,
+    KRREstimator,
+    LDPJoinSketchEstimator,
+    LDPJoinSketchPlusEstimator,
+    OLHEstimator,
 )
-from ..rng import RandomState, derive_seed, ensure_rng
-from ..sketches import FastAGMSSketch
+from ..api.registry import JoinEstimator
+from ..api.result import EstimateResult
 
 __all__ = [
     "MethodResult",
@@ -44,295 +37,21 @@ __all__ = [
     "OLHMethod",
     "LDPJoinSketchMethod",
     "LDPJoinSketchPlusMethod",
+    "CompassMethod",
     "default_methods",
 ]
 
-
-@dataclass(frozen=True)
-class MethodResult:
-    """One method's answer to one join instance."""
-
-    estimate: float
-    offline_seconds: float
-    online_seconds: float
-    uplink_bits: int
-    sketch_bytes: int
-
-
-class JoinMethod(abc.ABC):
-    """A join-size estimation method (private or baseline)."""
-
-    #: Display name used in result tables (matches the figure legends).
-    name: str = "abstract"
-    #: Whether the method provides an LDP guarantee.
-    private: bool = True
-
-    @abc.abstractmethod
-    def estimate(
-        self,
-        instance: JoinInstance,
-        epsilon: float,
-        seed: RandomState = None,
-    ) -> MethodResult:
-        """Estimate the join size of ``instance`` under budget ``epsilon``."""
-
-    def report_bits_for(self, domain_size: int, epsilon: float) -> int:
-        """Uplink bits one client transmits (cheap, no simulation).
-
-        Default: the raw value, ``ceil(log2 domain)`` bits (non-private
-        transmission); LDP methods override with their wire format.
-        """
-        return max(1, math.ceil(math.log2(domain_size)))
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"{type(self).__name__}(name={self.name!r})"
-
-
-class FAGMSMethod(JoinMethod):
-    """Non-private Fast-AGMS — the accuracy ceiling of the sketch family."""
-
-    name = "FAGMS"
-    private = False
-
-    def __init__(self, k: int = 18, m: int = 1024) -> None:
-        self.k = k
-        self.m = m
-
-    def estimate(
-        self,
-        instance: JoinInstance,
-        epsilon: float,
-        seed: RandomState = None,
-    ) -> MethodResult:
-        """Build two plain Fast-AGMS sketches; ``epsilon`` is ignored."""
-        rng = ensure_rng(seed)
-        start = time.perf_counter()
-        pairs = HashPairs(self.k, self.m, rng)
-        sketch_a = FastAGMSSketch(pairs)
-        sketch_a.update_batch(instance.values_a)
-        sketch_b = FastAGMSSketch(pairs)
-        sketch_b.update_batch(instance.values_b)
-        offline = time.perf_counter() - start
-        start = time.perf_counter()
-        estimate = sketch_a.inner_product(sketch_b)
-        online = time.perf_counter() - start
-        raw_bits = max(1, math.ceil(math.log2(instance.domain_size)))
-        return MethodResult(
-            estimate=estimate,
-            offline_seconds=offline,
-            online_seconds=online,
-            uplink_bits=(instance.size_a + instance.size_b) * raw_bits,
-            sketch_bytes=sketch_a.memory_bytes() + sketch_b.memory_bytes(),
-        )
-
-
-class _FrequencyOracleMethod(JoinMethod):
-    """Shared driver for the frequency-vector join baselines.
-
-    ``calibrate`` clips negative frequency estimates to zero before the
-    product, matching the paper's "calibrated frequency vectors".  On
-    large domains the clipped noise no longer cancels across candidates,
-    which is precisely the cumulative-error behaviour the paper reports
-    for these baselines; ``calibrate=False`` keeps the raw unbiased
-    estimates (see the calibration ablation bench).
-    """
-
-    def __init__(self, *, calibrate: bool = True) -> None:
-        self.calibrate = calibrate
-
-    def _make_oracle(
-        self, domain_size: int, epsilon: float, seed: RandomState
-    ) -> FrequencyOracle:
-        raise NotImplementedError
-
-    def estimate(
-        self,
-        instance: JoinInstance,
-        epsilon: float,
-        seed: RandomState = None,
-    ) -> MethodResult:
-        """Collect both attributes' reports, join via frequency vectors."""
-        rng = ensure_rng(seed)
-        start = time.perf_counter()
-        oracle_a = self._make_oracle(instance.domain_size, epsilon, derive_seed(rng))
-        oracle_b = self._make_oracle(instance.domain_size, epsilon, derive_seed(rng))
-        oracle_a.collect(instance.values_a)
-        oracle_b.collect(instance.values_b)
-        offline = time.perf_counter() - start
-        start = time.perf_counter()
-        estimate = estimate_join_via_frequencies(
-            oracle_a, oracle_b, clip_negative=self.calibrate
-        )
-        online = time.perf_counter() - start
-        return MethodResult(
-            estimate=estimate,
-            offline_seconds=offline,
-            online_seconds=online,
-            uplink_bits=(instance.size_a * oracle_a.report_bits)
-            + (instance.size_b * oracle_b.report_bits),
-            sketch_bytes=oracle_a.memory_bytes() + oracle_b.memory_bytes(),
-        )
-
-
-class KRRMethod(_FrequencyOracleMethod):
-    """k-RR with calibrated frequency vectors."""
-
-    name = "k-RR"
-
-    def _make_oracle(self, domain_size: int, epsilon: float, seed: RandomState) -> KRROracle:
-        return KRROracle(domain_size, epsilon, seed)
-
-    def report_bits_for(self, domain_size: int, epsilon: float) -> int:
-        """One domain value per client."""
-        return KRROracle(domain_size, epsilon, 0).report_bits
-
-
-class FLHMethod(_FrequencyOracleMethod):
-    """Fast Local Hashing with a shared hash pool.
-
-    The pool size (``K'``) defaults to 256 — inside the range Cormode et
-    al. recommend (1e2-1e4) and 2x cheaper to scan at estimation time than
-    the oracle-level default; accuracy at laptop-scale n is unaffected.
-    """
-
-    name = "FLH"
-
-    def __init__(self, pool_size: int = 256, *, calibrate: bool = True) -> None:
-        super().__init__(calibrate=calibrate)
-        self.pool_size = pool_size
-
-    def _make_oracle(self, domain_size: int, epsilon: float, seed: RandomState) -> FLHOracle:
-        return FLHOracle(domain_size, epsilon, seed, pool_size=self.pool_size)
-
-    def report_bits_for(self, domain_size: int, epsilon: float) -> int:
-        """Pool index plus a GRR report over [g]."""
-        return FLHOracle(domain_size, epsilon, 0, pool_size=self.pool_size).report_bits
-
-
-class HCMSMethod(_FrequencyOracleMethod):
-    """Apple-HCMS summed over the domain."""
-
-    name = "Apple-HCMS"
-
-    def __init__(self, k: int = 18, m: int = 1024, *, calibrate: bool = True) -> None:
-        super().__init__(calibrate=calibrate)
-        self.k = k
-        self.m = m
-
-    def _make_oracle(self, domain_size: int, epsilon: float, seed: RandomState) -> HCMSOracle:
-        return HCMSOracle(domain_size, epsilon, seed, k=self.k, m=self.m)
-
-    def report_bits_for(self, domain_size: int, epsilon: float) -> int:
-        """Sign bit plus row and column indices."""
-        return SketchParams(self.k, self.m, epsilon).report_bits
-
-
-class OLHMethod(_FrequencyOracleMethod):
-    """Exact Optimal Local Hashing (one fresh hash per client).
-
-    Not part of the paper's Fig. 5 line-up (FLH is its fast variant), but
-    included for completeness; server-side estimation is Theta(n * |D|),
-    so keep it to moderate domains.
-    """
-
-    name = "OLH"
-
-    def _make_oracle(self, domain_size: int, epsilon: float, seed: RandomState) -> OLHOracle:
-        return OLHOracle(domain_size, epsilon, seed)
-
-    def report_bits_for(self, domain_size: int, epsilon: float) -> int:
-        """64-bit hash seed plus a GRR report over [g]."""
-        return OLHOracle(domain_size, epsilon, 0).report_bits
-
-
-class LDPJoinSketchMethod(JoinMethod):
-    """The paper's single-phase protocol (Algorithms 1-2, Eq. 5)."""
-
-    name = "LDPJoinSketch"
-
-    def __init__(self, k: int = 18, m: int = 1024) -> None:
-        self.k = k
-        self.m = m
-
-    def estimate(
-        self,
-        instance: JoinInstance,
-        epsilon: float,
-        seed: RandomState = None,
-    ) -> MethodResult:
-        """Run the full client/server simulation."""
-        result = run_ldp_join_sketch(
-            instance.values_a,
-            instance.values_b,
-            SketchParams(self.k, self.m, epsilon),
-            seed=seed,
-        )
-        return MethodResult(
-            estimate=result.estimate,
-            offline_seconds=result.offline_seconds,
-            online_seconds=result.online_seconds,
-            uplink_bits=result.uplink_bits,
-            sketch_bytes=result.sketch_bytes,
-        )
-
-    def report_bits_for(self, domain_size: int, epsilon: float) -> int:
-        """Sign bit plus row and column indices."""
-        return SketchParams(self.k, self.m, epsilon).report_bits
-
-
-class LDPJoinSketchPlusMethod(JoinMethod):
-    """The paper's two-phase protocol (Algorithms 3-5)."""
-
-    name = "LDPJoinSketch+"
-
-    def __init__(
-        self,
-        k: int = 18,
-        m: int = 1024,
-        sample_rate: float = 0.1,
-        threshold: float = 0.01,
-        *,
-        phase1_m: Optional[int] = None,
-        paper_faithful_correction: bool = False,
-    ) -> None:
-        self.k = k
-        self.m = m
-        self.sample_rate = sample_rate
-        self.threshold = threshold
-        self.phase1_m = phase1_m
-        self.paper_faithful_correction = paper_faithful_correction
-
-    def estimate(
-        self,
-        instance: JoinInstance,
-        epsilon: float,
-        seed: RandomState = None,
-    ) -> MethodResult:
-        """Run both phases of the protocol."""
-        params = SketchParams(self.k, self.m, epsilon)
-        phase1 = (
-            SketchParams(self.k, self.phase1_m, epsilon) if self.phase1_m is not None else None
-        )
-        start = time.perf_counter()
-        result = run_ldp_join_sketch_plus(
-            instance.values_a,
-            instance.values_b,
-            instance.domain_size,
-            params,
-            sample_rate=self.sample_rate,
-            threshold=self.threshold,
-            phase1_params=phase1,
-            paper_faithful_correction=self.paper_faithful_correction,
-            seed=seed,
-        )
-        offline = time.perf_counter() - start
-        return MethodResult(
-            estimate=result.estimate,
-            offline_seconds=offline,
-            online_seconds=result.online_seconds,
-            uplink_bits=result.uplink_bits,
-            sketch_bytes=result.sketch_bytes,
-        )
+# Deprecated aliases — one result type, one estimator hierarchy.
+MethodResult = EstimateResult
+JoinMethod = BaseEstimator
+FAGMSMethod = FAGMSEstimator
+KRRMethod = KRREstimator
+FLHMethod = FLHEstimator
+HCMSMethod = HCMSEstimator
+OLHMethod = OLHEstimator
+LDPJoinSketchMethod = LDPJoinSketchEstimator
+LDPJoinSketchPlusMethod = LDPJoinSketchPlusEstimator
+CompassMethod = CompassEstimator
 
 
 def default_methods(
@@ -342,18 +61,27 @@ def default_methods(
     sample_rate: float = 0.1,
     threshold: float = 0.01,
     include: Optional[List[str]] = None,
-) -> Dict[str, JoinMethod]:
-    """The Fig. 5 method line-up, keyed by display name."""
-    methods: Dict[str, JoinMethod] = {}
-    for method in (
-        FAGMSMethod(k, m),
-        KRRMethod(),
-        HCMSMethod(k, m),
-        FLHMethod(),
-        LDPJoinSketchMethod(k, m),
-        LDPJoinSketchPlusMethod(k, m, sample_rate, threshold),
-    ):
-        methods[method.name] = method
+) -> Dict[str, JoinEstimator]:
+    """The Fig. 5 method line-up, keyed by display name.
+
+    Each entry is resolved through the estimator registry; ``include``
+    filters (and orders) by display name.
+    """
+    lineup = [
+        get_estimator("fagms", k=k, m=m),
+        get_estimator("krr"),
+        get_estimator("hcms", k=k, m=m),
+        get_estimator("flh"),
+        get_estimator("ldp-join-sketch", k=k, m=m),
+        get_estimator(
+            "ldp-join-sketch-plus",
+            k=k,
+            m=m,
+            sample_rate=sample_rate,
+            threshold=threshold,
+        ),
+    ]
+    methods = {method.name: method for method in lineup}
     if include is not None:
         methods = {name: methods[name] for name in include}
     return methods

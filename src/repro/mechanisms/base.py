@@ -23,7 +23,7 @@ from typing import Iterable
 
 import numpy as np
 
-from ..errors import ProtocolError
+from ..errors import IncompatibleSketchError, ProtocolError
 from ..rng import RandomState, ensure_rng
 from ..validation import require_domain_values, require_positive_float, require_positive_int
 
@@ -57,6 +57,42 @@ class FrequencyOracle(abc.ABC):
     @abc.abstractmethod
     def _collect(self, values: np.ndarray, rng: np.random.Generator) -> None:
         """Mechanism-specific perturbation + aggregation."""
+
+    # ------------------------------------------------------------------
+    # Sharding
+    # ------------------------------------------------------------------
+    def merge(self, other: "FrequencyOracle") -> "FrequencyOracle":
+        """Fold another shard's collected state into this oracle.
+
+        Server-side state of every oracle here is a linear aggregate of
+        its reports, so shards that collected disjoint cohorts under the
+        same configuration merge losslessly — the sharded-collection
+        property :class:`repro.api.JoinSession` relies on, extended to
+        the baselines.  Raises :class:`IncompatibleSketchError` on any
+        mismatch (type, domain, budget, or mechanism-specific hashes).
+        Returns self.
+        """
+        if type(other) is not type(self):
+            raise IncompatibleSketchError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}"
+            )
+        if other.domain_size != self.domain_size:
+            raise IncompatibleSketchError(
+                f"domain mismatch: {self.domain_size} vs {other.domain_size}"
+            )
+        if other.epsilon != self.epsilon:
+            raise IncompatibleSketchError(
+                "cannot merge oracles built under different privacy budgets"
+            )
+        self._merge(other)
+        self.num_reports += other.num_reports
+        return self
+
+    def _merge(self, other: "FrequencyOracle") -> None:
+        """Mechanism-specific state merge (``num_reports`` handled by caller)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support sharded merging"
+        )
 
     # ------------------------------------------------------------------
     # Server side

@@ -23,6 +23,7 @@ import math
 
 import numpy as np
 
+from ..errors import IncompatibleSketchError
 from ..hashing.kwise import MERSENNE_PRIME_31
 from ..privacy.response import grr_perturb, grr_probabilities
 from ..rng import RandomState
@@ -69,6 +70,16 @@ class FLHOracle(FrequencyOracle):
         hashed = self._pool_hash(kappa, values)
         reports = grr_perturb(hashed, self.g, self.epsilon, rng)
         np.add.at(self._counts, (kappa, reports), 1)
+
+    def _merge(self, other: "FLHOracle") -> None:
+        if not (
+            np.array_equal(self._pool_a, other._pool_a)
+            and np.array_equal(self._pool_b, other._pool_b)
+        ):
+            raise IncompatibleSketchError(
+                "FLH shards must share the published hash pool (same oracle seed)"
+            )
+        self._counts += other._counts
 
     def _frequencies(self, candidates: np.ndarray) -> np.ndarray:
         # Supports need the (pool, candidate) hash table; iterate the pool

@@ -77,6 +77,9 @@ class HadamardResponseOracle(FrequencyOracle):
             pending = pending[~matched]
         self._report_histogram += np.bincount(out, minlength=self.order)
 
+    def _merge(self, other: "HadamardResponseOracle") -> None:
+        self._report_histogram += other._report_histogram
+
     # ------------------------------------------------------------------
     # Server side
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import IncompatibleSketchError
 from ..hashing import HashPairs
 from ..privacy.response import c_epsilon, flip_probability
 from ..rng import RandomState, spawn
@@ -66,6 +67,14 @@ class HCMSOracle(FrequencyOracle):
         ys = np.where(flips, -w, w).astype(np.float64)
         scale = self.k * c_epsilon(self.epsilon)
         np.add.at(self._raw, (rows, cols), scale * ys)
+        self._dirty = True
+
+    def _merge(self, other: "HCMSOracle") -> None:
+        if self.pairs != other.pairs:
+            raise IncompatibleSketchError(
+                "HCMS shards must share the published hash pairs (same oracle seed)"
+            )
+        self._raw += other._raw
         self._dirty = True
 
     def _sketch(self) -> np.ndarray:

@@ -39,6 +39,9 @@ class KRROracle(FrequencyOracle):
         reports = grr_perturb(values, self.domain_size, self.epsilon, rng)
         self._report_counts += np.bincount(reports, minlength=self.domain_size)
 
+    def _merge(self, other: "KRROracle") -> None:
+        self._report_counts += other._report_counts
+
     def _frequencies(self, candidates: np.ndarray) -> np.ndarray:
         observed = self._report_counts[candidates].astype(np.float64)
         return (observed - self.num_reports * self.q) / (self.p - self.q)

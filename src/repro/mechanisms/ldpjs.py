@@ -13,6 +13,7 @@ import numpy as np
 
 from ..core.client import encode_reports
 from ..core.params import SketchParams
+from ..errors import IncompatibleSketchError
 from ..core.server import LDPJoinSketch
 from ..hashing import HashPairs
 from ..rng import RandomState, spawn
@@ -50,6 +51,15 @@ class LDPJoinSketchOracle(FrequencyOracle):
             (reports.rows, reports.cols),
             self.params.scale * reports.ys.astype(np.float64),
         )
+        self._dirty = True
+
+    def _merge(self, other: "LDPJoinSketchOracle") -> None:
+        if self.pairs != other.pairs:
+            raise IncompatibleSketchError(
+                "LDPJoinSketch shards must share the published hash pairs "
+                "(same oracle seed)"
+            )
+        self._raw += other._raw
         self._dirty = True
 
     def sketch(self) -> LDPJoinSketch:

@@ -67,6 +67,11 @@ class OLHOracle(FrequencyOracle):
         self._hash_b.append(b)
         self._reports.append(reports)
 
+    def _merge(self, other: "OLHOracle") -> None:
+        self._hash_a.extend(other._hash_a)
+        self._hash_b.extend(other._hash_b)
+        self._reports.extend(other._reports)
+
     @staticmethod
     def _hash(a: np.ndarray, b: np.ndarray, values: np.ndarray) -> np.ndarray:
         prime = np.uint64(MERSENNE_PRIME_31)

@@ -57,6 +57,9 @@ class OUEOracle(FrequencyOracle):
             positions = np.where(offsets >= values[owners], offsets + 1, offsets)
             self._bit_counts += np.bincount(positions, minlength=self.domain_size)
 
+    def _merge(self, other: "OUEOracle") -> None:
+        self._bit_counts += other._bit_counts
+
     def _frequencies(self, candidates: np.ndarray) -> np.ndarray:
         observed = self._bit_counts[candidates].astype(np.float64)
         return (observed - self.num_reports * self.q) / (self.p - self.q)

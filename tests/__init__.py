@@ -1,0 +1,5 @@
+"""Test suite for the :mod:`repro` package.
+
+Being a package lets test modules share helpers via relative imports
+(``from .conftest import zipf_values``) under plain ``python -m pytest``.
+"""
