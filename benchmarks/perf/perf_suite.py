@@ -1,0 +1,346 @@
+"""Hot-path microbenchmarks with a machine-readable trajectory file.
+
+Unlike the figure benchmarks (which reproduce the paper's *accuracy*
+plots), this suite tracks the *throughput* of the simulator's hot paths so
+every PR has a perf baseline to beat:
+
+* ``encode`` — client-side encoding throughput (clients/sec) of the
+  batched and fused paths;
+* ``aggregate`` — server-side accumulation throughput (reports/sec),
+  ``np.add.at`` scatter versus flattened-index bincount;
+* ``end_to_end`` — the headline number: encode→accumulate for ``n``
+  clients, comparing a faithful replica of the pre-fused pipeline
+  (per-row masked hashing, ``%``-reduction Horner, O(n) report arrays,
+  ``np.add.at``) against :func:`repro.core.client.encode_reports_into`;
+* ``estimate`` — query latency: sketch materialisation + Eq. (5);
+* ``serialize`` — session payload round-trip, legacy ``tolist()`` JSON
+  versus the packed base64 format, with payload sizes.
+
+:func:`run_suite` returns a JSON-compatible payload;
+:func:`validate_payload` is the schema check CI runs against the emitted
+file.  The legacy implementations live here on purpose — they are the
+recorded baseline, kept runnable so the speedup numbers stay reproducible
+instead of rotting in a commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.accumulate import scatter_add_signed_units
+from repro.api import JoinSession
+from repro.core import SketchParams, encode_reports, encode_reports_into
+from repro.core.client import ReportBatch
+from repro.hashing import HashPairs
+from repro.hashing.kwise import MERSENNE_PRIME_31
+
+SCHEMA_VERSION = 1
+
+#: Headline population sizes.
+FULL_N = 1_000_000
+QUICK_N = 20_000
+
+#: Sketch shape of every benchmark (the paper's defaults).
+BENCH_K = 18
+BENCH_M = 1024
+BENCH_EPSILON = 4.0
+BENCH_SEED = 20240101
+
+
+# ----------------------------------------------------------------------
+# Pre-PR reference implementations (the recorded baseline)
+# ----------------------------------------------------------------------
+def _legacy_kwise(coefficients: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Horner evaluation with a ``%`` reduction per step (pre-PR KWiseHash)."""
+    p = np.uint64(MERSENNE_PRIME_31)
+    x = values.astype(np.uint64)
+    acc = np.full(x.shape, coefficients[-1], dtype=np.uint64)
+    for c in coefficients[-2::-1]:
+        acc = (acc * x + c) % p
+    return acc.astype(np.int64)
+
+
+def _legacy_bucket_rows(pairs: HashPairs, rows: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Per-row masked bucket evaluation (pre-PR ``HashPairs.bucket_rows``)."""
+    out = np.empty(values.shape, dtype=np.int64)
+    for j in range(pairs.k):
+        mask = rows == j
+        if np.any(mask):
+            out[mask] = _legacy_kwise(pairs.bucket_hashes[j].coefficients, values[mask]) % pairs.m
+    return out
+
+
+def _legacy_sign_rows(pairs: HashPairs, rows: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Per-row masked sign evaluation (pre-PR ``HashPairs.sign_rows``)."""
+    out = np.empty(values.shape, dtype=np.int64)
+    for j in range(pairs.k):
+        mask = rows == j
+        if np.any(mask):
+            raw = _legacy_kwise(pairs.sign_hashes[j].base.coefficients, values[mask])
+            out[mask] = 1 - 2 * (raw & 1)
+    return out
+
+
+def _legacy_encode_aggregate(
+    values: np.ndarray, params: SketchParams, pairs: HashPairs, rng: np.random.Generator
+) -> np.ndarray:
+    """Pre-PR end-to-end path: O(n) report arrays + ``np.add.at`` scatter."""
+    from repro.transform.hadamard import sample_hadamard_entries
+
+    n = values.size
+    rows = rng.integers(0, params.k, size=n)
+    cols = rng.integers(0, params.m, size=n)
+    buckets = _legacy_bucket_rows(pairs, rows, values)
+    signs = _legacy_sign_rows(pairs, rows, values)
+    w = signs * sample_hadamard_entries(buckets, cols, params.m)
+    flips = rng.random(n) < params.flip_probability
+    ys = np.where(flips, -w, w).astype(np.int64)
+    raw = np.zeros((params.k, params.m), dtype=np.float64)
+    np.add.at(raw, (rows, cols), params.scale * ys.astype(np.float64))
+    return raw
+
+
+# ----------------------------------------------------------------------
+# Timing helpers
+# ----------------------------------------------------------------------
+def _best_of(func: Callable[[], object], repeats: int) -> float:
+    """Best wall-clock seconds over ``repeats`` runs (noise floor).
+
+    One untimed warmup run precedes the measurement so page faults, lazy
+    imports and allocator growth don't land in the recorded numbers.
+    """
+    func()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _rate(n: int, seconds: float) -> float:
+    return float(n / seconds) if seconds > 0 else float("inf")
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+def _bench_encode(n: int, repeats: int) -> Dict[str, float]:
+    params = SketchParams(BENCH_K, BENCH_M, BENCH_EPSILON)
+    pairs = HashPairs(params.k, params.m, seed=BENCH_SEED)
+    values = np.random.default_rng(BENCH_SEED).integers(0, 1 << 20, size=n)
+    batched = _best_of(
+        lambda: encode_reports(values, params, pairs, np.random.default_rng(1)), repeats
+    )
+    out = np.zeros((params.k, params.m), dtype=np.int64)
+    fused = _best_of(
+        lambda: encode_reports_into(values, params, pairs, out, np.random.default_rng(1)),
+        repeats,
+    )
+    return {
+        "n": n,
+        "batched_seconds": batched,
+        "batched_clients_per_sec": _rate(n, batched),
+        "fused_seconds": fused,
+        "fused_clients_per_sec": _rate(n, fused),
+    }
+
+
+def _bench_aggregate(n: int, repeats: int) -> Dict[str, float]:
+    params = SketchParams(BENCH_K, BENCH_M, BENCH_EPSILON)
+    rng = np.random.default_rng(BENCH_SEED)
+    rows = rng.integers(0, params.k, size=n)
+    cols = rng.integers(0, params.m, size=n)
+    ys = rng.choice(np.array([-1, 1], dtype=np.int64), size=n)
+
+    def run_add_at():
+        raw = np.zeros((params.k, params.m), dtype=np.int64)
+        np.add.at(raw, (rows, cols), ys)
+        return raw
+
+    def run_bincount():
+        raw = np.zeros((params.k, params.m), dtype=np.int64)
+        scatter_add_signed_units(raw, (rows, cols), ys)
+        return raw
+
+    assert np.array_equal(run_add_at(), run_bincount())
+    add_at = _best_of(run_add_at, repeats)
+    bincount = _best_of(run_bincount, repeats)
+    return {
+        "n": n,
+        "add_at_seconds": add_at,
+        "add_at_reports_per_sec": _rate(n, add_at),
+        "bincount_seconds": bincount,
+        "bincount_reports_per_sec": _rate(n, bincount),
+        "speedup": add_at / bincount if bincount > 0 else float("inf"),
+    }
+
+
+def _bench_end_to_end(n: int, repeats: int) -> Dict[str, float]:
+    params = SketchParams(BENCH_K, BENCH_M, BENCH_EPSILON)
+    pairs = HashPairs(params.k, params.m, seed=BENCH_SEED)
+    values = np.random.default_rng(BENCH_SEED).integers(0, 1 << 20, size=n)
+    baseline = _best_of(
+        lambda: _legacy_encode_aggregate(values, params, pairs, np.random.default_rng(1)),
+        repeats,
+    )
+
+    def run_fused():
+        out = np.zeros((params.k, params.m), dtype=np.int64)
+        encode_reports_into(values, params, pairs, out, np.random.default_rng(1))
+        return out
+
+    fused = _best_of(run_fused, repeats)
+    return {
+        "n": n,
+        "baseline_seconds": baseline,
+        "baseline_clients_per_sec": _rate(n, baseline),
+        "fused_seconds": fused,
+        "fused_clients_per_sec": _rate(n, fused),
+        "speedup": baseline / fused if fused > 0 else float("inf"),
+    }
+
+
+def _bench_estimate(n: int, repeats: int) -> Dict[str, float]:
+    params = SketchParams(BENCH_K, BENCH_M, BENCH_EPSILON)
+    session = JoinSession(params, seed=BENCH_SEED)
+    rng = np.random.default_rng(BENCH_SEED)
+    session.collect("A", rng.integers(0, 1 << 16, size=n))
+    session.collect("B", rng.integers(0, 1 << 16, size=n))
+
+    def run_estimate():
+        # Invalidate the cache so each run pays materialisation + query.
+        for state in session._streams.values():
+            state.cached = None
+        return session.estimate("A", "B")
+
+    seconds = _best_of(run_estimate, repeats)
+    return {"n": n, "estimate_seconds": seconds}
+
+
+def _bench_serialize(n: int, repeats: int) -> Dict[str, float]:
+    params = SketchParams(BENCH_K, BENCH_M, BENCH_EPSILON)
+    session = JoinSession(params, seed=BENCH_SEED)
+    rng = np.random.default_rng(BENCH_SEED)
+    session.collect("A", rng.integers(0, 1 << 16, size=n))
+    session.collect("B", rng.integers(0, 1 << 16, size=n))
+
+    def roundtrip_packed():
+        return JoinSession.from_dict(json.loads(json.dumps(session.to_dict())))
+
+    def legacy_payload() -> dict:
+        # Rewrite the packed arrays as the pre-PR nested lists.
+        payload = session.to_dict()
+        for entry in payload["streams"].values():
+            entry["raw"] = _decode_for_bench(entry["raw"]).tolist()
+        return payload
+
+    legacy = legacy_payload()
+
+    def roundtrip_legacy():
+        return JoinSession.from_dict(json.loads(json.dumps(legacy)))
+
+    packed_seconds = _best_of(roundtrip_packed, repeats)
+    legacy_seconds = _best_of(roundtrip_legacy, repeats)
+    return {
+        "n": n,
+        "packed_roundtrip_seconds": packed_seconds,
+        "legacy_roundtrip_seconds": legacy_seconds,
+        "packed_payload_bytes": len(json.dumps(session.to_dict())),
+        "legacy_payload_bytes": len(json.dumps(legacy)),
+    }
+
+
+def _decode_for_bench(raw_entry) -> np.ndarray:
+    from repro.serialization import decode_array
+
+    return decode_array(raw_entry, np.int64)
+
+
+# ----------------------------------------------------------------------
+# Runner + schema
+# ----------------------------------------------------------------------
+def run_suite(quick: bool = False) -> dict:
+    """Run every section; returns the JSON-compatible payload."""
+    n = QUICK_N if quick else FULL_N
+    repeats = 1 if quick else 9
+    query_n = min(n, 200_000)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "mode": "quick" if quick else "full",
+        "params": {"k": BENCH_K, "m": BENCH_M, "epsilon": BENCH_EPSILON},
+        "sections": {
+            "encode": _bench_encode(n, repeats),
+            "aggregate": _bench_aggregate(n, repeats),
+            "end_to_end": _bench_end_to_end(n, repeats),
+            "estimate": _bench_estimate(query_n, repeats),
+            "serialize": _bench_serialize(query_n, repeats),
+        },
+    }
+
+
+_SECTION_KEYS: Dict[str, Tuple[str, ...]] = {
+    "encode": (
+        "n",
+        "batched_seconds",
+        "batched_clients_per_sec",
+        "fused_seconds",
+        "fused_clients_per_sec",
+    ),
+    "aggregate": (
+        "n",
+        "add_at_seconds",
+        "add_at_reports_per_sec",
+        "bincount_seconds",
+        "bincount_reports_per_sec",
+        "speedup",
+    ),
+    "end_to_end": (
+        "n",
+        "baseline_seconds",
+        "baseline_clients_per_sec",
+        "fused_seconds",
+        "fused_clients_per_sec",
+        "speedup",
+    ),
+    "estimate": ("n", "estimate_seconds"),
+    "serialize": (
+        "n",
+        "packed_roundtrip_seconds",
+        "legacy_roundtrip_seconds",
+        "packed_payload_bytes",
+        "legacy_payload_bytes",
+    ),
+}
+
+
+def validate_payload(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` matches the BENCH_perf schema."""
+    if not isinstance(payload, dict):
+        raise ValueError("payload must be a JSON object")
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version must be {SCHEMA_VERSION}, got {payload.get('schema_version')!r}"
+        )
+    if payload.get("mode") not in ("quick", "full"):
+        raise ValueError(f"mode must be 'quick' or 'full', got {payload.get('mode')!r}")
+    params = payload.get("params")
+    if not isinstance(params, dict) or not {"k", "m", "epsilon"} <= set(params):
+        raise ValueError("params must carry k, m and epsilon")
+    sections = payload.get("sections")
+    if not isinstance(sections, dict):
+        raise ValueError("sections must be a JSON object")
+    for name, keys in _SECTION_KEYS.items():
+        section = sections.get(name)
+        if not isinstance(section, dict):
+            raise ValueError(f"missing section {name!r}")
+        for key in keys:
+            value = section.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"section {name!r} key {key!r} must be a number, got {value!r}")
+            if value < 0:
+                raise ValueError(f"section {name!r} key {key!r} must be non-negative")

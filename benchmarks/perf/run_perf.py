@@ -1,0 +1,86 @@
+"""CLI entry point of the perf suite — emits / validates ``BENCH_perf.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py            # full, 1M clients
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --quick    # CI smoke, 20k
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --validate BENCH_perf.json
+
+``--quick`` runs every section at a small population so CI finishes in
+seconds; the checked-in ``BENCH_perf.json`` at the repo root is produced by
+a full run and records the pre-PR baseline next to the fused-path numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from perf_suite import run_suite, validate_payload  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small-n smoke mode")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help=(
+            "output path (default: repo-root BENCH_perf.json for full runs, "
+            "bench_perf_quick.json in the working directory for --quick, so a "
+            "smoke run never clobbers the recorded full-run trajectory)"
+        ),
+    )
+    parser.add_argument(
+        "--validate",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="validate an existing payload instead of benchmarking",
+    )
+    parser.add_argument(
+        "--require-full",
+        action="store_true",
+        help="with --validate: additionally demand a full-mode payload "
+        "(guards the checked-in trajectory file against quick-mode clobbers)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        payload = json.loads(args.validate.read_text())
+        validate_payload(payload)
+        if args.require_full and payload["mode"] != "full":
+            print(f"[fail] {args.validate} holds a {payload['mode']!r}-mode payload, expected 'full'")
+            return 1
+        print(f"[ok] {args.validate} matches BENCH_perf schema v{payload['schema_version']}")
+        return 0
+
+    if args.out is None:
+        args.out = (
+            Path.cwd() / "bench_perf_quick.json"
+            if args.quick
+            else Path(__file__).resolve().parents[2] / "BENCH_perf.json"
+        )
+
+    payload = run_suite(quick=args.quick)
+    validate_payload(payload)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    end_to_end = payload["sections"]["end_to_end"]
+    print(f"[bench] mode={payload['mode']} n={end_to_end['n']}")
+    print(
+        f"[bench] end-to-end encode->aggregate: baseline "
+        f"{end_to_end['baseline_clients_per_sec']:,.0f} clients/s, fused "
+        f"{end_to_end['fused_clients_per_sec']:,.0f} clients/s "
+        f"({end_to_end['speedup']:.2f}x)"
+    )
+    print(f"[bench] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -76,6 +76,7 @@ from .core import (
     build_sketch,
     encode_report,
     encode_reports,
+    encode_reports_into,
     estimate_join_size,
     fap_encode_report,
     fap_encode_reports,
@@ -106,6 +107,7 @@ __all__ = [
     "ReportBatch",
     "encode_report",
     "encode_reports",
+    "encode_reports_into",
     "LDPJoinSketch",
     "build_sketch",
     "estimate_join_size",

@@ -13,6 +13,10 @@ Three properties make this the production path the paper implies:
   integer* accumulator (each report contributes ``y in {-1, +1}`` to one
   cell), so ingestion is O(batch) and exact; the debiasing scale and the
   Hadamard inversion are applied only when a query materialises a sketch.
+  Simulated cohorts take the fused encode→accumulate fast path
+  (:func:`repro.core.client.encode_reports_into`): clients are perturbed
+  and folded in ``chunk_size`` slices straight into the accumulator, so
+  peak memory stays chunk-bounded no matter how many clients report.
 * **Mergeable** — because the accumulator is an integer sum, shards built
   on shared pairs merge associatively and *bit-for-bit* reproduce the
   single-collector state: ``shard_1 + shard_2`` is the same array as one
@@ -20,7 +24,10 @@ Three properties make this the production path the paper implies:
   implement scatter/gather collection.
 * **Portable** — :meth:`to_dict` / :meth:`from_dict` round-trip the whole
   session state (pairs included) through plain JSON-compatible data, so
-  shards can live in different processes or machines.
+  shards can live in different processes or machines.  Accumulators are
+  packed as base64-encoded raw bytes with a dtype/shape header (compact
+  and O(1) Python objects per array); payloads written by older versions,
+  which shipped nested lists, still load transparently.
 
 Two-way joins need no schema: ``collect("A", ...)``, ``collect("B", ...)``,
 ``estimate()``.  Multiway chains declare one width per join attribute and
@@ -36,7 +43,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..core.client import ReportBatch, encode_reports
+from ..accumulate import scatter_add_signed_units
+from ..core.client import DEFAULT_CHUNK_SIZE, ReportBatch, encode_reports_into
 from ..core.multiway import (
     LDPCompassProtocol,
     LDPMiddleSketch,
@@ -49,6 +57,7 @@ from ..errors import IncompatibleSketchError, ParameterError, ProtocolError
 from ..hashing import HashPairs
 from ..privacy.budget import BudgetLedger
 from ..rng import RandomState, ensure_rng
+from ..serialization import decode_array, encode_array
 from ..transform.hadamard import fwht_inplace
 from .result import EstimateResult
 
@@ -196,6 +205,7 @@ class JoinSession:
         *,
         attribute: int = 0,
         seed: RandomState = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> "JoinSession":
         """Fold one cohort of an end table into ``stream``.
 
@@ -204,6 +214,14 @@ class JoinSession:
         session generator) or a pre-encoded :class:`ReportBatch` received
         from real clients.  Cohorts are disjoint user groups, so each
         ``collect`` call composes in parallel on the privacy ledger.
+
+        Simulated cohorts route through the fused
+        :func:`~repro.core.client.encode_reports_into` kernel, which
+        encodes and accumulates ``chunk_size`` clients at a time — peak
+        transient memory is O(``chunk_size``), independent of the cohort
+        size.  Lower ``chunk_size`` to cap memory tighter, raise it to
+        shave per-chunk dispatch overhead; the estimate distribution is
+        identical either way.
         """
         start = time.perf_counter()
         state = self._end_state(stream, attribute)
@@ -215,13 +233,22 @@ class JoinSession:
                     f"report batch parameters {batch.params} do not match "
                     f"attribute {state.attribute} parameters {expected}"
                 )
+            num_new = len(batch)
+            if num_new:
+                scatter_add_signed_units(state.raw, (batch.rows, batch.cols), batch.ys)
         else:
             rng = self._rng if seed is None else ensure_rng(seed)
-            batch = encode_reports(values, expected, self._pairs[state.attribute], rng)
-        if len(batch):
-            np.add.at(state.raw, (batch.rows, batch.cols), batch.ys)
-            state.num_reports += len(batch)
-            state.uplink_bits += batch.total_bits
+            num_new = encode_reports_into(
+                values,
+                expected,
+                self._pairs[state.attribute],
+                state.raw,
+                rng,
+                chunk_size=chunk_size,
+            )
+        if num_new:
+            state.num_reports += num_new
+            state.uplink_bits += num_new * expected.report_bits
             self._charge(stream, state, "LDPJoinSketch")
             state.cached = None
         self.offline_seconds += time.perf_counter() - start
@@ -269,7 +296,7 @@ class JoinSession:
                 state.left_attribute, left_values, right_values, rng
             )
         if len(batch):
-            np.add.at(
+            scatter_add_signed_units(
                 state.raw, (batch.replicas, batch.left_cols, batch.right_cols), batch.ys
             )
             state.num_reports += len(batch)
@@ -520,7 +547,11 @@ class JoinSession:
         """Serialise the full session state (JSON-compatible).
 
         Everything a remote shard needs travels along: parameters, hash
-        pairs, per-stream accumulators and accounting.
+        pairs, per-stream accumulators and accounting.  Accumulators ship
+        as base64-encoded raw bytes plus a dtype/shape header — roughly
+        half the JSON footprint of the old ``tolist()`` payloads and no
+        per-element Python objects; :meth:`from_dict` reads both the
+        packed format and the legacy nested lists.
         """
         streams = {}
         for name, state in self._streams.items():
@@ -529,7 +560,7 @@ class JoinSession:
             else:
                 entry = {"kind": "middle", "attribute": state.left_attribute}
             entry.update(
-                raw=state.raw.tolist(),
+                raw=encode_array(state.raw),
                 num_reports=state.num_reports,
                 uplink_bits=state.uplink_bits,
                 cohorts=state.cohorts,
@@ -563,7 +594,7 @@ class JoinSession:
                 state = _MiddleStream(
                     attribute, k, pairs[attribute].m, pairs[attribute + 1].m
                 )
-            raw = np.asarray(entry["raw"], dtype=np.int64)
+            raw = decode_array(entry["raw"], np.int64)
             if raw.shape != state.raw.shape:
                 raise ParameterError(
                     f"stream {name!r} accumulator shaped {raw.shape}, "

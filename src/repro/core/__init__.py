@@ -21,7 +21,13 @@ Public surface:
 """
 
 from .params import SketchParams
-from .client import ReportBatch, encode_report, encode_reports
+from .client import (
+    DEFAULT_CHUNK_SIZE,
+    ReportBatch,
+    encode_report,
+    encode_reports,
+    encode_reports_into,
+)
 from .server import LDPJoinSketch, build_sketch
 from .aggregator import LDPJoinSketchAggregator
 from .estimator import estimate_join_size, find_frequent_items
@@ -40,6 +46,8 @@ __all__ = [
     "ReportBatch",
     "encode_report",
     "encode_reports",
+    "encode_reports_into",
+    "DEFAULT_CHUNK_SIZE",
     "LDPJoinSketch",
     "build_sketch",
     "LDPJoinSketchAggregator",

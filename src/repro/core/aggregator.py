@@ -6,7 +6,9 @@ one sketch out.  A deployed collector instead receives reports in waves
 waves.  :class:`LDPJoinSketchAggregator` supports that pattern:
 
 * ``ingest`` folds any number of :class:`ReportBatch` objects into the raw
-  (pre-transform) accumulator — O(batch) each, no transform cost;
+  (pre-transform, integer) accumulator — O(batch) each via one bincount
+  pass, no transform cost, and exact (the debiasing scale is applied only
+  when a sketch is materialised);
 * ``sketch`` materialises the constructed sketch on demand, caching the
   Hadamard inversion until new reports arrive;
 * ``join_size`` / ``frequencies`` answer queries against the current
@@ -23,6 +25,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from ..accumulate import scatter_add_signed_units
 from ..errors import IncompatibleSketchError, ParameterError, ProtocolError
 from ..hashing import HashPairs
 from ..transform.hadamard import fwht
@@ -44,7 +47,7 @@ class LDPJoinSketchAggregator:
             )
         self.params = params
         self.pairs = pairs
-        self._raw = np.zeros((params.k, params.m), dtype=np.float64)
+        self._raw = np.zeros((params.k, params.m), dtype=np.int64)
         self.num_reports = 0
         self._cached: Optional[LDPJoinSketch] = None
 
@@ -57,11 +60,7 @@ class LDPJoinSketchAggregator:
             raise IncompatibleSketchError(
                 "reports were generated under different protocol parameters"
             )
-        np.add.at(
-            self._raw,
-            (reports.rows, reports.cols),
-            self.params.scale * reports.ys.astype(np.float64),
-        )
+        scatter_add_signed_units(self._raw, (reports.rows, reports.cols), reports.ys)
         self.num_reports += len(reports)
         self._cached = None
         return self
@@ -96,7 +95,10 @@ class LDPJoinSketchAggregator:
             raise ProtocolError("no reports ingested yet")
         if self._cached is None:
             self._cached = LDPJoinSketch(
-                self.params, self.pairs, fwht(self._raw), self.num_reports
+                self.params,
+                self.pairs,
+                fwht(self._raw.astype(np.float64) * self.params.scale),
+                self.num_reports,
             )
         return self._cached
 

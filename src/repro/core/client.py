@@ -14,7 +14,11 @@ Given a private join value ``d``, the client
 :func:`encode_report` is the literal scalar transcription (kept for
 readability and used by the privacy audits); :func:`encode_reports` is the
 vectorised batch used for million-user simulations — tests pin the two to
-identical outputs under identical randomness.
+identical outputs under identical randomness.  :func:`encode_reports_into`
+is the fused encode→accumulate fast path: it perturbs and folds reports
+chunk by chunk directly into a ``(k, m)`` integer accumulator, never
+materialising the O(n) report arrays — tests pin it bit-for-bit against
+``encode_reports`` + scatter-add under identical RNG draws.
 """
 
 from __future__ import annotations
@@ -24,14 +28,24 @@ from typing import Iterable, Tuple
 
 import numpy as np
 
-from ..errors import ParameterError
+from ..accumulate import scatter_add_signed_units
+from ..errors import DomainError, ParameterError
 from ..hashing import HashPairs
+from ..hashing.kwise import MERSENNE_PRIME_31
 from ..rng import RandomState, ensure_rng
-from ..transform.hadamard import hadamard_entry, sample_hadamard_entries
+from ..transform.hadamard import hadamard_entry, sample_hadamard_parities
 from ..validation import as_value_array
 from .params import SketchParams
 
-__all__ = ["ReportBatch", "encode_report", "encode_reports"]
+__all__ = ["ReportBatch", "encode_report", "encode_reports", "encode_reports_into", "DEFAULT_CHUNK_SIZE"]
+
+#: Default client chunk of the fused encode→accumulate path.  Large enough
+#: that per-chunk NumPy dispatch overhead is negligible, small enough that
+#: the transient per-chunk arrays (~100 bytes per client across the
+#: pipeline) plus the ``(k, m)`` accumulator stay L2-resident — a 1M-client
+#: sweep measured 8192 ~20% faster than 64k chunks and ~40% faster than
+#: 512k chunks.
+DEFAULT_CHUNK_SIZE = 8_192
 
 
 @dataclass(frozen=True)
@@ -41,13 +55,19 @@ class ReportBatch:
     Attributes
     ----------
     ys:
-        Perturbed one-bit payloads in ``{-1, +1}``.
+        Perturbed one-bit payloads in ``{-1, +1}`` (stored as ``int8``).
     rows:
-        Sampled row indices ``j`` in ``[0, k)``.
+        Sampled row indices ``j`` in ``[0, k)`` (stored as ``int32``).
     cols:
-        Sampled column indices ``l`` in ``[0, m)``.
+        Sampled column indices ``l`` in ``[0, m)`` (stored as ``int32``).
     params:
         Protocol parameters the reports were generated under.
+
+    The storage dtypes are deliberately narrow — a report is one sign bit
+    plus two small indices, so ``int8``/``int32`` shrink an in-memory
+    million-report batch from 24 MB to 9 MB without changing
+    :attr:`total_bits` (the *protocol* communication cost, which depends
+    only on ``params.report_bits``).
     """
 
     ys: np.ndarray
@@ -68,9 +88,10 @@ class ReportBatch:
                 raise ParameterError(f"rows must lie in [0, {self.params.k})")
             if cols.min() < 0 or cols.max() >= self.params.m:
                 raise ParameterError(f"cols must lie in [0, {self.params.m})")
-        object.__setattr__(self, "ys", ys)
-        object.__setattr__(self, "rows", rows)
-        object.__setattr__(self, "cols", cols)
+        # Validated values all fit the narrow wire dtypes.
+        object.__setattr__(self, "ys", ys.astype(np.int8))
+        object.__setattr__(self, "rows", rows.astype(np.int32))
+        object.__setattr__(self, "cols", cols.astype(np.int32))
 
     def __len__(self) -> int:
         return int(self.ys.size)
@@ -133,15 +154,102 @@ def encode_reports(
     _check_pairs(params, pairs)
     arr = as_value_array(values)
     generator = ensure_rng(rng)
+    ys, rows, cols = _encode_chunk(arr, params, pairs, generator)
+    return ReportBatch(ys, rows, cols, params)
+
+
+def encode_reports_into(
+    values: Iterable[int],
+    params: SketchParams,
+    pairs: HashPairs,
+    out: np.ndarray,
+    rng: RandomState = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> int:
+    """Fused Algorithm 1 + accumulation: encode clients straight into ``out``.
+
+    Simulates the clients in chunks of ``chunk_size`` and folds each
+    chunk's ``(y, j, l)`` reports into the ``(k, m)`` *pre-transform
+    integer* accumulator ``out`` (``out[j, l] += y``) without ever holding
+    the O(n) report arrays — peak transient memory is O(chunk_size)
+    regardless of the population size.
+
+    The RNG draw order within each chunk matches :func:`encode_reports`
+    exactly, so for any chunking the result is bit-for-bit identical to
+    encoding the same chunks with :func:`encode_reports` (sharing the
+    generator) and scatter-adding each batch; with ``chunk_size >= n`` it
+    is bit-for-bit the single-batch path.
+
+    Parameters
+    ----------
+    values:
+        One private join value per client.
+    params, pairs:
+        Protocol parameters and published hash pairs (as in
+        :func:`encode_reports`).
+    out:
+        Integer accumulator of shape ``(k, m)``; modified in place.
+    rng:
+        Randomness source for all sampling.
+    chunk_size:
+        Number of clients encoded per pass.
+
+    Returns
+    -------
+    int
+        Number of reports folded into ``out``.
+    """
+    _check_pairs(params, pairs)
+    if not isinstance(out, np.ndarray) or not np.issubdtype(out.dtype, np.integer):
+        raise ParameterError("out must be an integer ndarray accumulator")
+    if out.shape != (params.k, params.m):
+        raise ParameterError(
+            f"out shaped {out.shape} does not match ({params.k}, {params.m})"
+        )
+    if not isinstance(chunk_size, (int, np.integer)) or chunk_size <= 0:
+        raise ParameterError(f"chunk_size must be a positive int, got {chunk_size!r}")
+    arr = as_value_array(values)
+    # Validate the whole batch up front: a mid-stream failure must not
+    # leave ``out`` holding the earlier chunks' reports (the caller's
+    # accumulator would be silently corrupted but its bookkeeping not).
+    if arr.size and (arr.min() < 0 or arr.max() >= MERSENNE_PRIME_31):
+        raise DomainError("hash inputs must lie in [0, 2**31 - 1)")
+    generator = ensure_rng(rng)
+    n = arr.size
+    for start in range(0, n, int(chunk_size)):
+        chunk = arr[start : start + int(chunk_size)]
+        ys, rows, cols = _encode_chunk(chunk, params, pairs, generator, domain_checked=True)
+        scatter_add_signed_units(out, (rows, cols), ys)
+    return int(n)
+
+
+def _encode_chunk(
+    arr: np.ndarray,
+    params: SketchParams,
+    pairs: HashPairs,
+    generator: np.random.Generator,
+    *,
+    domain_checked: bool = False,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One vectorised Algorithm 1 pass; the draw order is the wire contract.
+
+    Draws ``rows``, then ``cols``, then the flip uniforms — both
+    :func:`encode_reports` and every chunk of :func:`encode_reports_into`
+    go through here, which is what keeps the two paths bit-for-bit
+    equivalent under a shared generator.
+    """
     n = arr.size
     rows = generator.integers(0, params.k, size=n)
     cols = generator.integers(0, params.m, size=n)
-    buckets = pairs.bucket_rows(rows, arr)
-    signs = pairs.sign_rows(rows, arr)
-    w = signs * sample_hadamard_entries(buckets, cols, params.m)
+    buckets, sign_parity = pairs.bucket_and_sign_parity_rows(
+        rows, arr, domain_checked=domain_checked
+    )
+    hadamard_parity = sample_hadamard_parities(buckets, cols, params.m)
     flips = generator.random(n) < params.flip_probability
-    ys = np.where(flips, -w, w).astype(np.int64)
-    return ReportBatch(ys, rows, cols, params)
+    # y = xi * H[h, l] * b is a product of three signs; XOR-ing their
+    # parity bits computes it in integer passes without ±1 multiplies.
+    ys = 1 - 2 * (sign_parity ^ hadamard_parity ^ flips)
+    return ys, rows, cols
 
 
 def _check_pairs(params: SketchParams, pairs: HashPairs) -> None:

@@ -31,6 +31,7 @@ from typing import Iterable, List, Sequence
 
 import numpy as np
 
+from ..accumulate import scatter_add_signed_units
 from ..errors import IncompatibleSketchError, ParameterError
 from ..hashing import HashPairs
 from ..privacy.response import c_epsilon, flip_probability
@@ -352,14 +353,12 @@ class LDPCompassProtocol:
     ) -> LDPMiddleSketch:
         if reports.m_left != left_pairs.m or reports.m_right != right_pairs.m or reports.k != self.k:
             raise IncompatibleSketchError("middle reports do not match the protocol shape")
-        raw = np.zeros((self.k, left_pairs.m, right_pairs.m), dtype=np.float64)
-        scale = self.k * c_epsilon(self.epsilon)
-        np.add.at(
-            raw,
-            (reports.replicas, reports.left_cols, reports.right_cols),
-            scale * reports.ys.astype(np.float64),
+        accum = np.zeros((self.k, left_pairs.m, right_pairs.m), dtype=np.int64)
+        scatter_add_signed_units(
+            accum, (reports.replicas, reports.left_cols, reports.right_cols), reports.ys
         )
-        raw = finalize_middle_counts(raw)
+        scale = self.k * c_epsilon(self.epsilon)
+        raw = finalize_middle_counts(accum.astype(np.float64) * scale)
         return LDPMiddleSketch(left_pairs, right_pairs, raw, self.epsilon, len(reports))
 
     # ------------------------------------------------------------------

@@ -23,8 +23,10 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from ..accumulate import scatter_add_signed_units
 from ..errors import IncompatibleSketchError, ParameterError
 from ..hashing import HashPairs
+from ..serialization import decode_array, encode_array
 from ..transform.hadamard import fwht_inplace
 from ..validation import as_value_array
 from .client import ReportBatch
@@ -221,7 +223,9 @@ class LDPJoinSketch:
         The payload is plain JSON-compatible Python data, so a constructed
         sketch can be persisted or shipped between processes; the hash
         pairs travel with it, keeping the result joinable after
-        :meth:`from_dict`.
+        :meth:`from_dict`.  Counters are packed as base64-encoded raw
+        bytes (see :mod:`repro.serialization`); :meth:`from_dict` also
+        accepts the older nested-list payloads.
         """
         return {
             "params": {
@@ -230,16 +234,16 @@ class LDPJoinSketch:
                 "epsilon": self.params.epsilon,
             },
             "pairs": self.pairs.to_dict(),
-            "counts": self.counts.tolist(),
+            "counts": encode_array(self.counts),
             "num_reports": self.num_reports,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "LDPJoinSketch":
-        """Rebuild a sketch serialised by :meth:`to_dict`."""
+        """Rebuild a sketch serialised by :meth:`to_dict` (either format)."""
         params = SketchParams(**payload["params"])
         pairs = HashPairs.from_dict(payload["pairs"])
-        counts = np.asarray(payload["counts"], dtype=np.float64)
+        counts = decode_array(payload["counts"], np.float64)
         return cls(params, pairs, counts, int(payload["num_reports"]))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -265,8 +269,8 @@ def build_sketch(
         construction itself only uses the indices.
     """
     params = reports.params
-    raw = np.zeros((params.k, params.m), dtype=np.float64)
-    scale = params.scale  # k * c_epsilon
-    np.add.at(raw, (reports.rows, reports.cols), scale * reports.ys.astype(np.float64))
-    fwht_inplace(raw)  # M <- M @ H_m^T (H is symmetric)
-    return LDPJoinSketch(params, pairs, raw, num_reports=len(reports))
+    raw = np.zeros((params.k, params.m), dtype=np.int64)
+    scatter_add_signed_units(raw, (reports.rows, reports.cols), reports.ys)
+    counts = raw.astype(np.float64) * params.scale  # scale = k * c_epsilon
+    fwht_inplace(counts)  # M <- M @ H_m^T (H is symmetric)
+    return LDPJoinSketch(params, pairs, counts, num_reports=len(reports))

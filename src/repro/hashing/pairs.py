@@ -18,10 +18,27 @@ import numpy as np
 from ..errors import ParameterError
 from ..rng import RandomState, ensure_rng, spawn_many
 from ..validation import require_positive_int
-from .kwise import KWiseHash
+from .kwise import KWiseHash, check_domain, polyval_all, polyval_rows
 from .sign import SignHash
 
 __all__ = ["HashPairs"]
+
+
+def _stack_coefficients(hashes) -> "np.ndarray | None":
+    """Stack hash coefficients into a transposed ``(degree, k)`` matrix.
+
+    The transpose keeps each degree's ``k`` coefficients contiguous, which
+    is what :func:`repro.hashing.kwise.polyval_rows` gathers from.
+    Returns ``None`` when the hashes have heterogeneous degrees (possible
+    via hand-built :meth:`HashPairs.from_dict` payloads), in which case
+    callers fall back to the per-row loop.
+    """
+    degrees = {h.independence for h in hashes}
+    if len(degrees) != 1:
+        return None
+    return np.ascontiguousarray(np.stack([h.coefficients for h in hashes]).T)
+
+
 
 
 class HashPairs:
@@ -42,7 +59,7 @@ class HashPairs:
         Independence degree of the bucket hashes (pairwise by default).
     """
 
-    __slots__ = ("k", "m", "bucket_hashes", "sign_hashes")
+    __slots__ = ("k", "m", "bucket_hashes", "sign_hashes", "_bucket_coeffs", "_sign_coeffs")
 
     def __init__(
         self,
@@ -73,6 +90,11 @@ class HashPairs:
                 KWiseHash(independence=bucket_independence, seed=children[j]) for j in range(self.k)
             ]
             self.sign_hashes = [SignHash(seed=children[self.k + j]) for j in range(self.k)]
+        # Stacked (k, degree) coefficient matrices power the batched
+        # evaluation paths below; ``None`` (mixed degrees) falls back to
+        # the per-row loops.
+        self._bucket_coeffs = _stack_coefficients(self.bucket_hashes)
+        self._sign_coeffs = _stack_coefficients([s.base for s in self.sign_hashes])
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -91,46 +113,101 @@ class HashPairs:
         """``h_{rows[i]}(values[i])`` for per-report row assignments.
 
         This is the batched client path: report ``i`` goes to row
-        ``rows[i]`` and needs only that row's hashes.
+        ``rows[i]`` and needs only that row's hashes.  Each report's
+        coefficients are gathered from the stacked matrix and every
+        polynomial is evaluated in one vectorised Horner pass — no per-row
+        masking over the batch.
         """
-        rows = np.asarray(rows, dtype=np.int64)
-        values = np.asarray(values, dtype=np.int64)
-        if rows.shape != values.shape:
-            raise ParameterError("rows and values must have the same shape")
-        out = np.empty(values.shape, dtype=np.int64)
-        for j in range(self.k):
-            mask = rows == j
-            if np.any(mask):
-                out[mask] = self.bucket_hashes[j].bucket(values[mask], self.m)
-        return out
+        rows, values = self._check_row_batch(rows, values)
+        if self._bucket_coeffs is None:
+            out = np.empty(values.shape, dtype=np.int64)
+            for j in range(self.k):
+                mask = rows == j
+                if np.any(mask):
+                    out[mask] = self.bucket_hashes[j].bucket(values[mask], self.m)
+            return out
+        check_domain(values)
+        raw = polyval_rows(self._bucket_coeffs, rows, values.astype(np.uint64))
+        return self._reduce_buckets(raw)
 
     def sign_rows(self, rows: np.ndarray, values: np.ndarray) -> np.ndarray:
         """``xi_{rows[i]}(values[i])`` for per-report row assignments."""
-        rows = np.asarray(rows, dtype=np.int64)
-        values = np.asarray(values, dtype=np.int64)
-        if rows.shape != values.shape:
-            raise ParameterError("rows and values must have the same shape")
-        out = np.empty(values.shape, dtype=np.int64)
-        for j in range(self.k):
-            mask = rows == j
-            if np.any(mask):
-                out[mask] = self.sign_hashes[j](values[mask])
-        return out
+        if self._sign_coeffs is None:
+            rows, values = self._check_row_batch(rows, values)
+            out = np.empty(values.shape, dtype=np.int64)
+            for j in range(self.k):
+                mask = rows == j
+                if np.any(mask):
+                    out[mask] = self.sign_hashes[j](values[mask])
+            return out
+        return 1 - 2 * self.sign_parity_rows(rows, values)
+
+    def sign_parity_rows(self, rows: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Sign *parity bits*: ``0`` where ``xi_{rows[i]}(values[i]) = +1``.
+
+        The fused client path composes the three sign factors of a report
+        (sign hash, Hadamard entry, flip channel) by XOR-ing parity bits
+        instead of multiplying ``±1`` arrays — same values, fewer passes.
+        """
+        rows, values = self._check_row_batch(rows, values)
+        if self._sign_coeffs is None:
+            return (1 - self.sign_rows(rows, values)) // 2
+        check_domain(values)
+        raw = polyval_rows(self._sign_coeffs, rows, values.astype(np.uint64))
+        return (raw & np.uint64(1)).astype(np.int64)
+
+    def bucket_and_sign_parity_rows(
+        self, rows: np.ndarray, values: np.ndarray, *, domain_checked: bool = False
+    ):
+        """``(bucket_rows(...), sign_parity_rows(...))`` in one pass.
+
+        The fused client kernel needs both hashes of every report; doing
+        them together shares the argument validation, the domain check and
+        the uint64 conversion of ``values``.  ``domain_checked=True``
+        skips the per-call range scan — for callers (the chunked fused
+        kernel) that already validated the full batch up front.
+        """
+        rows, values = self._check_row_batch(rows, values)
+        if self._bucket_coeffs is None or self._sign_coeffs is None:
+            return self.bucket_rows(rows, values), self.sign_parity_rows(rows, values)
+        if not domain_checked:
+            check_domain(values)
+        x = values.astype(np.uint64)
+        buckets = self._reduce_buckets(polyval_rows(self._bucket_coeffs, rows, x))
+        sign_raw = polyval_rows(self._sign_coeffs, rows, x)
+        return buckets, (sign_raw & np.uint64(1)).astype(np.int64)
 
     def bucket_all(self, values: np.ndarray) -> np.ndarray:
         """Matrix ``H`` with ``H[j, i] = h_j(values[i])`` — shape ``(k, n)``.
 
         Used by the server for domain-wide frequency scans (Theorem 7) and
         by the non-private Fast-AGMS baseline, where every update touches
-        every row.
+        every row.  All ``k`` polynomials are evaluated against the batch
+        in one broadcast Horner pass.
         """
         values = np.asarray(values, dtype=np.int64)
-        return np.stack([self.bucket_hashes[j].bucket(values, self.m) for j in range(self.k)])
+        if self._bucket_coeffs is None:
+            return np.stack(
+                [self.bucket_hashes[j].bucket(values, self.m) for j in range(self.k)]
+            )
+        check_domain(values)
+        raw = polyval_all(self._bucket_coeffs, values.astype(np.uint64))
+        return self._reduce_buckets(raw)
 
     def sign_all(self, values: np.ndarray) -> np.ndarray:
         """Matrix ``S`` with ``S[j, i] = xi_j(values[i])`` — shape ``(k, n)``."""
         values = np.asarray(values, dtype=np.int64)
-        return np.stack([self.sign_hashes[j](values) for j in range(self.k)])
+        if self._sign_coeffs is None:
+            return np.stack([self.sign_hashes[j](values) for j in range(self.k)])
+        check_domain(values)
+        raw = polyval_all(self._sign_coeffs, values.astype(np.uint64))
+        return 1 - 2 * (raw & np.uint64(1)).astype(np.int64)
+
+    def _reduce_buckets(self, raw: np.ndarray) -> np.ndarray:
+        """Map field residues into ``[0, m)`` — a mask when ``m`` is 2**b."""
+        if self.m & (self.m - 1) == 0:
+            return (raw & np.uint64(self.m - 1)).astype(np.int64)
+        return (raw % np.uint64(self.m)).astype(np.int64)
 
     # ------------------------------------------------------------------
     # Compatibility / serialisation
@@ -138,6 +215,13 @@ class HashPairs:
     def _check_row(self, row: int) -> None:
         if not 0 <= row < self.k:
             raise ParameterError(f"row must lie in [0, {self.k}), got {row}")
+
+    def _check_row_batch(self, rows: np.ndarray, values: np.ndarray):
+        rows = np.asarray(rows, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if rows.shape != values.shape:
+            raise ParameterError("rows and values must have the same shape")
+        return rows, values
 
     def to_dict(self) -> dict:
         """Serialise to a plain dict (inverse of :meth:`from_dict`)."""

@@ -34,6 +34,11 @@ class SignHash:
     def __init__(self, seed: RandomState = None, *, base: KWiseHash = None) -> None:
         self._hash = base if base is not None else KWiseHash(independence=4, seed=seed)
 
+    @property
+    def base(self) -> KWiseHash:
+        """The underlying field hash (exposed for batched evaluation)."""
+        return self._hash
+
     def __call__(self, values: np.ndarray) -> np.ndarray:
         """Return ``+1`` / ``-1`` for each value (scalar in, scalar out)."""
         raw = self._hash(values)

@@ -23,6 +23,7 @@ import math
 
 import numpy as np
 
+from ..accumulate import scatter_count
 from ..errors import IncompatibleSketchError
 from ..hashing.kwise import MERSENNE_PRIME_31
 from ..privacy.response import grr_perturb, grr_probabilities
@@ -69,7 +70,7 @@ class FLHOracle(FrequencyOracle):
         kappa = rng.integers(0, self.pool_size, size=values.size)
         hashed = self._pool_hash(kappa, values)
         reports = grr_perturb(hashed, self.g, self.epsilon, rng)
-        np.add.at(self._counts, (kappa, reports), 1)
+        scatter_count(self._counts, (kappa, reports))
 
     def _merge(self, other: "FLHOracle") -> None:
         if not (

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..accumulate import scatter_add_signed_units
 from ..errors import IncompatibleSketchError
 from ..hashing import HashPairs
 from ..privacy.response import c_epsilon, flip_probability
@@ -50,7 +51,7 @@ class HCMSOracle(FrequencyOracle):
         self.k = require_positive_int("k", k)
         self.m = require_power_of_two("m", m)
         self.pairs = HashPairs(self.k, self.m, spawn(self._rng))
-        self._raw = np.zeros((self.k, self.m), dtype=np.float64)
+        self._raw = np.zeros((self.k, self.m), dtype=np.int64)
         self._dirty = False
         self._transformed = np.zeros((self.k, self.m), dtype=np.float64)
 
@@ -64,9 +65,9 @@ class HCMSOracle(FrequencyOracle):
         buckets = self.pairs.bucket_rows(rows, values)
         w = sample_hadamard_entries(buckets, cols, self.m)
         flips = rng.random(n) < flip_probability(self.epsilon)
-        ys = np.where(flips, -w, w).astype(np.float64)
-        scale = self.k * c_epsilon(self.epsilon)
-        np.add.at(self._raw, (rows, cols), scale * ys)
+        ys = np.where(flips, -w, w)
+        # Integer accumulation; the debiasing scale is applied in _sketch().
+        scatter_add_signed_units(self._raw, (rows, cols), ys)
         self._dirty = True
 
     def _merge(self, other: "HCMSOracle") -> None:
@@ -79,7 +80,8 @@ class HCMSOracle(FrequencyOracle):
 
     def _sketch(self) -> np.ndarray:
         if self._dirty:
-            self._transformed = fwht(self._raw)
+            scale = self.k * c_epsilon(self.epsilon)
+            self._transformed = fwht(self._raw.astype(np.float64) * scale)
             self._dirty = False
         return self._transformed
 

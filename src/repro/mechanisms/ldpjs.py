@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.client import encode_reports
+from ..core.client import encode_reports_into
 from ..core.params import SketchParams
 from ..errors import IncompatibleSketchError
 from ..core.server import LDPJoinSketch
@@ -40,17 +40,14 @@ class LDPJoinSketchOracle(FrequencyOracle):
         super().__init__(domain_size, epsilon, seed)
         self.params = SketchParams(k, m, epsilon)
         self.pairs = HashPairs(k, m, spawn(self._rng))
-        self._raw = np.zeros((k, m), dtype=np.float64)
+        self._raw = np.zeros((k, m), dtype=np.int64)
         self._dirty = False
         self._sketch: LDPJoinSketch = LDPJoinSketch(self.params, self.pairs)
 
     def _collect(self, values: np.ndarray, rng: np.random.Generator) -> None:
-        reports = encode_reports(values, self.params, self.pairs, rng)
-        np.add.at(
-            self._raw,
-            (reports.rows, reports.cols),
-            self.params.scale * reports.ys.astype(np.float64),
-        )
+        # Fused encode→accumulate: no O(n) report arrays, one bincount
+        # pass per chunk; the debiasing scale is applied in sketch().
+        encode_reports_into(values, self.params, self.pairs, self._raw, rng)
         self._dirty = True
 
     def _merge(self, other: "LDPJoinSketchOracle") -> None:
@@ -66,7 +63,10 @@ class LDPJoinSketchOracle(FrequencyOracle):
         """The constructed (transformed) sketch for direct use."""
         if self._dirty:
             self._sketch = LDPJoinSketch(
-                self.params, self.pairs, fwht(self._raw), self.num_reports
+                self.params,
+                self.pairs,
+                fwht(self._raw.astype(np.float64) * self.params.scale),
+                self.num_reports,
             )
             self._dirty = False
         return self._sketch

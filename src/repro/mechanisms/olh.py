@@ -78,18 +78,37 @@ class OLHOracle(FrequencyOracle):
         mixed = (a.astype(np.uint64) * values.astype(np.uint64) + b.astype(np.uint64)) % prime
         return mixed.astype(np.int64)
 
+    def _consolidated(self) -> tuple:
+        """Concatenate the per-cohort arrays into one flat store.
+
+        ``_collect``/``_merge`` append cohort-sized pieces; estimation
+        wants one contiguous view so the support scan is a single chunked
+        broadcast rather than a Python loop over cohorts.  The
+        concatenation is cached back into the lists (length-one), so it
+        costs one pass after any number of collects.
+        """
+        if len(self._hash_a) > 1:
+            self._hash_a = [np.concatenate(self._hash_a)]
+            self._hash_b = [np.concatenate(self._hash_b)]
+            self._reports = [np.concatenate(self._reports)]
+        if not self._hash_a:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, empty
+        return self._hash_a[0], self._hash_b[0], self._reports[0]
+
     def _frequencies(self, candidates: np.ndarray) -> np.ndarray:
+        # All candidates are evaluated against all stored per-user hash
+        # parameters in one broadcast per user chunk; the chunking bounds
+        # the transient (users, candidates) table to ~8M entries.
+        a, b, reports = self._consolidated()
         support = np.zeros(candidates.size, dtype=np.float64)
-        for a, b, reports in zip(self._hash_a, self._hash_b, self._reports):
-            # (n, c) table of H_i(candidate), chunked over candidates by
-            # the caller; chunk users here to bound memory further.
-            user_chunk = max(1, 8_388_608 // max(1, candidates.size))
-            for start in range(0, a.size, user_chunk):
-                sl = slice(start, start + user_chunk)
-                hashed = self._hash(
-                    a[sl][:, None], b[sl][:, None], candidates[None, :]
-                ) % self.g
-                support += np.sum(hashed == reports[sl][:, None], axis=0)
+        user_chunk = max(1, 8_388_608 // max(1, candidates.size))
+        for start in range(0, a.size, user_chunk):
+            sl = slice(start, start + user_chunk)
+            hashed = self._hash(
+                a[sl][:, None], b[sl][:, None], candidates[None, :]
+            ) % self.g
+            support += np.count_nonzero(hashed == reports[sl][:, None], axis=0)
         return (support - self.num_reports / self.g) / (self.p - 1.0 / self.g)
 
     @property

@@ -4,9 +4,9 @@ All the classical sketches in this package share a ``(k, m)`` counter array
 and the *linearity* property: the sketch of the concatenation of two
 streams is the element-wise sum of the two sketches.  :class:`LinearSketch`
 hosts that shared plumbing — counter storage, batched updates via
-``np.add.at``, merging, and compatibility checks — while subclasses define
-how a value maps to (row, bucket, weight) triples and how estimates are
-read out.
+flattened-index bincount accumulation, merging, and compatibility checks —
+while subclasses define how a value maps to (row, bucket, weight) triples
+and how estimates are read out.
 """
 
 from __future__ import annotations
@@ -16,6 +16,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..accumulate import scatter_add
 from ..errors import IncompatibleSketchError, ParameterError
 from ..hashing import HashPairs
 from ..validation import as_value_array
@@ -82,7 +83,7 @@ class LinearSketch(abc.ABC):
         return as_value_array(values)
 
     def _scatter_add(self, rows: np.ndarray, buckets: np.ndarray, weights: np.ndarray) -> None:
-        np.add.at(self.counts, (rows, buckets), weights)
+        scatter_add(self.counts, (rows, buckets), weights)
 
     # ------------------------------------------------------------------
     # Introspection

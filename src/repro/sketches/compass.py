@@ -24,6 +24,7 @@ from typing import Iterable, List, Sequence
 
 import numpy as np
 
+from ..accumulate import scatter_add
 from ..errors import IncompatibleSketchError, ParameterError
 from ..hashing import HashPairs
 from ..rng import RandomState, ensure_rng, spawn
@@ -64,11 +65,23 @@ class CompassMiddleSketch:
             raise ParameterError("left and right columns must have equal length")
         if left.size == 0:
             return
-        for j in range(self.k):
-            rows = self.left_pairs.bucket(j, left)
-            cols = self.right_pairs.bucket(j, right)
-            signs = self.left_pairs.sign(j, left) * self.right_pairs.sign(j, right)
-            np.add.at(self.counts[j], (rows, cols), weight * signs.astype(np.float64))
+        # One batched hash evaluation and one bincount pass cover every
+        # replica: flatten (replica, row, col) into the 3-D counter
+        # tensor.  Tuples are processed in slices so the (k, chunk)
+        # intermediates stay a few MB regardless of the table size.
+        chunk = max(1, 262_144 // self.k)
+        for start in range(0, left.size, chunk):
+            sl = slice(start, start + chunk)
+            lslice, rslice = left[sl], right[sl]
+            rows = self.left_pairs.bucket_all(lslice)       # (k, c)
+            cols = self.right_pairs.bucket_all(rslice)      # (k, c)
+            signs = self.left_pairs.sign_all(lslice) * self.right_pairs.sign_all(rslice)
+            replicas = np.repeat(np.arange(self.k, dtype=np.int64), lslice.size)
+            scatter_add(
+                self.counts,
+                (replicas, rows.ravel(), cols.ravel()),
+                weight * signs.ravel().astype(np.float64),
+            )
         self.total_weight += weight * left.size
 
     def memory_bytes(self) -> int:

@@ -7,6 +7,7 @@ from .hadamard import (
     hadamard_matrix,
     hadamard_row,
     sample_hadamard_entries,
+    sample_hadamard_parities,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "hadamard_matrix",
     "hadamard_row",
     "sample_hadamard_entries",
+    "sample_hadamard_parities",
 ]

@@ -41,22 +41,39 @@ __all__ = [
     "fwht",
     "fwht_inplace",
     "sample_hadamard_entries",
+    "sample_hadamard_parities",
 ]
 
 
-def _popcount_parity(x: np.ndarray) -> np.ndarray:
+def _popcount_parity(x: np.ndarray, bits: int = 64, *, consume: bool = False) -> np.ndarray:
     """Return the parity (0 or 1) of the popcount of each element of ``x``.
 
-    Uses the word-level parity fold; ``x`` must be a non-negative integer
-    array with values below 2**63.
+    Uses the word-level parity fold, skipping folds above the stated bit
+    width — sketch indices are ``log2(m)``-bit values, so the typical call
+    runs 4 passes instead of 6.  ``x`` must be a non-negative integer
+    array with values below ``2**bits`` (and below 2**63).  With
+    ``consume=True`` the caller donates ``x`` as scratch (hot paths pass
+    a freshly allocated array to fold fully in place); otherwise the
+    first applied fold allocates so the caller's buffer survives.
     """
-    x = np.asarray(x, dtype=np.uint64)
-    x ^= x >> np.uint64(32)
-    x ^= x >> np.uint64(16)
-    x ^= x >> np.uint64(8)
-    x ^= x >> np.uint64(4)
-    x ^= x >> np.uint64(2)
-    x ^= x >> np.uint64(1)
+    x = np.asarray(x)
+    if x.dtype == np.int64:
+        x = x.view(np.uint64)  # zero-copy; values are non-negative
+        owned = consume
+    elif x.dtype == np.uint64:
+        owned = consume
+    else:
+        x = x.astype(np.uint64)
+        owned = True
+    shift = 32
+    while shift:
+        if shift < bits:
+            if owned:
+                x ^= x >> np.uint64(shift)
+            else:
+                x = x ^ (x >> np.uint64(shift))
+                owned = True
+        shift //= 2
     return (x & np.uint64(1)).astype(np.int64)
 
 
@@ -107,19 +124,37 @@ def fwht_inplace(data: np.ndarray) -> np.ndarray:
     ``data`` must be a float array whose last dimension is a power of two.
     Computes ``data @ H_m`` (equivalently ``H_m @ data`` per row, since the
     matrix is symmetric) without materialising ``H_m``.  Returns ``data``.
+
+    A single half-size scratch buffer, allocated once and reshaped per
+    butterfly level, carries the differences — no per-level ``.copy()``
+    allocations, so the transform's transient footprint is exactly
+    ``data.size / 2`` elements regardless of ``log2(m)`` levels.
     """
     if data.ndim == 0:
         raise ValueError("fwht requires at least a 1-D array")
+    if not np.issubdtype(data.dtype, np.floating):
+        # An integer input would silently accumulate in integer arithmetic
+        # (and a non-writable cast would corrupt the caller's buffer);
+        # demand an explicit conversion instead.
+        raise TypeError(
+            f"fwht_inplace requires a float array, got dtype {data.dtype}; "
+            f"convert with .astype(float) first (or use fwht for a copy)"
+        )
     m = data.shape[-1]
     require_power_of_two("transform length", m)
+    if m == 1:
+        return data
+    scratch = np.empty(data.size // 2, dtype=data.dtype)
     h = 1
     while h < m:
-        # Butterfly over blocks of width 2*h.
-        shape_view = data.reshape(*data.shape[:-1], m // (2 * h), 2, h)
-        a = shape_view[..., 0, :].copy()
-        b = shape_view[..., 1, :]
-        shape_view[..., 0, :] = a + b
-        shape_view[..., 1, :] = a - b
+        # Butterfly over blocks of width 2*h: (a, b) <- (a + b, a - b).
+        view = data.reshape(*data.shape[:-1], m // (2 * h), 2, h)
+        a = view[..., 0, :]
+        b = view[..., 1, :]
+        diff = scratch.reshape(a.shape)
+        np.subtract(a, b, out=diff)
+        np.add(a, b, out=a)
+        b[...] = diff
         h *= 2
     return data
 
@@ -143,8 +178,28 @@ def sample_hadamard_entries(rows: np.ndarray, cols: np.ndarray, order: int) -> n
     contributes one sampled Hadamard entry, so for ``n`` clients we evaluate
     ``n`` independent entries in one call.
     """
+    return 1 - 2 * sample_hadamard_parities(rows, cols, order)
+
+
+def sample_hadamard_parities(rows: np.ndarray, cols: np.ndarray, order: int) -> np.ndarray:
+    """Parity bits of sampled Hadamard entries: ``0`` where the entry is +1.
+
+    ``H_order[i, j] = (-1)^popcount(i & j)``, so the parity *is* the
+    entry's sign bit.  The fused client path XORs this against the sign
+    hash and flip-channel parities instead of multiplying three ``±1``
+    arrays; the fold width is capped at ``log2(order)`` bits since
+    ``i & j < order``.
+    """
+    order = require_power_of_two("order", order)
     rows = np.asarray(rows, dtype=np.int64)
     cols = np.asarray(cols, dtype=np.int64)
     if rows.shape != cols.shape:
         raise ValueError(f"rows and cols must have the same shape, got {rows.shape} vs {cols.shape}")
-    return np.asarray(hadamard_entry(rows, cols, order), dtype=np.int64)
+    if rows.size and (
+        rows.min() < 0 or rows.max() >= order or cols.min() < 0 or cols.max() >= order
+    ):
+        raise IndexError(f"Hadamard indices must lie in [0, {order})")
+    # The AND result is freshly allocated, so donate it as fold scratch.
+    return _popcount_parity(
+        np.bitwise_and(rows, cols), bits=max(1, order.bit_length() - 1), consume=True
+    )

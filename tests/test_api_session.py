@@ -60,8 +60,10 @@ class TestCollectAndEstimate:
         shared = pairs_owner.pairs
 
         one_shot = JoinSession(params, pairs=shared)
-        one_shot.collect("A", a, seed=11)
-        one_shot.collect("B", b, seed=12)
+        # chunk_size >= n pins the fused path to the single-batch RNG
+        # stream, so the pre-encoded batches below carry the same reports.
+        one_shot.collect("A", a, seed=11, chunk_size=a.size)
+        one_shot.collect("B", b, seed=12, chunk_size=b.size)
 
         incremental = JoinSession(params, pairs=shared)
         # Same client reports, delivered as pre-encoded wire batches in
@@ -85,7 +87,7 @@ class TestCollectAndEstimate:
         """collect(values, seed=s) is exactly Algorithm 1 under seed s."""
         a, _ = streams
         session = JoinSession(params, seed=4)
-        session.collect("A", a, seed=21)
+        session.collect("A", a, seed=21, chunk_size=a.size)
         manual = build_sketch(
             encode_reports(a, params, session.pairs[0], np.random.default_rng(21)),
             session.pairs[0],

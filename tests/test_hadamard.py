@@ -131,6 +131,16 @@ class TestFWHT:
         with pytest.raises(ValueError):
             fwht_inplace(np.float64(1.0))
 
+    def test_inplace_rejects_integer_dtypes(self):
+        # Integer input used to silently transform in integer arithmetic;
+        # the in-place butterfly now demands an explicit float conversion.
+        with pytest.raises(TypeError, match="float"):
+            fwht_inplace(np.ones(8, dtype=np.int64))
+
+    def test_order_one_is_identity(self):
+        x = np.array([[3.0], [4.0]])
+        assert np.array_equal(fwht_inplace(x), [[3.0], [4.0]])
+
     def test_one_hot_transform_is_matrix_row(self):
         # The client-side identity: fwht(one-hot at r) == H[r, :].
         m = 32
