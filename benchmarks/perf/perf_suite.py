@@ -12,9 +12,17 @@ every PR has a perf baseline to beat:
   clients, comparing a faithful replica of the pre-fused pipeline
   (per-row masked hashing, ``%``-reduction Horner, O(n) report arrays,
   ``np.add.at``) against :func:`repro.core.client.encode_reports_into`;
-* ``estimate`` — query latency: sketch materialisation + Eq. (5);
+* ``estimate`` — query latency: sketch materialisation + Eq. (5), plus
+  the cached re-query (the session keeps finalized post-FWHT sketches
+  until the next collect/merge invalidates them);
 * ``serialize`` — session payload round-trip, legacy ``tolist()`` JSON
-  versus the packed base64 format, with payload sizes.
+  versus the packed base64 format, with payload sizes;
+* ``sweep`` — the headline of the sweep engine: a paper-style
+  (2 methods × 3 epsilons × 5 trials) grid on one dataset, comparing the
+  pre-engine serial harness loop (one full ``estimate`` per trial)
+  against the engine's exact mode (trial-axis fused kernel, bit-identical
+  estimates) and grouped mode (one hash/sample pass per (dataset, method)
+  block), plus a parallel-vs-serial bit-identity check.
 
 :func:`run_suite` returns a JSON-compatible payload;
 :func:`validate_payload` is the schema check CI runs against the emitted
@@ -32,17 +40,30 @@ from typing import Callable, Dict, Tuple
 import numpy as np
 
 from repro.accumulate import scatter_add_signed_units
-from repro.api import JoinSession
+from repro.api import JoinSession, get_estimator
 from repro.core import SketchParams, encode_reports, encode_reports_into
 from repro.core.client import ReportBatch
+from repro.data import make_join_instance
+from repro.experiments.sweep import plan_grid, run_sweep
 from repro.hashing import HashPairs
 from repro.hashing.kwise import MERSENNE_PRIME_31
+from repro.rng import derive_seed, ensure_rng
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Headline population sizes.
 FULL_N = 1_000_000
 QUICK_N = 20_000
+
+#: Per-stream population of the sweep grid (paper-style n >= 100k when full).
+SWEEP_FULL_N = 100_000
+SWEEP_QUICK_N = 20_000
+
+#: The sweep grid: 2 methods x 3 epsilons x 5 trials on one dataset.
+SWEEP_METHODS = ("ldp-join-sketch", "ldp-compass")
+SWEEP_EPSILONS = (2.0, 4.0, 8.0)
+SWEEP_TRIALS = 5
+SWEEP_DATASET = "zipf-1.1"
 
 #: Sketch shape of every benchmark (the paper's defaults).
 BENCH_K = 18
@@ -219,7 +240,89 @@ def _bench_estimate(n: int, repeats: int) -> Dict[str, float]:
         return session.estimate("A", "B")
 
     seconds = _best_of(run_estimate, repeats)
-    return {"n": n, "estimate_seconds": seconds}
+    # Cached re-query: the session holds the finalized post-FWHT sketches
+    # until collect/merge invalidates them, so repeated queries skip the
+    # transform entirely.
+    session.estimate("A", "B")
+    cached_seconds = _best_of(lambda: session.estimate("A", "B"), repeats)
+    return {
+        "n": n,
+        "estimate_seconds": seconds,
+        "estimate_cached_seconds": cached_seconds,
+    }
+
+
+def _sweep_estimates(records) -> Tuple[float, ...]:
+    return tuple(r.estimate for unit_records in records for r in unit_records)
+
+
+def _bench_sweep(n: int, repeats: int, parallel_workers: int = 2) -> Dict[str, float]:
+    """Paper-style grid: pre-engine serial harness vs the sweep engine."""
+    instance = make_join_instance(SWEEP_DATASET, size=n, seed=BENCH_SEED)
+    instance.true_join_size  # materialise the ground truth outside timing
+    methods = {}
+    for name in SWEEP_METHODS:
+        estimator = get_estimator(name, k=BENCH_K, m=BENCH_M)
+        methods[estimator.name] = estimator
+    epsilons = list(SWEEP_EPSILONS)
+    master = BENCH_SEED
+
+    def legacy_serial():
+        # Faithful replica of the pre-engine harness: per grid point one
+        # derived unit seed, per trial one full estimator run (fresh
+        # session, fresh pairs, chunked encode, FWHT, query).  The seed
+        # derivation order matches plan_grid, so the exact engine's
+        # estimates can be compared 1:1.
+        rng = ensure_rng(master)
+        estimates = []
+        derive_seed(rng)  # the dataset's instance seed
+        for method in methods.values():
+            for epsilon in epsilons:
+                unit_rng = ensure_rng(derive_seed(rng))
+                for _ in range(SWEEP_TRIALS):
+                    estimates.append(
+                        method.estimate(instance, epsilon, derive_seed(unit_rng)).estimate
+                    )
+        return tuple(estimates)
+
+    def engine(trial_axis: str, workers: int = 1):
+        plan = plan_grid(
+            [SWEEP_DATASET],
+            methods,
+            epsilons,
+            SWEEP_TRIALS,
+            seed=master,
+            trial_axis=trial_axis,
+            instances={SWEEP_DATASET: instance},
+        )
+        return _sweep_estimates(run_sweep(plan, workers=workers))
+
+    serial_seconds = _best_of(legacy_serial, repeats)
+    exact_seconds = _best_of(lambda: engine("exact"), repeats)
+    grouped_seconds = _best_of(lambda: engine("grouped"), repeats)
+    exact_identical = legacy_serial() == engine("exact")
+    serial_grouped = engine("grouped")
+    parallel_start = time.perf_counter()
+    parallel_grouped = engine("grouped", workers=parallel_workers)
+    parallel_seconds = time.perf_counter() - parallel_start
+    units = len(methods) * len(epsilons)
+    return {
+        "n": n,
+        "datasets": 1,
+        "methods": len(methods),
+        "epsilons": len(epsilons),
+        "trials": SWEEP_TRIALS,
+        "units": units,
+        "serial_seconds": serial_seconds,
+        "exact_seconds": exact_seconds,
+        "grouped_seconds": grouped_seconds,
+        "speedup": serial_seconds / grouped_seconds if grouped_seconds > 0 else float("inf"),
+        "exact_speedup": serial_seconds / exact_seconds if exact_seconds > 0 else float("inf"),
+        "exact_identical": 1.0 if exact_identical else 0.0,
+        "parallel_workers": parallel_workers,
+        "parallel_seconds": parallel_seconds,
+        "parallel_identical": 1.0 if parallel_grouped == serial_grouped else 0.0,
+    }
 
 
 def _bench_serialize(n: int, repeats: int) -> Dict[str, float]:
@@ -269,6 +372,8 @@ def run_suite(quick: bool = False) -> dict:
     n = QUICK_N if quick else FULL_N
     repeats = 1 if quick else 9
     query_n = min(n, 200_000)
+    sweep_n = SWEEP_QUICK_N if quick else SWEEP_FULL_N
+    sweep_repeats = 1 if quick else 3
     return {
         "schema_version": SCHEMA_VERSION,
         "mode": "quick" if quick else "full",
@@ -279,6 +384,7 @@ def run_suite(quick: bool = False) -> dict:
             "end_to_end": _bench_end_to_end(n, repeats),
             "estimate": _bench_estimate(query_n, repeats),
             "serialize": _bench_serialize(query_n, repeats),
+            "sweep": _bench_sweep(sweep_n, sweep_repeats),
         },
     }
 
@@ -307,13 +413,30 @@ _SECTION_KEYS: Dict[str, Tuple[str, ...]] = {
         "fused_clients_per_sec",
         "speedup",
     ),
-    "estimate": ("n", "estimate_seconds"),
+    "estimate": ("n", "estimate_seconds", "estimate_cached_seconds"),
     "serialize": (
         "n",
         "packed_roundtrip_seconds",
         "legacy_roundtrip_seconds",
         "packed_payload_bytes",
         "legacy_payload_bytes",
+    ),
+    "sweep": (
+        "n",
+        "datasets",
+        "methods",
+        "epsilons",
+        "trials",
+        "units",
+        "serial_seconds",
+        "exact_seconds",
+        "grouped_seconds",
+        "speedup",
+        "exact_speedup",
+        "exact_identical",
+        "parallel_workers",
+        "parallel_seconds",
+        "parallel_identical",
     ),
 }
 

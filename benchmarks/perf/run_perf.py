@@ -49,6 +49,15 @@ def main(argv=None) -> int:
         help="with --validate: additionally demand a full-mode payload "
         "(guards the checked-in trajectory file against quick-mode clobbers)",
     )
+    parser.add_argument(
+        "--min-sweep-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="with --validate: fail unless the sweep section's engine "
+        "speedup over the serial harness is at least X (the CI floor) and "
+        "its parallel run was bit-identical to serial",
+    )
     args = parser.parse_args(argv)
 
     if args.validate is not None:
@@ -57,6 +66,30 @@ def main(argv=None) -> int:
         if args.require_full and payload["mode"] != "full":
             print(f"[fail] {args.validate} holds a {payload['mode']!r}-mode payload, expected 'full'")
             return 1
+        if args.min_sweep_speedup is not None:
+            sweep = payload["sections"]["sweep"]
+            if sweep["speedup"] < args.min_sweep_speedup:
+                print(
+                    f"[fail] sweep speedup {sweep['speedup']:.2f}x regressed below "
+                    f"the {args.min_sweep_speedup:.2f}x floor"
+                )
+                return 1
+            # The default (exact) trial axis is a bit-identical re-routing
+            # of the serial harness, so its throughput must stay at parity.
+            # 0.7x leaves room for single-core timer noise while still
+            # catching a real regression of the default figure path.
+            if sweep["exact_speedup"] < 0.7:
+                print(
+                    f"[fail] exact-mode sweep at {sweep['exact_speedup']:.2f}x the "
+                    f"serial harness — the default trial axis regressed"
+                )
+                return 1
+            if sweep["parallel_identical"] != 1.0:
+                print("[fail] parallel sweep results were not bit-identical to serial")
+                return 1
+            if sweep["exact_identical"] != 1.0:
+                print("[fail] exact-mode sweep diverged from the serial harness")
+                return 1
         print(f"[ok] {args.validate} matches BENCH_perf schema v{payload['schema_version']}")
         return 0
 
@@ -77,6 +110,17 @@ def main(argv=None) -> int:
         f"{end_to_end['baseline_clients_per_sec']:,.0f} clients/s, fused "
         f"{end_to_end['fused_clients_per_sec']:,.0f} clients/s "
         f"({end_to_end['speedup']:.2f}x)"
+    )
+    sweep = payload["sections"]["sweep"]
+    print(
+        f"[bench] sweep grid ({sweep['methods']:.0f} methods x "
+        f"{sweep['epsilons']:.0f} epsilons x {sweep['trials']:.0f} trials, "
+        f"n={sweep['n']:.0f}): serial harness {sweep['serial_seconds']:.3f}s, "
+        f"engine grouped {sweep['grouped_seconds']:.3f}s "
+        f"({sweep['speedup']:.2f}x), exact {sweep['exact_seconds']:.3f}s "
+        f"({sweep['exact_speedup']:.2f}x, identical="
+        f"{bool(sweep['exact_identical'])}), parallel identical="
+        f"{bool(sweep['parallel_identical'])}"
     )
     print(f"[bench] wrote {args.out}")
     return 0

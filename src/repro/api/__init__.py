@@ -54,6 +54,8 @@ _ESTIMATOR_EXPORTS = (
     "LDPJoinSketchPlusEstimator",
     "CompassEstimator",
     "run_join_sketch",
+    "run_join_sketch_trials",
+    "run_join_sketch_trial_group",
     "run_join_sketch_plus",
 )
 

@@ -22,12 +22,19 @@ from __future__ import annotations
 import abc
 import math
 import time
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.client import (
+    DEFAULT_CHUNK_SIZE,
+    encode_reports_grouped_into,
+    encode_reports_trials_into,
+)
+from ..core.multiway import LDPCompassProtocol
 from ..core.params import SketchParams
 from ..core.plus import LDPJoinSketchPlus
+from ..core.server import LDPJoinSketch
 from ..data.base import JoinInstance
 from ..hashing import HashPairs
 from ..mechanisms import (
@@ -39,9 +46,10 @@ from ..mechanisms import (
     estimate_join_via_frequencies,
 )
 from ..privacy.budget import BudgetLedger, PrivacySpec
-from ..rng import RandomState, derive_seed, ensure_rng
+from ..rng import RandomState, derive_seed, ensure_rng, spawn
 from ..sketches import FastAGMSSketch
-from ..validation import require_positive_int
+from ..transform.hadamard import fwht_inplace
+from ..validation import as_value_array, require_positive_int
 from .registry import register
 from .result import EstimateResult
 from .session import JoinSession
@@ -57,6 +65,8 @@ __all__ = [
     "LDPJoinSketchPlusEstimator",
     "CompassEstimator",
     "run_join_sketch",
+    "run_join_sketch_trials",
+    "run_join_sketch_trial_group",
     "run_join_sketch_plus",
 ]
 
@@ -83,6 +93,186 @@ def run_join_sketch(
     result = session.estimate("A", "B")
     result.ledger.assert_within(PrivacySpec(params.epsilon))
     return result
+
+
+def _encode_trial_sketches(
+    values_a: np.ndarray,
+    values_b: np.ndarray,
+    params: SketchParams,
+    seeds: Sequence[RandomState],
+    chunk_size: int,
+):
+    """Shared trial-axis encode for the LDPJoinSketch-family estimators.
+
+    Replicates, per trial, the exact RNG flow of ``JoinSession(params,
+    seed=seed)`` + ``collect("A", ...)`` + ``collect("B", ...)``: the
+    session generator spawns the hash pairs, then drives both streams'
+    client simulation — so trial ``t``'s two sketches are bit-for-bit the
+    ones the serial session path would build under ``seeds[t]``
+    (:mod:`tests.test_sweep` pins this).  All ``T`` trials ride the fused
+    trial-axis kernel: one pass per value array, with the per-trial
+    coefficient matrices stacked once for both streams.
+
+    Returns ``(pairs_list, sketches_a, sketches_b, n_a, n_b, seconds)``.
+    """
+    rngs = [ensure_rng(s) for s in seeds]
+    trials = len(rngs)
+    start = time.perf_counter()
+    pairs_list = [HashPairs(params.k, params.m, spawn(g)) for g in rngs]
+    raw_a = np.zeros((trials, params.k, params.m), dtype=np.int64)
+    n_a = encode_reports_trials_into(
+        values_a, params, pairs_list, raw_a, rngs, chunk_size=chunk_size
+    )
+    raw_b = np.zeros_like(raw_a)
+    n_b = encode_reports_trials_into(
+        values_b, params, pairs_list, raw_b, rngs, chunk_size=chunk_size
+    )
+    sketches_a: List[LDPJoinSketch] = []
+    sketches_b: List[LDPJoinSketch] = []
+    for t in range(trials):
+        counts_a = raw_a[t].astype(np.float64) * params.scale
+        fwht_inplace(counts_a)
+        sketches_a.append(LDPJoinSketch(params, pairs_list[t], counts_a, n_a))
+        counts_b = raw_b[t].astype(np.float64) * params.scale
+        fwht_inplace(counts_b)
+        sketches_b.append(LDPJoinSketch(params, pairs_list[t], counts_b, n_b))
+    seconds = time.perf_counter() - start
+    return pairs_list, sketches_a, sketches_b, n_a, n_b, seconds
+
+
+def run_join_sketch_trials(
+    values_a: Iterable[int],
+    values_b: Iterable[int],
+    params: SketchParams,
+    seeds: Sequence[RandomState],
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    query: str = "join_size",
+) -> List[EstimateResult]:
+    """Run ``len(seeds)`` independent LDPJoinSketch trials in one pass.
+
+    Result ``t`` carries exactly the estimate and cost accounting of
+    ``run_join_sketch(values_a, values_b, params, seed=seeds[t])`` (or of
+    the degenerate-chain Compass query with ``query="chain"``) — the
+    trial axis is pure wall-clock: hashing and accumulation for all
+    trials share one pass over each value array via
+    :func:`repro.core.client.encode_reports_trials_into`.  Offline
+    seconds are the batch time split evenly across trials.
+    """
+    if query not in ("join_size", "chain"):
+        raise ValueError(f"unknown query {query!r}; use 'join_size' or 'chain'")
+    seeds = list(seeds)
+    if not seeds:
+        return []
+    arr_a = as_value_array(values_a, "values_a")
+    arr_b = as_value_array(values_b, "values_b")
+    pairs_list, sketches_a, sketches_b, n_a, n_b, offline = _encode_trial_sketches(
+        arr_a, arr_b, params, seeds, chunk_size
+    )
+    per_trial_offline = offline / len(seeds)
+    results = []
+    for t in range(len(seeds)):
+        start = time.perf_counter()
+        if query == "chain":
+            protocol = LDPCompassProtocol.from_pairs([pairs_list[t]], params.epsilon)
+            estimate = protocol.estimate_chain(sketches_a[t], [], sketches_b[t])
+        else:
+            estimate = sketches_a[t].join_size(sketches_b[t])
+        online = time.perf_counter() - start
+        ledger = _two_stream_ledger(params.epsilon, "LDPJoinSketch")
+        ledger.assert_within(PrivacySpec(params.epsilon))
+        results.append(
+            EstimateResult(
+                estimate=estimate,
+                offline_seconds=per_trial_offline,
+                online_seconds=online,
+                uplink_bits=(n_a + n_b) * params.report_bits,
+                sketch_bytes=sketches_a[t].memory_bytes() + sketches_b[t].memory_bytes(),
+                ledger=ledger,
+                extras={"num_reports": n_a + n_b, "streams": ("A", "B")},
+            )
+        )
+    return results
+
+
+def run_join_sketch_trial_group(
+    values_a: Iterable[int],
+    values_b: Iterable[int],
+    k: int,
+    m: int,
+    epsilons: Sequence[float],
+    trial_seeds: Sequence[RandomState],
+    *,
+    group_seed: RandomState = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> List[List[EstimateResult]]:
+    """Shared-pass evaluation of a whole (epsilon × trial) grid cell block.
+
+    The sweep engine's opt-in fast mode: one hash-pair draw and one
+    sample/hash pass (seeded by ``group_seed``) are shared by every
+    ``(epsilon, trial)`` cell; each trial re-perturbs with its own flip
+    uniforms and every epsilon thresholds those same uniforms (common
+    random numbers) — see
+    :func:`repro.core.client.encode_reports_grouped_into` for the exact
+    semantics and the statistical trade (marginals unchanged, cross-cell
+    correlation introduced).
+
+    Returns one result list per epsilon, each with one
+    :class:`EstimateResult` per trial seed.
+    """
+    epsilons = [float(e) for e in epsilons]
+    trial_seeds = list(trial_seeds)
+    if not epsilons or not trial_seeds:
+        return [[] for _ in epsilons]
+    arr_a = as_value_array(values_a, "values_a")
+    arr_b = as_value_array(values_b, "values_b")
+    params_per_eps = [SketchParams(k, m, e) for e in epsilons]
+    trials, num_eps = len(trial_seeds), len(epsilons)
+    start = time.perf_counter()
+    rng = ensure_rng(group_seed)
+    pairs = HashPairs(k, m, spawn(rng))
+    trial_rngs = [ensure_rng(s) for s in trial_seeds]
+    raw_a = np.zeros((trials, num_eps, k, m), dtype=np.int64)
+    n_a = encode_reports_grouped_into(
+        arr_a, pairs, epsilons, raw_a, rng, trial_rngs, chunk_size=chunk_size
+    )
+    raw_b = np.zeros_like(raw_a)
+    n_b = encode_reports_grouped_into(
+        arr_b, pairs, epsilons, raw_b, rng, trial_rngs, chunk_size=chunk_size
+    )
+    offline = time.perf_counter() - start
+    start = time.perf_counter()
+    # No FWHT at all: the transform is orthogonal up to ``m``
+    # (``H H^T = m I``), so the Eq. (5) row inner products of the
+    # *constructed* sketches equal ``m * scale^2`` times the inner
+    # products of the raw pre-transform accumulators.  Those are int64,
+    # so one exact integer einsum over the whole (T, E) block replaces
+    # four block FWHTs and two float materialisations; the positive
+    # factor commutes with the row median.
+    per_row = np.einsum("tejx,tejx->tej", raw_a, raw_b).astype(np.float64)
+    scales = np.asarray([m * p.scale**2 for p in params_per_eps], dtype=np.float64)
+    estimates = np.median(per_row, axis=2) * scales[None, :]  # (T, E)
+    online = time.perf_counter() - start
+    cells = trials * num_eps
+    sketch_bytes = 2 * k * m * 8
+    results: List[List[EstimateResult]] = []
+    for e, params in enumerate(params_per_eps):
+        per_eps = []
+        for t in range(trials):
+            ledger = _two_stream_ledger(params.epsilon, "LDPJoinSketch")
+            per_eps.append(
+                EstimateResult(
+                    estimate=float(estimates[t, e]),
+                    offline_seconds=offline / cells,
+                    online_seconds=online / cells,
+                    uplink_bits=(n_a + n_b) * params.report_bits,
+                    sketch_bytes=sketch_bytes,
+                    ledger=ledger,
+                    extras={"num_reports": n_a + n_b, "streams": ("A", "B")},
+                )
+            )
+        results.append(per_eps)
+    return results
 
 
 def run_join_sketch_plus(
@@ -352,6 +542,45 @@ class LDPJoinSketchEstimator(BaseEstimator):
             seed=seed,
         )
 
+    def estimate_trials(
+        self,
+        instance: JoinInstance,
+        epsilon: float,
+        seeds: Sequence[RandomState],
+    ) -> List[EstimateResult]:
+        """Trial-axis fast path: ``T`` estimates, bit-for-bit the serial ones.
+
+        Result ``t`` equals ``estimate(instance, epsilon, seeds[t])`` in
+        every deterministic field (estimate, uplink bits, sketch bytes);
+        only timings differ because hashing/accumulation of all trials
+        share one pass over each value array.
+        """
+        return run_join_sketch_trials(
+            instance.values_a,
+            instance.values_b,
+            SketchParams(self.k, self.m, epsilon),
+            seeds,
+        )
+
+    def estimate_trial_group(
+        self,
+        instance: JoinInstance,
+        epsilons: Sequence[float],
+        trial_seeds: Sequence[RandomState],
+        *,
+        group_seed: RandomState = None,
+    ) -> List[List[EstimateResult]]:
+        """Shared-pass (epsilon × trial) block — the sweep's grouped mode."""
+        return run_join_sketch_trial_group(
+            instance.values_a,
+            instance.values_b,
+            self.k,
+            self.m,
+            epsilons,
+            trial_seeds,
+            group_seed=group_seed,
+        )
+
     def report_bits_for(self, domain_size: int, epsilon: float) -> int:
         """Sign bit plus row and column indices."""
         return SketchParams(self.k, self.m, epsilon).report_bits
@@ -438,6 +667,50 @@ class CompassEstimator(BaseEstimator):
         # estimate_chain over [A, B] contracts first[j] @ last[j] per
         # replica — exactly the row-wise inner products of Eq. (5).
         return session.estimate_chain(["A", "B"])
+
+    def estimate_trials(
+        self,
+        instance: JoinInstance,
+        epsilon: float,
+        seeds: Sequence[RandomState],
+    ) -> List[EstimateResult]:
+        """Trial-axis fast path over the degenerate chain query.
+
+        Per-trial results match :meth:`estimate` under the same seeds in
+        every deterministic field; the chain contraction runs through the
+        same :meth:`LDPCompassProtocol.estimate_chain` the session uses.
+        """
+        return run_join_sketch_trials(
+            instance.values_a,
+            instance.values_b,
+            SketchParams(self.k, self.m, epsilon),
+            seeds,
+            query="chain",
+        )
+
+    def estimate_trial_group(
+        self,
+        instance: JoinInstance,
+        epsilons: Sequence[float],
+        trial_seeds: Sequence[RandomState],
+        *,
+        group_seed: RandomState = None,
+    ) -> List[List[EstimateResult]]:
+        """Shared-pass (epsilon × trial) block — the sweep's grouped mode.
+
+        On a two-way join the chain estimate is the Eq. (5) median of
+        per-replica inner products, so the grouped block is computed by
+        the same batched contraction the plain sketch uses.
+        """
+        return run_join_sketch_trial_group(
+            instance.values_a,
+            instance.values_b,
+            self.k,
+            self.m,
+            epsilons,
+            trial_seeds,
+            group_seed=group_seed,
+        )
 
     def report_bits_for(self, domain_size: int, epsilon: float) -> int:
         """End-table clients transmit the LDPJoinSketch wire format."""

@@ -390,7 +390,12 @@ class JoinSession:
             raise ProtocolError(f"stream {stream!r} has no reports yet")
         if state.cached is None:
             params = self.params_for(state.attribute)
-            counts = state.raw.astype(np.float64) * params.scale
+            # One transient: scale the float copy in place, transform in
+            # place.  The result is cached until the next collect/merge
+            # invalidates it, so back-to-back queries never re-run the
+            # FWHT.
+            counts = state.raw.astype(np.float64)
+            counts *= params.scale
             fwht_inplace(counts)
             state.cached = LDPJoinSketch(
                 params, self._pairs[state.attribute], counts, state.num_reports
@@ -405,9 +410,9 @@ class JoinSession:
         if state.num_reports == 0:
             raise ProtocolError(f"stream {stream!r} has no reports yet")
         if state.cached is None:
-            counts = finalize_middle_counts(
-                state.raw.astype(np.float64) * self.params.scale
-            )
+            scaled = state.raw.astype(np.float64)
+            scaled *= self.params.scale
+            counts = finalize_middle_counts(scaled)
             state.cached = LDPMiddleSketch(
                 self._pairs[state.left_attribute],
                 self._pairs[state.left_attribute + 1],

@@ -26,7 +26,9 @@ from .client import (
     ReportBatch,
     encode_report,
     encode_reports,
+    encode_reports_grouped_into,
     encode_reports_into,
+    encode_reports_trials_into,
 )
 from .server import LDPJoinSketch, build_sketch
 from .aggregator import LDPJoinSketchAggregator
@@ -47,6 +49,8 @@ __all__ = [
     "encode_report",
     "encode_reports",
     "encode_reports_into",
+    "encode_reports_trials_into",
+    "encode_reports_grouped_into",
     "DEFAULT_CHUNK_SIZE",
     "LDPJoinSketch",
     "build_sketch",

@@ -19,25 +19,47 @@ is the fused encode→accumulate fast path: it perturbs and folds reports
 chunk by chunk directly into a ``(k, m)`` integer accumulator, never
 materialising the O(n) report arrays — tests pin it bit-for-bit against
 ``encode_reports`` + scatter-add under identical RNG draws.
+
+Two *trial-axis* kernels extend the fused path for repeated-trial sweeps:
+
+* :func:`encode_reports_trials_into` simulates ``T`` independent trials in
+  one pass over the value array — per chunk, every trial's hashes are
+  evaluated in a single gathered Horner pass and all ``T`` accumulators
+  are filled by one scatter.  Each trial draws from its own generator in
+  exactly the :func:`encode_reports_into` order, so the ``(T, k, m)``
+  result is bit-for-bit ``T`` serial runs under the same seeds.
+* :func:`encode_reports_grouped_into` is the opt-in *trial-group* mode:
+  one sampled/hashed pass is shared by a whole (trial × epsilon) grid
+  cell block — only the flip channel is drawn per trial and thresholded
+  per epsilon (common random numbers).  Each cell's marginal distribution
+  is exactly a single run's; only cross-cell correlations change.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Tuple
+from typing import Iterable, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..accumulate import scatter_add_signed_units
 from ..errors import DomainError, ParameterError
-from ..hashing import HashPairs
-from ..hashing.kwise import MERSENNE_PRIME_31
+from ..hashing import HashPairs, stack_pair_coefficients
+from ..hashing.kwise import MERSENNE_PRIME_31, polyval_rows
 from ..rng import RandomState, ensure_rng
 from ..transform.hadamard import hadamard_entry, sample_hadamard_parities
 from ..validation import as_value_array
 from .params import SketchParams
 
-__all__ = ["ReportBatch", "encode_report", "encode_reports", "encode_reports_into", "DEFAULT_CHUNK_SIZE"]
+__all__ = [
+    "ReportBatch",
+    "encode_report",
+    "encode_reports",
+    "encode_reports_into",
+    "encode_reports_trials_into",
+    "encode_reports_grouped_into",
+    "DEFAULT_CHUNK_SIZE",
+]
 
 #: Default client chunk of the fused encode→accumulate path.  Large enough
 #: that per-chunk NumPy dispatch overhead is negligible, small enough that
@@ -220,6 +242,240 @@ def encode_reports_into(
         chunk = arr[start : start + int(chunk_size)]
         ys, rows, cols = _encode_chunk(chunk, params, pairs, generator, domain_checked=True)
         scatter_add_signed_units(out, (rows, cols), ys)
+    return int(n)
+
+
+def encode_reports_trials_into(
+    values: Iterable[int],
+    params: SketchParams,
+    pairs: Union[HashPairs, Sequence[HashPairs]],
+    out: np.ndarray,
+    rngs: Sequence[RandomState],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> int:
+    """Fused Algorithm 1 for ``T`` independent trials in one value pass.
+
+    Simulates the same client population ``T`` times — once per trial —
+    folding trial ``t``'s reports into ``out[t]``.  Every chunk of the
+    value array is loaded, range-checked and converted exactly once; the
+    ``T`` trials' bucket/sign hashes are evaluated in a single gathered
+    Horner pass over ``T * chunk`` elements (one coefficient matrix
+    stacked per trial group, built once per call), and all ``T``
+    accumulators are filled by one scatter.
+
+    Each trial draws ``rows``, ``cols`` and flip uniforms from its *own*
+    generator in exactly the order :func:`encode_reports_into` uses, so
+    ``out[t]`` is bit-for-bit the accumulator of
+    ``encode_reports_into(values, params, pairs[t], out_t, rngs[t],
+    chunk_size)`` — the trial axis changes wall-clock, never bits.
+
+    Parameters
+    ----------
+    values:
+        One private join value per client (shared by every trial).
+    params:
+        Protocol parameters, shared by every trial.
+    pairs:
+        Either one :class:`HashPairs` shared by all trials or a sequence
+        of ``T`` per-trial pairs (the independent-trials setting of the
+        experiment harness).
+    out:
+        Integer accumulator of shape ``(T, k, m)``; modified in place.
+    rngs:
+        ``T`` per-trial randomness sources (seed or generator each).
+    chunk_size:
+        Number of clients encoded per pass (per trial).
+
+    Returns
+    -------
+    int
+        Number of clients encoded (per trial).
+    """
+    pairs_list = [pairs] if isinstance(pairs, HashPairs) else list(pairs)
+    generators = [ensure_rng(r) for r in rngs]
+    trials = len(generators)
+    if trials == 0:
+        raise ParameterError("need at least one trial generator")
+    if len(pairs_list) == 1:
+        pairs_list = pairs_list * trials
+    if len(pairs_list) != trials:
+        raise ParameterError(
+            f"got {len(pairs_list)} hash pairs for {trials} trials; pass one "
+            f"shared HashPairs or exactly one per trial"
+        )
+    for p in pairs_list:
+        _check_pairs(params, p)
+    if not isinstance(out, np.ndarray) or not np.issubdtype(out.dtype, np.integer):
+        raise ParameterError("out must be an integer ndarray accumulator")
+    if out.shape != (trials, params.k, params.m):
+        raise ParameterError(
+            f"out shaped {out.shape} does not match ({trials}, {params.k}, {params.m})"
+        )
+    if not isinstance(chunk_size, (int, np.integer)) or chunk_size <= 0:
+        raise ParameterError(f"chunk_size must be a positive int, got {chunk_size!r}")
+    arr = as_value_array(values)
+    if arr.size and (arr.min() < 0 or arr.max() >= MERSENNE_PRIME_31):
+        raise DomainError("hash inputs must lie in [0, 2**31 - 1)")
+    stacked = stack_pair_coefficients(pairs_list)
+    if stacked is None:
+        # Heterogeneous hash degrees (hand-built pairs): fall back to the
+        # serial kernel per trial — each generator still sees its own
+        # draws in the contract order, so the result is unchanged.
+        for t in range(trials):
+            encode_reports_into(
+                arr, params, pairs_list[t], out[t], generators[t], chunk_size=chunk_size
+            )
+        return int(arr.size)
+    bucket_coeffs, sign_coeffs = stacked
+    k = params.k
+    reduce_buckets = pairs_list[0]._reduce_buckets
+    row_offsets = (np.arange(trials, dtype=np.int64) * k)[:, None]
+    n = arr.size
+    for start in range(0, n, int(chunk_size)):
+        chunk = arr[start : start + int(chunk_size)]
+        c = chunk.size
+        rows = np.empty((trials, c), dtype=np.int64)
+        cols = np.empty((trials, c), dtype=np.int64)
+        for t, generator in enumerate(generators):
+            rows[t] = generator.integers(0, params.k, size=c)
+            cols[t] = generator.integers(0, params.m, size=c)
+        x_all = np.tile(chunk.astype(np.uint64), trials)
+        idx = (row_offsets + rows).ravel()
+        buckets = reduce_buckets(polyval_rows(bucket_coeffs, idx, x_all))
+        sign_parity = (polyval_rows(sign_coeffs, idx, x_all) & np.uint64(1)).astype(
+            np.int64
+        )
+        hadamard_parity = sample_hadamard_parities(buckets, cols.ravel(), params.m)
+        flips = np.empty((trials, c), dtype=bool)
+        for t, generator in enumerate(generators):
+            flips[t] = generator.random(c) < params.flip_probability
+        ys = (1 - 2 * (sign_parity ^ hadamard_parity ^ flips.ravel())).reshape(
+            trials, c
+        )
+        # Scatter per trial: each histogram then targets one (k, m)
+        # accumulator (L2-resident) instead of one T-times-larger flat
+        # block — the integer sums are identical either way.
+        for t in range(trials):
+            scatter_add_signed_units(out[t], (rows[t], cols[t]), ys[t])
+    return int(n)
+
+
+def encode_reports_grouped_into(
+    values: Iterable[int],
+    pairs: HashPairs,
+    epsilons: Sequence[float],
+    out: np.ndarray,
+    sample_rng: RandomState,
+    trial_rngs: Sequence[RandomState],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> int:
+    """Trial-group kernel: hash/sample once, perturb per (trial, epsilon).
+
+    The opt-in fast mode of the sweep engine.  One pass draws the
+    ``(j, l)`` samples and evaluates the bucket/sign/Hadamard parities of
+    every client (from ``sample_rng``); each of the ``T`` trials then
+    draws one uniform per client (from its own generator) and every
+    epsilon thresholds those *same* uniforms at its flip probability —
+    common random numbers across the epsilon axis.  ``out[t, e]``
+    accumulates the grid cell of trial ``t`` under ``epsilons[e]``.
+
+    Marginally each ``out[t, e]`` is distributed exactly like a single
+    :func:`encode_reports_into` run (the shared draws are marginalised by
+    drawing them); what changes is only the *cross-cell* correlation —
+    trials of one group share sampling noise, epsilons of one trial share
+    perturbation uniforms.  Means stay unbiased per cell; cross-trial
+    averages no longer shrink the shared sampling noise, which is the
+    price of hashing once.  The default sweep mode therefore remains the
+    independent-trials path.
+
+    Parameters
+    ----------
+    values:
+        One private join value per client (shared by the whole group).
+    pairs:
+        The group's published hash pairs (shape ``(k, m)``).
+    epsilons:
+        ``E`` privacy budgets, one accumulator column each.
+    out:
+        C-contiguous integer accumulator of shape ``(T, E, k, m)``.
+    sample_rng:
+        Randomness of the shared row/column sampling.
+    trial_rngs:
+        ``T`` per-trial randomness sources for the flip uniforms.
+    chunk_size:
+        Number of clients encoded per pass.
+
+    Returns
+    -------
+    int
+        Number of clients encoded (per grid cell).
+    """
+    from ..privacy.response import flip_probability
+
+    sampler = ensure_rng(sample_rng)
+    generators = [ensure_rng(r) for r in trial_rngs]
+    trials = len(generators)
+    if trials == 0:
+        raise ParameterError("need at least one trial generator")
+    probs = np.asarray([flip_probability(e) for e in epsilons], dtype=np.float64)
+    if probs.size == 0:
+        raise ParameterError("need at least one epsilon")
+    k, m = pairs.k, pairs.m
+    if not isinstance(out, np.ndarray) or not np.issubdtype(out.dtype, np.integer):
+        raise ParameterError("out must be an integer ndarray accumulator")
+    if out.shape != (trials, probs.size, k, m):
+        raise ParameterError(
+            f"out shaped {out.shape} does not match "
+            f"({trials}, {probs.size}, {k}, {m})"
+        )
+    if not out.flags.c_contiguous:
+        raise ParameterError("out must be C-contiguous (one flat scatter per chunk)")
+    if not isinstance(chunk_size, (int, np.integer)) or chunk_size <= 0:
+        raise ParameterError(f"chunk_size must be a positive int, got {chunk_size!r}")
+    arr = as_value_array(values)
+    if arr.size and (arr.min() < 0 or arr.max() >= MERSENNE_PRIME_31):
+        raise DomainError("hash inputs must lie in [0, 2**31 - 1)")
+    num_eps = int(probs.size)
+    # Factorisation that makes extra grid cells nearly free: with
+    # ``s`` the unperturbed report sign and ``f = [u < p_eps]`` the flip
+    # indicator, cell ``(t, e)`` accumulates ``sum s * (1 - 2 f)``
+    # = ``S - 2 * F[t, e]`` where ``S = sum s`` is *shared by every cell*
+    # and ``F[t, e] = sum_{u_t < p_e} s``.  Because the flip thresholds
+    # are nested, an element with uniform ``u`` contributes to exactly
+    # the epsilons whose ``p > u`` — so per trial one ``searchsorted``
+    # bins each client into its threshold band and only the ~``p_max``
+    # fraction that flips anywhere is scattered at all.  Integer sums
+    # throughout: bit-identical to materialising every ``(t, e)`` report.
+    order = np.argsort(probs, kind="stable")
+    p_sorted = probs[order]
+    shared = np.zeros(k * m, dtype=np.int64)
+    bands = np.zeros((trials, num_eps, k * m), dtype=np.int64)
+    n = arr.size
+    for start in range(0, n, int(chunk_size)):
+        chunk = arr[start : start + int(chunk_size)]
+        c = chunk.size
+        rows = sampler.integers(0, k, size=c)
+        cols = sampler.integers(0, m, size=c)
+        buckets, sign_parity = pairs.bucket_and_sign_parity_rows(
+            rows, chunk, domain_checked=True
+        )
+        base_signs = 1 - 2 * (sign_parity ^ sample_hadamard_parities(buckets, cols, m))
+        cell = rows * m + cols
+        scatter_add_signed_units(shared, (cell,), base_signs)
+        for t, generator in enumerate(generators):
+            band = np.searchsorted(p_sorted, generator.random(c), side="right")
+            flipped = band < num_eps
+            if np.any(flipped):
+                idx = band[flipped] * (k * m) + cell[flipped]
+                scatter_add_signed_units(
+                    bands[t].reshape(-1), (idx,), base_signs[flipped]
+                )
+    # F accumulates over ascending thresholds (band j flips every epsilon
+    # with sorted position >= j); undo the sort when writing out.
+    flipped_sums = np.cumsum(bands, axis=1)
+    out_flat = out.reshape(trials, num_eps, k * m)
+    for e_sorted, e_orig in enumerate(order):
+        out_flat[:, e_orig, :] += shared[None, :] - 2 * flipped_sums[:, e_sorted, :]
     return int(n)
 
 

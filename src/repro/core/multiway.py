@@ -27,7 +27,7 @@ median over replicas (Eq. 27).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -391,12 +391,14 @@ class LDPCompassProtocol:
                 raise IncompatibleSketchError(
                     f"middle sketch {idx} does not match the chain hash pairs"
                 )
-        estimates = np.empty(self.k, dtype=np.float64)
-        for j in range(self.k):
-            acc = first.counts[j]
-            for mid in middles:
-                acc = acc @ mid.counts[j]
-            estimates[j] = float(acc @ last.counts[j])
+        # Replica-batched chain product: one (k, 1, m) @ (k, m, m') matmul
+        # per middle table instead of the k-by-middles Python double loop —
+        # the j-th batch entry is exactly the j-th replica's vector/matrix
+        # chain (tests pin the equivalence against the loop form).
+        acc = first.counts[:, None, :]
+        for mid in middles:
+            acc = np.matmul(acc, mid.counts)
+        estimates = np.matmul(acc, last.counts[:, :, None])[:, 0, 0]
         return float(np.median(estimates))
 
     def estimate_cycle(self, tables: Sequence[LDPMiddleSketch]) -> float:
@@ -418,12 +420,12 @@ class LDPCompassProtocol:
                 raise IncompatibleSketchError(
                     f"cycle table {idx} does not match the ring hash pairs"
                 )
-        estimates = np.empty(self.k, dtype=np.float64)
-        for j in range(self.k):
-            acc = tables[0].counts[j]
-            for sketch in tables[1:]:
-                acc = acc @ sketch.counts[j]
-            estimates[j] = float(np.trace(acc))
+        # Same replica-batched product as estimate_chain, closed by the
+        # per-replica trace of the (k, m, m) ring product.
+        acc = tables[0].counts
+        for sketch in tables[1:]:
+            acc = np.matmul(acc, sketch.counts)
+        estimates = np.trace(acc, axis1=1, axis2=2)
         return float(np.median(estimates))
 
     def _pairs(self, attribute: int) -> HashPairs:

@@ -6,6 +6,10 @@ Layout:
 * :mod:`repro.experiments.methods` — back-compat names for the
   evaluation's estimators, now served by the :mod:`repro.api` registry;
 * :mod:`repro.experiments.harness` — repeated-trial runner;
+* :mod:`repro.experiments.sweep` — deterministic grid scheduler: expands
+  (dataset × method × epsilon × trial) into work units, executes them
+  serially or on a process pool (datasets shared via shared memory) with
+  bit-identical results for every worker count;
 * :mod:`repro.experiments.chains` — multiway chain-join workloads;
 * :mod:`repro.experiments.figures` — one function per table/figure
   (``table2``, ``fig5_accuracy`` ... ``fig15_multiway``);
@@ -26,9 +30,10 @@ from .methods import (
     MethodResult,
     default_methods,
 )
-from .harness import TrialRecord, run_trials, summarize
+from .harness import TrialRecord, run_seeded_trials, run_trials, summarize
 from .reporting import ResultTable
 from .chains import ChainInstance, make_chain_instance
+from .sweep import SweepPlan, SweepUnit, iter_sweep, plan_grid, run_sweep, sweep_table
 
 __all__ = [
     "absolute_error",
@@ -45,7 +50,14 @@ __all__ = [
     "default_methods",
     "TrialRecord",
     "run_trials",
+    "run_seeded_trials",
     "summarize",
+    "SweepPlan",
+    "SweepUnit",
+    "plan_grid",
+    "run_sweep",
+    "iter_sweep",
+    "sweep_table",
     "ResultTable",
     "ChainInstance",
     "make_chain_instance",

@@ -5,15 +5,24 @@ Usage::
     repro-experiments list
     repro-experiments estimators
     repro-experiments run fig5 --scale 0.002 --trials 3 --seed 7
-    repro-experiments run all --out results/
+    repro-experiments run all --out results/ --workers 4
+    repro-experiments sweep --datasets zipf-1.1 movielens \\
+        --methods ldp-join-sketch hcms --epsilons 1 4 10 \\
+        --trials 5 --workers 4
 
 ``run`` prints each regenerated table and, with ``--out``, writes one CSV
-per experiment into the output directory.
+per experiment into the output directory; ``--workers N`` fans the
+repeated-trial grids out over N worker processes (results are
+bit-identical to the serial run).  ``sweep`` executes an ad-hoc
+(dataset × method × epsilon × trial) grid through the sweep engine;
+``--trial-axis grouped`` switches to the shared-pass fast mode (see
+:mod:`repro.experiments.sweep`).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from pathlib import Path
@@ -44,6 +53,36 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trials", type=int, default=None, help="trials per configuration")
     run.add_argument("--seed", type=int, default=2024, help="master random seed")
     run.add_argument("--out", type=Path, default=None, help="directory for CSV outputs")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for repeated-trial grids (bit-identical to serial)",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="run an ad-hoc (dataset x method x epsilon x trial) grid"
+    )
+    sweep.add_argument("--datasets", nargs="+", default=["zipf-1.1"], help="dataset registry keys")
+    sweep.add_argument(
+        "--methods", nargs="+", default=["ldp-join-sketch"], help="estimator registry names"
+    )
+    sweep.add_argument("--epsilons", nargs="+", type=float, default=[4.0])
+    sweep.add_argument("--trials", type=int, default=5)
+    sweep.add_argument("--scale", type=float, default=0.002, help="fraction of paper stream sizes")
+    sweep.add_argument("--size", type=int, default=None, help="explicit per-stream length override")
+    sweep.add_argument("--seed", type=int, default=2024)
+    sweep.add_argument("--workers", type=int, default=1, help="worker processes")
+    sweep.add_argument(
+        "--trial-axis",
+        choices=("exact", "grouped"),
+        default="exact",
+        help="'grouped' shares one hash/sample pass per (dataset, method) "
+        "block (faster; common random numbers across epsilons/trials)",
+    )
+    sweep.add_argument("--k", type=int, default=18, help="sketch depth for sketch methods")
+    sweep.add_argument("--m", type=int, default=1024, help="sketch width for sketch methods")
+    sweep.add_argument("--out", type=Path, default=None, help="directory for the sweep CSV")
     return parser
 
 
@@ -54,6 +93,8 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
         kwargs["trials"] = args.trials
     if name in ("table2", "fig7"):
         kwargs.pop("trials", None)
+    if args.workers != 1 and "workers" in inspect.signature(func).parameters:
+        kwargs["workers"] = args.workers
     start = time.perf_counter()
     table = func(**kwargs)
     elapsed = time.perf_counter() - start
@@ -82,6 +123,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                 estimator = get_estimator(name)
                 tag = "LDP" if estimator.private else "non-private"
                 print(f"{name:22s} {estimator.name:16s} [{tag}]")
+            return 0
+        if args.command == "sweep":
+            from .sweep import sweep_table
+
+            start = time.perf_counter()
+            table = sweep_table(
+                args.datasets,
+                args.methods,
+                args.epsilons,
+                args.trials,
+                scale=args.scale,
+                size=args.size,
+                seed=args.seed,
+                workers=args.workers,
+                trial_axis=args.trial_axis,
+                k=args.k,
+                m=args.m,
+            )
+            elapsed = time.perf_counter() - start
+            print(table.to_text())
+            print(f"[sweep completed in {elapsed:.1f}s]")
+            if args.out is not None:
+                path = table.to_csv(Path(args.out) / "sweep.csv")
+                print(f"[wrote {path}]")
             return 0
         names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
         for name in names:

@@ -52,6 +52,7 @@ from ..api.registry import JoinEstimator
 from .methods import default_methods
 from .metrics import mean_squared_error
 from .reporting import ResultTable
+from .sweep import iter_sweep, plan_grid
 
 __all__ = [
     "table2_datasets",
@@ -115,27 +116,34 @@ def _accuracy_sweep(
     trials: int,
     seed: int,
     metric_headers: Sequence[str] = ("ae", "re"),
+    workers: int = 1,
+    trial_axis: str = "exact",
 ) -> ResultTable:
-    """Shared driver: (dataset x method x epsilon) accuracy grid."""
+    """Shared driver: (dataset x method x epsilon) accuracy grid.
+
+    Routed through the sweep engine (:mod:`repro.experiments.sweep`):
+    the grid is expanded into a deterministic plan whose seeds derive in
+    the historical order, so ``workers=1`` reproduces the legacy serial
+    loop bit for bit and any ``workers`` count reproduces ``workers=1``.
+    """
     table = ResultTable(
         title,
         ["dataset", "method", "epsilon", "truth", "mean_estimate", *metric_headers],
     )
-    rng = ensure_rng(seed)
-    for dataset in datasets:
-        instance = make_join_instance(dataset, scale=scale, seed=derive_seed(rng))
-        for method in methods.values():
-            for epsilon in epsilons:
-                records = run_trials(method, instance, epsilon, trials, derive_seed(rng))
-                stats = summarize(records)
-                table.add_row(
-                    dataset,
-                    method.name,
-                    float(epsilon),
-                    stats["truth"],
-                    stats["mean_estimate"],
-                    *[stats[h] for h in metric_headers],
-                )
+    plan = plan_grid(
+        datasets, methods, epsilons, trials, scale=scale, seed=seed, trial_axis=trial_axis
+    )
+    for unit, records in iter_sweep(plan, workers=workers):
+        for epsilon in unit.epsilons:
+            stats = summarize([r for r in records if r.epsilon == epsilon])
+            table.add_row(
+                unit.dataset,
+                unit.method,
+                float(epsilon),
+                stats["truth"],
+                stats["mean_estimate"],
+                *[stats[h] for h in metric_headers],
+            )
     return table
 
 
@@ -148,6 +156,7 @@ def fig5_accuracy(
     k: int = 18,
     m: int = 1024,
     datasets: Sequence[str] = FIG5_DATASETS,
+    workers: int = 1,
 ) -> ResultTable:
     """Fig. 5: join-size RE of all six methods on all six datasets."""
     methods = default_methods(k, m)
@@ -159,6 +168,7 @@ def fig5_accuracy(
         scale=scale,
         trials=trials,
         seed=seed,
+        workers=workers,
     )
     table.add_note(f"paper setting: epsilon={epsilon}, (k={k}, m={m})")
     return table
@@ -174,6 +184,7 @@ def fig6_space(
     widths: Sequence[int] = (256, 512, 1024, 2048, 4096),
     sample_rate: float = 0.1,
     threshold: float = 0.01,
+    workers: int = 1,
 ) -> ResultTable:
     """Fig. 6: AE vs total sketch space on Zipf(2.0).
 
@@ -201,7 +212,9 @@ def fig6_space(
             ),
         ]
         for method in methods:
-            records = run_trials(method, instance, epsilon, trials, derive_seed(rng))
+            records = run_trials(
+                method, instance, epsilon, trials, derive_seed(rng), workers=workers
+            )
             stats = summarize(records)
             table.add_row(
                 method.name,
@@ -254,6 +267,7 @@ def fig8_epsilon(
     k: int = 18,
     m: int = 1024,
     datasets: Sequence[str] = ("zipf-1.5", "gaussian", "movielens", "twitter"),
+    workers: int = 1,
 ) -> ResultTable:
     """Fig. 8 (a-d): AE vs privacy budget epsilon."""
     methods = default_methods(k, m)
@@ -265,6 +279,7 @@ def fig8_epsilon(
         scale=scale,
         trials=trials,
         seed=seed,
+        workers=workers,
     )
     table.add_note(f"paper setting: (k={k}, m={m}); one panel per dataset")
     return table
@@ -283,6 +298,7 @@ def fig9_sketch_size(
     sample_rate: float = 0.1,
     threshold: float = 0.01,
     datasets: Sequence[str] = ("zipf-1.1", "zipf-2.0", "movielens", "twitter"),
+    workers: int = 1,
 ) -> ResultTable:
     """Fig. 9: AE vs sketch width m (a-d) and depth k (e-h)."""
     table = ResultTable(
@@ -309,12 +325,16 @@ def fig9_sketch_size(
         instance = make_join_instance(dataset, scale=scale, seed=derive_seed(rng))
         for m in widths:
             for method in sketch_methods(fixed_k, m):
-                records = run_trials(method, instance, epsilon, trials, derive_seed(rng))
+                records = run_trials(
+                    method, instance, epsilon, trials, derive_seed(rng), workers=workers
+                )
                 stats = summarize(records)
                 table.add_row(dataset, "m", fixed_k, int(m), method.name, stats["truth"], stats["ae"])
         for k in depths:
             for method in sketch_methods(k, fixed_m):
-                records = run_trials(method, instance, epsilon, trials, derive_seed(rng))
+                records = run_trials(
+                    method, instance, epsilon, trials, derive_seed(rng), workers=workers
+                )
                 stats = summarize(records)
                 table.add_row(dataset, "k", int(k), fixed_m, method.name, stats["truth"], stats["ae"])
     table.add_note(f"paper setting: epsilon={epsilon}, r={sample_rate}")
@@ -331,6 +351,7 @@ def fig10_sampling_rate(
     m: int = 1024,
     rates: Sequence[float] = (0.10, 0.15, 0.20, 0.25, 0.30),
     threshold: float = 0.01,
+    workers: int = 1,
 ) -> ResultTable:
     """Fig. 10: LDPJoinSketch+ AE vs phase-1 sampling rate r on Zipf(1.1)."""
     table = ResultTable(
@@ -343,7 +364,9 @@ def fig10_sampling_rate(
         method = get_estimator(
             "ldp-join-sketch-plus", k=k, m=m, sample_rate=rate, threshold=threshold
         )
-        records = run_trials(method, instance, epsilon, trials, derive_seed(rng))
+        records = run_trials(
+            method, instance, epsilon, trials, derive_seed(rng), workers=workers
+        )
         stats = summarize(records)
         table.add_row(float(rate), stats["truth"], stats["ae"])
     table.add_note(f"paper setting: epsilon={epsilon}, (k={k}, m={m}), theta={threshold}")
@@ -402,6 +425,7 @@ def fig12_skewness(
     k: int = 18,
     m: int = 1024,
     alphas: Sequence[float] = (1.1, 1.3, 1.5, 1.7, 1.9),
+    workers: int = 1,
 ) -> ResultTable:
     """Fig. 12: RE vs Zipf skewness alpha, all six methods."""
     methods = default_methods(k, m)
@@ -414,6 +438,7 @@ def fig12_skewness(
         scale=scale,
         trials=trials,
         seed=seed,
+        workers=workers,
     )
     table.add_note(f"paper setting: epsilon={epsilon}, (k={k}, m={m})")
     return table
@@ -428,6 +453,7 @@ def fig13_efficiency(
     k: int = 18,
     m: int = 1024,
     datasets: Sequence[str] = ("zipf-1.1", "gaussian", "twitter"),
+    workers: int = 1,
 ) -> ResultTable:
     """Fig. 13: offline (collect + construct) vs online (query) seconds."""
     table = ResultTable(
@@ -439,7 +465,18 @@ def fig13_efficiency(
     for dataset in datasets:
         instance = make_join_instance(dataset, scale=scale, seed=derive_seed(rng))
         for method in methods.values():
-            records = run_trials(method, instance, epsilon, trials, derive_seed(rng))
+            # vectorize=False: this figure *is* the timing measurement, so
+            # each trial must pay (and report) one full collect+construct
+            # run rather than an evenly split shared batch.
+            records = run_trials(
+                method,
+                instance,
+                epsilon,
+                trials,
+                derive_seed(rng),
+                workers=workers,
+                vectorize=False,
+            )
             stats = summarize(records)
             table.add_row(dataset, method.name, stats["offline_seconds"], stats["online_seconds"])
     return table

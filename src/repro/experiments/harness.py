@@ -5,12 +5,20 @@ parameter point), run the method ``trials`` times with derived seeds and
 aggregate AE / RE over the trials.  :func:`run_trials` produces the raw
 :class:`TrialRecord` list; :func:`summarize` collapses it into the means
 the paper plots.
+
+``run_trials`` is the sweep engine's unit of work
+(:mod:`repro.experiments.sweep`): trial seeds are derived up front in the
+historical draw order, then executed either through a method's trial-axis
+fast path (``estimate_trials``, bit-for-bit the serial loop), through the
+plain serial loop, or — with ``workers > 1`` — fanned out across worker
+processes in contiguous seed blocks.  All three routes produce identical
+estimates for identical seeds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
@@ -19,7 +27,7 @@ from ..data.base import JoinInstance
 from ..rng import RandomState, derive_seed, ensure_rng
 from ..validation import require_positive_int
 
-__all__ = ["TrialRecord", "run_trials", "summarize"]
+__all__ = ["TrialRecord", "run_trials", "run_seeded_trials", "summarize"]
 
 
 @dataclass(frozen=True)
@@ -43,8 +51,13 @@ class TrialRecord:
 
     @property
     def relative_error(self) -> float:
-        """``|J - J^| / J`` of this trial."""
-        return self.absolute_error / abs(self.truth) if self.truth else float("inf")
+        """``|J - J^| / J`` of this trial (``nan`` when the truth is 0).
+
+        ``nan`` rather than ``inf`` so that aggregation can skip the
+        undefined trials (:func:`summarize` uses a nan-aware mean) instead
+        of poisoning every downstream mean with infinities.
+        """
+        return self.absolute_error / abs(self.truth) if self.truth else float("nan")
 
 
 def run_trials(
@@ -53,43 +66,114 @@ def run_trials(
     epsilon: float,
     trials: int = 3,
     seed: RandomState = None,
+    *,
+    workers: int = 1,
+    vectorize: bool = True,
 ) -> List[TrialRecord]:
-    """Run ``method`` on ``instance`` ``trials`` times with derived seeds."""
+    """Run ``method`` on ``instance`` ``trials`` times with derived seeds.
+
+    Seeds are derived from ``seed`` exactly as the historical serial loop
+    did (one :func:`~repro.rng.derive_seed` per trial, in order), so the
+    records are reproducible across execution strategies: the trial-axis
+    fast path and the ``workers > 1`` process fan-out both yield the same
+    estimates as the serial loop under the same master seed.
+
+    ``vectorize=False`` forces one full ``estimate`` call per trial even
+    when the method has a trial-axis fast path — estimates are identical
+    either way, but the *timing* fields then measure one complete
+    per-trial run instead of a shared batch split evenly (what a timing
+    figure such as fig. 13 must report).
+    """
     trials = require_positive_int("trials", trials)
+    workers = require_positive_int("workers", workers)
     rng = ensure_rng(seed)
-    truth = float(instance.true_join_size)
-    records = []
-    for _ in range(trials):
-        result = method.estimate(instance, epsilon, derive_seed(rng))
-        records.append(
-            TrialRecord(
-                method=method.name,
-                dataset=instance.name,
-                epsilon=epsilon,
-                truth=truth,
-                estimate=result.estimate,
-                offline_seconds=result.offline_seconds,
-                online_seconds=result.online_seconds,
-                uplink_bits=result.uplink_bits,
-                sketch_bytes=result.sketch_bytes,
-            )
+    trial_seeds = [derive_seed(rng) for _ in range(trials)]
+    if workers > 1:
+        from .sweep import run_seeded_trials_parallel
+
+        return run_seeded_trials_parallel(
+            method, instance, epsilon, trial_seeds, workers=workers, vectorize=vectorize
         )
-    return records
+    return run_seeded_trials(method, instance, epsilon, trial_seeds, vectorize=vectorize)
+
+
+def run_seeded_trials(
+    method: JoinEstimator,
+    instance: JoinInstance,
+    epsilon: float,
+    trial_seeds: Sequence[int],
+    *,
+    vectorize: bool = True,
+) -> List[TrialRecord]:
+    """Run one trial per explicit seed (the sweep engine's work unit).
+
+    Routes through the method's trial-axis fast path when it has one
+    (``estimate_trials``, pinned bit-for-bit against the serial loop);
+    otherwise — or with ``vectorize=False`` (per-trial timing fidelity) —
+    falls back to one ``estimate`` call per seed.
+    """
+    truth = float(instance.true_join_size)
+    estimate_trials = getattr(method, "estimate_trials", None) if vectorize else None
+    if estimate_trials is not None:
+        results = estimate_trials(instance, epsilon, list(trial_seeds))
+    else:
+        results = [method.estimate(instance, epsilon, s) for s in trial_seeds]
+    return [
+        TrialRecord(
+            method=method.name,
+            dataset=instance.name,
+            epsilon=epsilon,
+            truth=truth,
+            estimate=result.estimate,
+            offline_seconds=result.offline_seconds,
+            online_seconds=result.online_seconds,
+            uplink_bits=result.uplink_bits,
+            sketch_bytes=result.sketch_bytes,
+        )
+        for result in results
+    ]
 
 
 def summarize(records: Iterable[TrialRecord]) -> Dict[str, float]:
-    """Aggregate a trial list into the quantities the figures plot."""
+    """Aggregate a trial list into the quantities the figures plot.
+
+    One structured pass: the records are packed into a single ``(n, 6)``
+    float matrix and every mean is a column reduction — no per-field
+    list comprehensions.  The relative error uses a nan-aware mean so a
+    zero-truth trial (RE undefined) does not poison the summary; it is
+    ``nan`` only when *every* trial's truth is zero.
+    """
     records = list(records)
     if not records:
         return {}
+    data = np.array(
+        [
+            (
+                r.truth,
+                r.estimate,
+                r.offline_seconds,
+                r.online_seconds,
+                r.uplink_bits,
+                r.sketch_bytes,
+            )
+            for r in records
+        ],
+        dtype=np.float64,
+    )
+    truth_col, estimates = data[:, 0], data[:, 1]
+    abs_errors = np.abs(estimates - truth_col)
+    defined = truth_col != 0
+    means = data.mean(axis=0)
     return {
         "trials": float(len(records)),
         "truth": records[0].truth,
-        "mean_estimate": float(np.mean([r.estimate for r in records])),
-        "ae": float(np.mean([r.absolute_error for r in records])),
-        "re": float(np.mean([r.relative_error for r in records])),
-        "offline_seconds": float(np.mean([r.offline_seconds for r in records])),
-        "online_seconds": float(np.mean([r.online_seconds for r in records])),
-        "uplink_bits": float(np.mean([r.uplink_bits for r in records])),
-        "sketch_bytes": float(np.mean([r.sketch_bytes for r in records])),
+        "mean_estimate": float(means[1]),
+        "ae": float(abs_errors.mean()),
+        "re": float(np.mean(abs_errors[defined] / np.abs(truth_col[defined])))
+        if defined.any()
+        else float("nan"),
+        "offline_seconds": float(means[2]),
+        "online_seconds": float(means[3]),
+        "uplink_bits": float(means[4]),
+        "sketch_bytes": float(means[5]),
     }

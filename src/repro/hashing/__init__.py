@@ -16,6 +16,12 @@ Both are built from polynomial hashing over the Mersenne prime ``2^31 - 1``
 
 from .kwise import MERSENNE_PRIME_31, KWiseHash
 from .sign import SignHash
-from .pairs import HashPairs
+from .pairs import HashPairs, stack_pair_coefficients
 
-__all__ = ["MERSENNE_PRIME_31", "KWiseHash", "SignHash", "HashPairs"]
+__all__ = [
+    "MERSENNE_PRIME_31",
+    "KWiseHash",
+    "SignHash",
+    "HashPairs",
+    "stack_pair_coefficients",
+]

@@ -11,6 +11,7 @@ verify compatibility before combining.
 
 from __future__ import annotations
 
+import functools
 from typing import List
 
 import numpy as np
@@ -21,7 +22,7 @@ from ..validation import require_positive_int
 from .kwise import KWiseHash, check_domain, polyval_all, polyval_rows
 from .sign import SignHash
 
-__all__ = ["HashPairs"]
+__all__ = ["HashPairs", "stack_pair_coefficients"]
 
 
 def _stack_coefficients(hashes) -> "np.ndarray | None":
@@ -37,6 +38,46 @@ def _stack_coefficients(hashes) -> "np.ndarray | None":
     if len(degrees) != 1:
         return None
     return np.ascontiguousarray(np.stack([h.coefficients for h in hashes]).T)
+
+
+def stack_pair_coefficients(pairs_list) -> "tuple[np.ndarray, np.ndarray] | None":
+    """Concatenate several :class:`HashPairs`' coefficient matrices.
+
+    Returns ``(bucket, sign)`` transposed matrices of shape
+    ``(degree, T * k)`` in which pair ``t``'s row-``j`` polynomial sits at
+    column ``t * k + j`` — the gather layout of
+    :func:`repro.hashing.kwise.polyval_rows` for batches that mix reports
+    of ``T`` different hash-pair draws (the trial-axis client kernel).
+    Memoized on the pair tuple: one grid point's trial group builds its
+    stacked matrices a single time and every chunk of every stream (and
+    any repeated evaluation under the same pairs) reuses them.  Returns
+    ``None`` when any pair lacks stacked coefficients (heterogeneous
+    degrees) or the shapes disagree.
+    """
+    return _stack_pair_coefficients_cached(tuple(pairs_list))
+
+
+@functools.lru_cache(maxsize=128)
+def _stack_pair_coefficients_cached(pairs_tuple):
+    if not pairs_tuple:
+        return None
+    k, m = pairs_tuple[0].k, pairs_tuple[0].m
+    for p in pairs_tuple:
+        if p.k != k or p.m != m:
+            return None
+        if p._bucket_coeffs is None or p._sign_coeffs is None:
+            return None
+    if len({p._bucket_coeffs.shape[0] for p in pairs_tuple}) != 1:
+        return None
+    if len({p._sign_coeffs.shape[0] for p in pairs_tuple}) != 1:
+        return None
+    bucket = np.ascontiguousarray(
+        np.concatenate([p._bucket_coeffs for p in pairs_tuple], axis=1)
+    )
+    sign = np.ascontiguousarray(
+        np.concatenate([p._sign_coeffs for p in pairs_tuple], axis=1)
+    )
+    return bucket, sign
 
 
 

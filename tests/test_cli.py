@@ -40,6 +40,31 @@ class TestParser:
         args = build_parser().parse_args(["run", "all"])
         assert args.experiment == "all"
 
+    def test_run_workers_flag(self):
+        args = build_parser().parse_args(["run", "fig5", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.datasets == ["zipf-1.1"]
+        assert args.trial_axis == "exact"
+        assert args.workers == 1
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            [
+                "sweep", "--datasets", "facebook", "movielens",
+                "--methods", "ldp-join-sketch", "hcms",
+                "--epsilons", "1", "4", "--trials", "3",
+                "--workers", "2", "--trial-axis", "grouped",
+            ]
+        )
+        assert args.datasets == ["facebook", "movielens"]
+        assert args.methods == ["ldp-join-sketch", "hcms"]
+        assert args.epsilons == [1.0, 4.0]
+        assert args.trial_axis == "grouped"
+
 
 class TestMain:
     def test_list_prints_every_experiment(self, capsys):
@@ -61,6 +86,22 @@ class TestMain:
     def test_run_fig7_without_out(self, capsys):
         assert main(["run", "fig7", "--scale", "0.0003"]) == 0
         assert "communication" in capsys.readouterr().out
+
+    def test_sweep_command_runs(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep", "--datasets", "facebook", "--methods", "ldp-join-sketch",
+                "--epsilons", "4", "--trials", "2", "--scale", "0.0005",
+                "--k", "4", "--m", "64", "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LDPJoinSketch" in out
+        with (tmp_path / "sweep.csv").open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "dataset"
+        assert len(rows) == 2
 
     def test_module_invocation(self):
         result = subprocess.run(

@@ -195,3 +195,57 @@ class TestChainEstimation:
     def test_width_must_be_power_of_two(self):
         with pytest.raises(ParameterError, match="power of two"):
             LDPCompassProtocol([12], k=2, epsilon=1.0)
+
+
+class TestBatchedChainProduct:
+    """The replica-batched matmul forms equal the per-replica loops."""
+
+    @staticmethod
+    def _loop_chain(first, middles, last):
+        k = first.params.k
+        estimates = np.empty(k, dtype=np.float64)
+        for j in range(k):
+            acc = first.counts[j]
+            for mid in middles:
+                acc = acc @ mid.counts[j]
+            estimates[j] = float(acc @ last.counts[j])
+        return float(np.median(estimates))
+
+    @staticmethod
+    def _loop_cycle(tables):
+        k = tables[0].k
+        estimates = np.empty(k, dtype=np.float64)
+        for j in range(k):
+            acc = tables[0].counts[j]
+            for sketch in tables[1:]:
+                acc = acc @ sketch.counts[j]
+            estimates[j] = float(np.trace(acc))
+        return float(np.median(estimates))
+
+    def test_estimate_chain_matches_loop(self):
+        protocol = LDPCompassProtocol([16, 8, 16], k=5, epsilon=4.0, seed=90)
+        t1, (m1l, m1r), t2 = make_chain_data(16, 600, 91)
+        rng = np.random.default_rng(92)
+        first = protocol.build_end(0, protocol.encode_end(0, t1, rng))
+        mid_a = protocol.build_middle(0, protocol.encode_middle(0, m1l, m1r % 8, rng))
+        mid_b = protocol.build_middle(1, protocol.encode_middle(1, m1r % 8, m1l, rng))
+        last = protocol.build_end(2, protocol.encode_end(2, t2, rng))
+        vectorized = protocol.estimate_chain(first, [mid_a, mid_b], last)
+        loop = self._loop_chain(first, [mid_a, mid_b], last)
+        np.testing.assert_allclose(vectorized, loop, rtol=1e-9)
+
+    def test_estimate_cycle_matches_loop(self):
+        protocol = LDPCompassProtocol([8, 8, 8], k=4, epsilon=4.0, seed=95)
+        rng = np.random.default_rng(96)
+        tables = []
+        for idx in range(3):
+            left = zipf_values(400, 8, 1.3, 97 + idx)
+            right = zipf_values(400, 8, 1.3, 100 + idx)
+            tables.append(
+                protocol.build_cycle_table(
+                    idx, protocol.encode_cycle_table(idx, left, right, rng)
+                )
+            )
+        vectorized = protocol.estimate_cycle(tables)
+        loop = self._loop_cycle(tables)
+        np.testing.assert_allclose(vectorized, loop, rtol=1e-9)

@@ -1,0 +1,298 @@
+"""Sweep engine determinism: trial-axis kernels, scheduler, worker counts.
+
+The engine's contract is that execution strategy never changes results:
+
+* the trial-axis fused kernel is bit-for-bit ``T`` serial
+  ``encode_reports_into`` runs under the same generators (including
+  ``T=1`` and odd chunk boundaries);
+* ``run_join_sketch_trials`` / ``estimate_trials`` reproduce the serial
+  estimator path bit-for-bit under the same seeds;
+* ``workers=N`` reproduces ``workers=1`` exactly for the same plan, in
+  both exact and grouped trial-axis modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import get_estimator, run_join_sketch, run_join_sketch_trials
+from repro.core import SketchParams
+from repro.core.client import (
+    encode_reports_grouped_into,
+    encode_reports_into,
+    encode_reports_trials_into,
+)
+from repro.data import ZipfGenerator
+from repro.errors import ParameterError
+from repro.experiments.harness import run_trials
+from repro.experiments.sweep import plan_grid, run_sweep, sweep_table
+from repro.hashing import HashPairs
+from repro.privacy.response import flip_probability
+from repro.transform.hadamard import sample_hadamard_parities
+
+PARAMS = SketchParams(6, 64, 3.0)
+
+
+@pytest.fixture(scope="module")
+def values():
+    return np.random.default_rng(0).integers(0, 5000, size=10_001)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return ZipfGenerator(512, alpha=1.3).make_join_instance(6_000, rng=1)
+
+
+def _record_key(records):
+    """The deterministic fields of a record stream (timings excluded)."""
+    return [
+        (r.method, r.dataset, r.epsilon, r.truth, r.estimate, r.uplink_bits, r.sketch_bytes)
+        for r in records
+    ]
+
+
+class TestTrialAxisKernel:
+    @pytest.mark.parametrize("chunk_size", [777, 8192, 100_000])
+    def test_shared_pairs_bit_identical(self, values, chunk_size):
+        pairs = HashPairs(PARAMS.k, PARAMS.m, seed=7)
+        trials = 3
+        out = np.zeros((trials, PARAMS.k, PARAMS.m), dtype=np.int64)
+        encode_reports_trials_into(
+            values, PARAMS, pairs, out, [100 + t for t in range(trials)], chunk_size
+        )
+        for t in range(trials):
+            ref = np.zeros((PARAMS.k, PARAMS.m), dtype=np.int64)
+            encode_reports_into(values, PARAMS, pairs, ref, 100 + t, chunk_size)
+            assert np.array_equal(out[t], ref)
+
+    def test_per_trial_pairs_bit_identical(self, values):
+        pairs_list = [HashPairs(PARAMS.k, PARAMS.m, seed=50 + t) for t in range(3)]
+        out = np.zeros((3, PARAMS.k, PARAMS.m), dtype=np.int64)
+        encode_reports_trials_into(values, PARAMS, pairs_list, out, [1, 2, 3])
+        for t in range(3):
+            ref = np.zeros((PARAMS.k, PARAMS.m), dtype=np.int64)
+            encode_reports_into(values, PARAMS, pairs_list[t], ref, t + 1)
+            assert np.array_equal(out[t], ref)
+
+    def test_single_trial_is_fused_path(self, values):
+        pairs = HashPairs(PARAMS.k, PARAMS.m, seed=7)
+        out = np.zeros((1, PARAMS.k, PARAMS.m), dtype=np.int64)
+        encode_reports_trials_into(values, PARAMS, pairs, out, [9], chunk_size=100)
+        ref = np.zeros((PARAMS.k, PARAMS.m), dtype=np.int64)
+        encode_reports_into(values, PARAMS, pairs, ref, 9, chunk_size=100)
+        assert np.array_equal(out[0], ref)
+
+    def test_empty_values(self):
+        pairs = HashPairs(PARAMS.k, PARAMS.m, seed=7)
+        out = np.zeros((2, PARAMS.k, PARAMS.m), dtype=np.int64)
+        assert encode_reports_trials_into([], PARAMS, pairs, out, [1, 2]) == 0
+        assert not out.any()
+
+    def test_shape_mismatch_rejected(self, values):
+        pairs = HashPairs(PARAMS.k, PARAMS.m, seed=7)
+        out = np.zeros((3, PARAMS.k, PARAMS.m), dtype=np.int64)
+        with pytest.raises(ParameterError):
+            encode_reports_trials_into(values, PARAMS, pairs, out, [1, 2])
+
+    def test_pairs_count_mismatch_rejected(self, values):
+        pairs_list = [HashPairs(PARAMS.k, PARAMS.m, seed=s) for s in (1, 2)]
+        out = np.zeros((3, PARAMS.k, PARAMS.m), dtype=np.int64)
+        with pytest.raises(ParameterError):
+            encode_reports_trials_into(values, PARAMS, pairs_list, out, [1, 2, 3])
+
+
+class TestGroupedKernel:
+    def test_matches_dense_reference(self, values):
+        """The S - 2F factorisation equals materialising every cell."""
+        pairs = HashPairs(PARAMS.k, PARAMS.m, seed=7)
+        epsilons = [8.0, 1.0, 4.0]  # deliberately unsorted
+        trials, chunk = 3, 999
+        out = np.zeros((trials, len(epsilons), PARAMS.k, PARAMS.m), dtype=np.int64)
+        encode_reports_grouped_into(
+            values, pairs, epsilons, out, 33, [300 + t for t in range(trials)], chunk
+        )
+        ref = np.zeros_like(out)
+        sampler = np.random.default_rng(33)
+        gens = [np.random.default_rng(300 + t) for t in range(trials)]
+        for start in range(0, values.size, chunk):
+            block = values[start : start + chunk]
+            rows = sampler.integers(0, PARAMS.k, size=block.size)
+            cols = sampler.integers(0, PARAMS.m, size=block.size)
+            buckets, parity = pairs.bucket_and_sign_parity_rows(rows, block)
+            base = parity ^ sample_hadamard_parities(buckets, cols, PARAMS.m)
+            uniforms = [g.random(block.size) for g in gens]
+            for t in range(trials):
+                for e, epsilon in enumerate(epsilons):
+                    flips = uniforms[t] < flip_probability(epsilon)
+                    np.add.at(ref[t, e], (rows, cols), 1 - 2 * (base ^ flips))
+        assert np.array_equal(out, ref)
+
+    def test_requires_contiguous_out(self, values):
+        pairs = HashPairs(PARAMS.k, PARAMS.m, seed=7)
+        out = np.zeros((2, 2, PARAMS.k, PARAMS.m), dtype=np.int64)
+        with pytest.raises(ParameterError):
+            encode_reports_grouped_into(
+                values, pairs, [1.0, 2.0], out.transpose(1, 0, 2, 3), 1, [1, 2]
+            )
+
+
+class TestTrialVectorizedEstimators:
+    def test_run_join_sketch_trials_bit_identical(self, instance):
+        params = SketchParams(5, 128, 4.0)
+        seeds = [11, 22, 33]
+        serial = [
+            run_join_sketch(instance.values_a, instance.values_b, params, seed=s)
+            for s in seeds
+        ]
+        batched = run_join_sketch_trials(
+            instance.values_a, instance.values_b, params, seeds
+        )
+        for s, b in zip(serial, batched):
+            assert s.estimate == b.estimate
+            assert s.uplink_bits == b.uplink_bits
+            assert s.sketch_bytes == b.sketch_bytes
+            assert s.extras["num_reports"] == b.extras["num_reports"]
+
+    @pytest.mark.parametrize("name", ["ldp-join-sketch", "compass"])
+    def test_estimate_trials_matches_estimate(self, instance, name):
+        est = get_estimator(name, k=5, m=128)
+        seeds = [4, 5]
+        serial = [est.estimate(instance, 6.0, s).estimate for s in seeds]
+        batched = [r.estimate for r in est.estimate_trials(instance, 6.0, seeds)]
+        assert serial == batched
+
+    def test_empty_seed_list(self, instance):
+        params = SketchParams(5, 128, 4.0)
+        assert run_join_sketch_trials(instance.values_a, instance.values_b, params, []) == []
+
+    def test_trial_group_marginal_sanity(self, instance):
+        est = get_estimator("ldp-join-sketch", k=8, m=256)
+        blocks = est.estimate_trial_group(
+            instance, [8.0, 2.0], [1, 2, 3, 4], group_seed=9
+        )
+        truth = float(instance.true_join_size)
+        assert len(blocks) == 2 and all(len(b) == 4 for b in blocks)
+        for results in blocks:
+            for r in results:
+                assert np.isfinite(r.estimate)
+        # At a generous budget the trial mean lands near the truth.
+        mean_high_eps = np.mean([r.estimate for r in blocks[0]])
+        assert abs(mean_high_eps - truth) < truth
+
+
+class TestRunTrialsRouting:
+    def test_fast_path_matches_explicit_serial_loop(self, instance):
+        """run_trials' estimate_trials routing reproduces the per-seed loop."""
+        method = get_estimator("ldp-join-sketch", k=5, m=128)
+        from repro.rng import derive_seed, ensure_rng
+
+        rng = ensure_rng(123)
+        expected = [
+            method.estimate(instance, 4.0, derive_seed(rng)).estimate for _ in range(3)
+        ]
+        records = run_trials(method, instance, 4.0, trials=3, seed=123)
+        assert [r.estimate for r in records] == expected
+
+    def test_workers_split_is_bit_identical(self, instance):
+        method = get_estimator("ldp-join-sketch", k=5, m=64)
+        serial = run_trials(method, instance, 4.0, trials=3, seed=5)
+        parallel = run_trials(method, instance, 4.0, trials=3, seed=5, workers=2)
+        assert _record_key(serial) == _record_key(parallel)
+
+
+class TestScheduler:
+    def test_workers_bit_identical_exact(self, instance):
+        methods = {
+            "LDPJoinSketch": get_estimator("ldp-join-sketch", k=4, m=64),
+            "FAGMS": get_estimator("fagms", k=4, m=64),
+        }
+        kwargs = dict(scale=0.0005, seed=42)
+        p1 = plan_grid(["facebook"], methods, [2.0, 8.0], 2, **kwargs)
+        p2 = plan_grid(["facebook"], methods, [2.0, 8.0], 2, **kwargs)
+        r1 = [r for recs in run_sweep(p1, workers=1) for r in recs]
+        r2 = [r for recs in run_sweep(p2, workers=2) for r in recs]
+        assert _record_key(r1) == _record_key(r2)
+
+    def test_workers_bit_identical_grouped(self, instance):
+        methods = {"LDPJoinSketch": get_estimator("ldp-join-sketch", k=4, m=64)}
+        kwargs = dict(scale=0.0005, seed=42, trial_axis="grouped")
+        p1 = plan_grid(["facebook"], methods, [2.0, 8.0], 3, **kwargs)
+        p2 = plan_grid(["facebook"], methods, [2.0, 8.0], 3, **kwargs)
+        r1 = [r for recs in run_sweep(p1, workers=1) for r in recs]
+        r2 = [r for recs in run_sweep(p2, workers=2) for r in recs]
+        assert _record_key(r1) == _record_key(r2)
+        # One unit covers the whole epsilon axis, epsilon-major.
+        assert [r.epsilon for r in r1] == [2.0, 2.0, 2.0, 8.0, 8.0, 8.0]
+
+    def test_grouped_fallback_without_fast_path(self):
+        """Methods lacking estimate_trial_group still run grouped plans."""
+        methods = {"FAGMS": get_estimator("fagms", k=4, m=64)}
+        plan = plan_grid(
+            ["facebook"], methods, [2.0, 8.0], 2, scale=0.0005, seed=3,
+            trial_axis="grouped",
+        )
+        records = [r for recs in run_sweep(plan) for r in recs]
+        assert len(records) == 4
+        assert all(np.isfinite(r.estimate) for r in records)
+
+    def test_plan_seed_order_matches_legacy_serial_loop(self):
+        """The plan derives seeds exactly as the historical figure loop."""
+        from repro.data.registry import make_join_instance
+        from repro.experiments.harness import run_trials as legacy_run_trials
+        from repro.rng import derive_seed, ensure_rng
+
+        methods = {
+            "LDPJoinSketch": get_estimator("ldp-join-sketch", k=4, m=64),
+            "FAGMS": get_estimator("fagms", k=4, m=64),
+        }
+        epsilons, trials, seed = [2.0, 8.0], 2, 77
+        rng = ensure_rng(seed)
+        legacy = []
+        for dataset in ["facebook"]:
+            inst = make_join_instance(dataset, scale=0.0005, seed=derive_seed(rng))
+            for method in methods.values():
+                for epsilon in epsilons:
+                    legacy.extend(
+                        legacy_run_trials(method, inst, epsilon, trials, derive_seed(rng))
+                    )
+        plan = plan_grid(["facebook"], methods, epsilons, trials, scale=0.0005, seed=seed)
+        engine = [r for recs in run_sweep(plan) for r in recs]
+        assert _record_key(legacy) == _record_key(engine)
+
+    def test_sweep_table_structure(self):
+        table = sweep_table(
+            ["facebook"], ["ldp-join-sketch"], [4.0], 2, scale=0.0005, seed=7,
+            k=4, m=64,
+        )
+        assert table.column("method") == ["LDPJoinSketch"]
+        assert len(table.rows) == 1
+
+    def test_plan_rejects_bad_axis(self):
+        with pytest.raises(ParameterError):
+            plan_grid(["facebook"], ["fagms"], [1.0], 1, trial_axis="bogus")
+
+
+class TestSummarize:
+    def test_relative_error_nan_when_truth_zero(self):
+        from repro.experiments.harness import TrialRecord
+
+        record = TrialRecord("m", "d", 1.0, 0.0, 5.0, 0.0, 0.0, 0, 0)
+        assert np.isnan(record.relative_error)
+
+    def test_summarize_skips_undefined_re(self):
+        from repro.experiments.harness import TrialRecord, summarize
+
+        records = [
+            TrialRecord("m", "d", 1.0, 0.0, 5.0, 0.1, 0.0, 8, 64),
+            TrialRecord("m", "d", 1.0, 100.0, 120.0, 0.3, 0.0, 8, 64),
+        ]
+        stats = summarize(records)
+        assert np.isfinite(stats["re"]) and stats["re"] == pytest.approx(0.2)
+        assert stats["offline_seconds"] == pytest.approx(0.2)
+
+    def test_summarize_all_zero_truth_is_nan(self):
+        from repro.experiments.harness import TrialRecord, summarize
+
+        records = [TrialRecord("m", "d", 1.0, 0.0, 5.0, 0.0, 0.0, 0, 0)]
+        assert np.isnan(summarize(records)["re"])
