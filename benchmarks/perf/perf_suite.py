@@ -22,7 +22,13 @@ every PR has a perf baseline to beat:
   pre-engine serial harness loop (one full ``estimate`` per trial)
   against the engine's exact mode (trial-axis fused kernel, bit-identical
   estimates) and grouped mode (one hash/sample pass per (dataset, method)
-  block), plus a parallel-vs-serial bit-identity check.
+  block), plus a parallel-vs-serial bit-identity check;
+* ``backends`` (schema v3) — per-compute-backend kernel throughput on the
+  shared ABI (:mod:`repro.backend`): the fused encode→accumulate kernel,
+  the FWHT butterfly and the k-wise Mersenne hash, one row per available
+  backend (``numpy`` always; ``numba`` when importable).  This is the
+  apples-to-apples compiled-vs-reference comparison CI's speedup floor
+  reads.
 
 :func:`run_suite` returns a JSON-compatible payload;
 :func:`validate_payload` is the schema check CI runs against the emitted
@@ -41,15 +47,21 @@ import numpy as np
 
 from repro.accumulate import scatter_add_signed_units
 from repro.api import JoinSession, get_estimator
+from repro.backend import (
+    available_backends,
+    backend_available,
+    get_backend,
+    resolve_backend,
+)
 from repro.core import SketchParams, encode_reports, encode_reports_into
-from repro.core.client import ReportBatch
+from repro.core.client import DEFAULT_CHUNK_SIZE, ReportBatch
 from repro.data import make_join_instance
 from repro.experiments.sweep import plan_grid, run_sweep
 from repro.hashing import HashPairs
 from repro.hashing.kwise import MERSENNE_PRIME_31
 from repro.rng import derive_seed, ensure_rng
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Headline population sizes.
 FULL_N = 1_000_000
@@ -325,6 +337,80 @@ def _bench_sweep(n: int, repeats: int, parallel_workers: int = 2) -> Dict[str, f
     }
 
 
+#: Kernel names of the ``backends`` section (schema v3).
+BACKEND_KERNELS = ("fused_encode", "fwht", "hashing")
+
+#: FWHT batch shape of the backend comparison (rows × BENCH_M).
+FWHT_BATCH_ROWS = 512
+
+
+def _bench_backends(n: int, repeats: int) -> dict:
+    """Per-backend kernel throughput on the shared ABI.
+
+    One row per available backend and ABI kernel, measured on identical
+    pre-drawn inputs (randomness is host-side by the ABI contract, so
+    the kernels are pure functions and the comparison is exact).  The
+    ``fwht`` timing transforms the same buffer repeatedly — the FWHT is
+    linear, so growing magnitudes leave the flop count (and float64
+    range, for any sane repeat count) untouched.
+    """
+    params = SketchParams(BENCH_K, BENCH_M, BENCH_EPSILON)
+    pairs = HashPairs(params.k, params.m, seed=BENCH_SEED)
+    rng = np.random.default_rng(BENCH_SEED)
+    values = rng.integers(0, 1 << 20, size=n).astype(np.uint64)
+    rows = rng.integers(0, params.k, size=n)
+    cols = rng.integers(0, params.m, size=n)
+    flips = rng.random(n) < params.flip_probability
+    fwht_data = rng.normal(size=(FWHT_BATCH_ROWS, BENCH_M))
+    kernels: Dict[str, dict] = {name: {} for name in BACKEND_KERNELS}
+    # One row per registered-and-importable backend (not just the two
+    # built-ins), so a register_backend() extension shows up in the
+    # comparison exactly as the README promises.
+    for backend_name in sorted(available_backends()):
+        if not backend_available(backend_name):
+            continue
+        backend = resolve_backend(backend_name)
+
+        def run_fused():
+            out = np.zeros((params.k, params.m), dtype=np.int64)
+            # Chunked exactly like encode_reports_into's production loop
+            # (DEFAULT_CHUNK_SIZE per kernel call), so each backend's row
+            # measures the kernel variant sessions actually execute —
+            # not a one-shot giant call no library entry point makes.
+            for start in range(0, n, DEFAULT_CHUNK_SIZE):
+                sl = slice(start, start + DEFAULT_CHUNK_SIZE)
+                backend.fused_encode_accumulate(
+                    pairs._bucket_coeffs, pairs._sign_coeffs, values[sl],
+                    rows[sl], cols[sl], flips[sl], params.m, out,
+                )
+            return out
+
+        fused = _best_of(run_fused, repeats)
+        hashing = _best_of(
+            lambda: backend.polyval_mersenne_rows(pairs._bucket_coeffs, rows, values),
+            repeats,
+        )
+        fwht = _best_of(lambda: backend.fwht_batch_inplace(fwht_data), repeats)
+        kernels["fused_encode"][backend_name] = {
+            "seconds": fused,
+            "per_sec": _rate(n, fused),
+        }
+        kernels["hashing"][backend_name] = {
+            "seconds": hashing,
+            "per_sec": _rate(n, hashing),
+        }
+        kernels["fwht"][backend_name] = {
+            "seconds": fwht,
+            "per_sec": _rate(fwht_data.size, fwht),
+        }
+    return {
+        "n": n,
+        "active": get_backend().name,
+        "numba_available": 1.0 if backend_available("numba") else 0.0,
+        "kernels": kernels,
+    }
+
+
 def _bench_serialize(n: int, repeats: int) -> Dict[str, float]:
     params = SketchParams(BENCH_K, BENCH_M, BENCH_EPSILON)
     session = JoinSession(params, seed=BENCH_SEED)
@@ -367,13 +453,24 @@ def _decode_for_bench(raw_entry) -> np.ndarray:
 # ----------------------------------------------------------------------
 # Runner + schema
 # ----------------------------------------------------------------------
-def run_suite(quick: bool = False) -> dict:
-    """Run every section; returns the JSON-compatible payload."""
+def run_suite(quick: bool = False, backends_n: int = None) -> dict:
+    """Run every section; returns the JSON-compatible payload.
+
+    ``backends_n`` overrides the population of the ``backends`` section
+    only — CI's numba leg passes ``FULL_N`` alongside ``quick=True`` so
+    the compiled-vs-reference comparison (and its speedup floor) is
+    measured at the headline n = 1M even in the fast smoke run, where the
+    other sections stay small.
+    """
     n = QUICK_N if quick else FULL_N
     repeats = 1 if quick else 9
     query_n = min(n, 200_000)
     sweep_n = SWEEP_QUICK_N if quick else SWEEP_FULL_N
     sweep_repeats = 1 if quick else 3
+    if backends_n is None:
+        backends_n, backends_repeats = n, repeats
+    else:
+        backends_repeats = max(repeats, 3)
     return {
         "schema_version": SCHEMA_VERSION,
         "mode": "quick" if quick else "full",
@@ -385,6 +482,7 @@ def run_suite(quick: bool = False) -> dict:
             "estimate": _bench_estimate(query_n, repeats),
             "serialize": _bench_serialize(query_n, repeats),
             "sweep": _bench_sweep(sweep_n, sweep_repeats),
+            "backends": _bench_backends(backends_n, backends_repeats),
         },
     }
 
@@ -441,6 +539,47 @@ _SECTION_KEYS: Dict[str, Tuple[str, ...]] = {
 }
 
 
+def _validate_backends_section(section) -> None:
+    """Schema check of the v3 ``backends`` section."""
+    if not isinstance(section, dict):
+        raise ValueError("missing section 'backends'")
+    for key in ("n", "numba_available"):
+        value = section.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"backends key {key!r} must be a number, got {value!r}")
+    if not isinstance(section.get("active"), str):
+        raise ValueError("backends key 'active' must be a string")
+    numba_required = section["numba_available"] == 1.0
+    kernels = section.get("kernels")
+    if not isinstance(kernels, dict):
+        raise ValueError("backends section must carry a 'kernels' object")
+    for kernel in BACKEND_KERNELS:
+        entry = kernels.get(kernel)
+        if not isinstance(entry, dict) or "numpy" not in entry:
+            raise ValueError(f"backends kernel {kernel!r} must carry a numpy row")
+        if numba_required and "numba" not in entry:
+            raise ValueError(
+                f"backends kernel {kernel!r} lacks a numba row although "
+                f"numba_available is 1"
+            )
+        for backend_name, row in entry.items():
+            if not isinstance(row, dict):
+                raise ValueError(
+                    f"backends kernel {kernel!r} row {backend_name!r} must be an object"
+                )
+            for key in ("seconds", "per_sec"):
+                value = row.get(key)
+                if (
+                    not isinstance(value, (int, float))
+                    or isinstance(value, bool)
+                    or value < 0
+                ):
+                    raise ValueError(
+                        f"backends kernel {kernel!r} row {backend_name!r} key "
+                        f"{key!r} must be a non-negative number, got {value!r}"
+                    )
+
+
 def validate_payload(payload: dict) -> None:
     """Raise ``ValueError`` unless ``payload`` matches the BENCH_perf schema."""
     if not isinstance(payload, dict):
@@ -467,3 +606,4 @@ def validate_payload(payload: dict) -> None:
                 raise ValueError(f"section {name!r} key {key!r} must be a number, got {value!r}")
             if value < 0:
                 raise ValueError(f"section {name!r} key {key!r} must be non-negative")
+    _validate_backends_section(sections.get("backends"))

@@ -20,12 +20,19 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from perf_suite import run_suite, validate_payload  # noqa: E402
+from perf_suite import FULL_N, run_suite, validate_payload  # noqa: E402
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small-n smoke mode")
+    parser.add_argument(
+        "--full-backends",
+        action="store_true",
+        help="measure the backends section at the full n = 1M even with "
+        "--quick (CI's numba leg uses this so the compiled-vs-reference "
+        "floor is enforced at the headline population)",
+    )
     parser.add_argument(
         "--out",
         type=Path,
@@ -58,7 +65,38 @@ def main(argv=None) -> int:
         "speedup over the serial harness is at least X (the CI floor) and "
         "its parallel run was bit-identical to serial",
     )
+    parser.add_argument(
+        "--min-numba-encode-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="with --validate: when the payload carries numba backend rows, "
+        "fail unless the numba fused-encode kernel reaches at least X times "
+        "the numpy kernel's throughput (vacuous when numba was unavailable "
+        "at measurement time)",
+    )
+    parser.add_argument(
+        "--require-numba",
+        action="store_true",
+        help="with --validate: fail unless the payload actually carries "
+        "numba backend rows (numba_available == 1) — guards CI's numba leg "
+        "against a broken numba install silently voiding the floor",
+    )
     args = parser.parse_args(argv)
+
+    # Flags are mode-specific; a CI edit that drops --validate must fail
+    # loudly instead of silently enforcing nothing.
+    if args.validate is None:
+        for flag, given in (
+            ("--require-full", args.require_full),
+            ("--min-sweep-speedup", args.min_sweep_speedup is not None),
+            ("--min-numba-encode-speedup", args.min_numba_encode_speedup is not None),
+            ("--require-numba", args.require_numba),
+        ):
+            if given:
+                parser.error(f"{flag} only applies with --validate")
+    elif args.full_backends or args.quick:
+        parser.error("--quick/--full-backends only apply when benchmarking")
 
     if args.validate is not None:
         payload = json.loads(args.validate.read_text())
@@ -90,6 +128,30 @@ def main(argv=None) -> int:
             if sweep["exact_identical"] != 1.0:
                 print("[fail] exact-mode sweep diverged from the serial harness")
                 return 1
+        if args.require_numba:
+            backends = payload["sections"]["backends"]
+            if backends["numba_available"] != 1.0:
+                print(
+                    f"[fail] {args.validate} carries no numba rows "
+                    f"(numba_available={backends['numba_available']}) but "
+                    f"--require-numba was given — the numba install is broken "
+                    f"or missing, so the compiled floor would pass vacuously"
+                )
+                return 1
+        if args.min_numba_encode_speedup is not None:
+            backends = payload["sections"]["backends"]
+            fused = backends["kernels"]["fused_encode"]
+            if backends["numba_available"] == 1.0:
+                speedup = fused["numba"]["per_sec"] / fused["numpy"]["per_sec"]
+                if speedup < args.min_numba_encode_speedup:
+                    print(
+                        f"[fail] numba fused-encode at {speedup:.2f}x numpy — "
+                        f"below the {args.min_numba_encode_speedup:.2f}x floor"
+                    )
+                    return 1
+                print(f"[ok] numba fused-encode at {speedup:.2f}x numpy")
+            else:
+                print("[ok] numba rows absent (numba unavailable); floor not applicable")
         print(f"[ok] {args.validate} matches BENCH_perf schema v{payload['schema_version']}")
         return 0
 
@@ -100,7 +162,9 @@ def main(argv=None) -> int:
             else Path(__file__).resolve().parents[2] / "BENCH_perf.json"
         )
 
-    payload = run_suite(quick=args.quick)
+    payload = run_suite(
+        quick=args.quick, backends_n=FULL_N if args.full_backends else None
+    )
     validate_payload(payload)
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     end_to_end = payload["sections"]["end_to_end"]
@@ -121,6 +185,16 @@ def main(argv=None) -> int:
         f"({sweep['exact_speedup']:.2f}x, identical="
         f"{bool(sweep['exact_identical'])}), parallel identical="
         f"{bool(sweep['parallel_identical'])}"
+    )
+    backends = payload["sections"]["backends"]
+    fused = backends["kernels"]["fused_encode"]
+    rows = ", ".join(
+        f"{name} {row['per_sec']:,.0f}/s" for name, row in fused.items()
+    )
+    print(
+        f"[bench] backends (active={backends['active']}, "
+        f"numba_available={bool(backends['numba_available'])}): "
+        f"fused encode {rows}"
     )
     print(f"[bench] wrote {args.out}")
     return 0

@@ -1,79 +1,114 @@
-"""Flattened-index ``np.bincount`` scatter-add kernels.
+"""Flattened-index scatter-add helpers, dispatching to the compute backend.
 
 Every aggregation hot path in this library folds per-report updates into a
 small dense counter array.  The obvious NumPy spelling,
 ``np.add.at(out, (rows, cols), w)``, is a *buffered* scatter-add that
 dispatches element by element and is roughly an order of magnitude slower
 than histogramming the flattened indices with ``np.bincount`` and adding
-the dense result once.  These helpers centralise the bincount idiom so the
-core protocol, the LDP mechanisms, the classical sketches and the session
-layer all share one fast implementation.
+the dense result once.  These helpers centralise the flatten-and-validate
+step so the core protocol, the LDP mechanisms, the classical sketches and
+the session layer all share one fast implementation — the actual
+accumulation runs on the active compute backend's
+:meth:`~repro.backend.base.Backend.bincount_accumulate` kernel (bincount
+with a sparse-batch ``np.add.at`` fallback on the NumPy backend, a
+compiled scatter loop on the numba backend).
 
 Three variants cover the accumulator dtypes in use:
 
 * :func:`scatter_add` — float accumulators with arbitrary float weights
-  (``np.bincount`` computes the per-bin sums in input order, matching the
-  sequential order ``np.add.at`` would use);
+  (per-bin sums are formed in input order, matching the sequential order
+  ``np.add.at`` would use);
 * :func:`scatter_add_signed_units` — integer accumulators receiving
-  ``{-1, +1}`` payloads; the per-bin ±1 sums are integers of magnitude at
-  most ``len(ys) < 2**53``, all exactly representable in float64, so the
-  weighted bincount is exact bit-for-bit despite the float intermediate;
+  ``{-1, +1}`` payloads; the reference kernel's float64 intermediate is
+  exact bit-for-bit because every partial sum is an integer of magnitude
+  at most ``len(ys) < 2**53``;
 * :func:`scatter_count` — integer accumulators receiving unit increments.
 
 All of them accept an index tuple (one array per accumulator axis, as
-``np.add.at`` does).  ``np.bincount(minlength=out.size)`` materialises a
-dense accumulator-sized transient, so batches much smaller than the
-accumulator (a hundred reports into a 19M-cell middle tensor) fall back
-to ``np.add.at`` — at that ratio the scatter is cheaper than the dense
-histogram and the transient stays O(batch).  On the fat-batch hot path
-the transient is one accumulator-sized float64 array; callers chunk
-their inputs to cap the index-side memory.
+``np.add.at`` does).  Flat offsets are always computed in **int64** —
+index arrays arrive in whatever dtype the caller drew them in (int32 on
+some platforms / wire formats), and the raveling multiply
+``rows * m * ...`` overflows int32 as soon as the accumulator crosses
+``2**31`` cells, so every term is widened before the multiply (see the
+regression test in ``tests/test_fused_path.py``).
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["scatter_add", "scatter_add_signed_units", "scatter_count"]
+from .backend import get_backend
+from .backend.base import SPARSE_RATIO
 
-#: Use ``np.add.at`` instead of bincount when the batch is this many times
-#: smaller than the accumulator — the dense histogram's O(out.size) pass
-#: (and transient) dwarfs the scatter there.
-_SPARSE_RATIO = 16
+__all__ = ["scatter_add", "scatter_add_signed_units", "scatter_count"]
 
 
 def _flat_indices(out: np.ndarray, indices: Sequence[np.ndarray]) -> Tuple[np.ndarray, int]:
-    """Ravel a tuple of per-axis index arrays into flat int64 offsets."""
+    """Ravel a tuple of per-axis index arrays into flat int64 offsets.
+
+    The int64 widening is load-bearing, not cosmetic: with int32 index
+    inputs and an accumulator of more than ``2**31`` cells (e.g. the
+    ``(k, m_left, m_right)`` middle tensors at chain scale), the
+    positional multiply would wrap and silently scatter into the wrong
+    cells.  Each axis term is converted *before* the multiply so the
+    arithmetic never runs in a narrower dtype.
+    """
     if len(indices) != out.ndim:
         raise ValueError(
             f"need one index array per accumulator axis ({out.ndim}), got {len(indices)}"
         )
-    if out.ndim == 1:
-        flat = np.asarray(indices[0], dtype=np.int64)
-    else:
-        flat = np.asarray(indices[0], dtype=np.int64)
-        for axis in range(1, out.ndim):
-            flat = flat * out.shape[axis] + np.asarray(indices[axis], dtype=np.int64)
+    flat = np.asarray(indices[0], dtype=np.int64)
+    for axis in range(1, out.ndim):
+        flat = flat * np.int64(out.shape[axis]) + np.asarray(
+            indices[axis], dtype=np.int64
+        )
     return flat, out.size
 
 
+def _accumulate(
+    out: np.ndarray, indices: Sequence[np.ndarray], weights: Optional[np.ndarray]
+) -> np.ndarray:
+    """Flatten, then hand the scatter to the backend kernel."""
+    flat, _ = _flat_indices(out, indices)
+    if not flat.size:
+        return out
+    if not out.flags.c_contiguous:
+        # Exotic accumulator views cannot be raveled without copying (a
+        # copy would lose the update).  Sparse batches take the
+        # index-tuple scatter; fat batches stage the backend kernel in a
+        # contiguous zero buffer and fold it in with one element-wise add
+        # (valid for any layout), keeping the ~10x bincount advantage.
+        if flat.size * SPARSE_RATIO < out.size:
+            np.add.at(
+                out,
+                tuple(np.asarray(i) for i in indices),
+                1 if weights is None else weights,
+            )
+        else:
+            staged = np.zeros(out.shape, dtype=out.dtype)
+            get_backend().bincount_accumulate(staged, flat, weights)
+            out += staged
+        return out
+    get_backend().bincount_accumulate(out, flat, weights)
+    return out
+
+
 def scatter_add(out: np.ndarray, indices: Sequence[np.ndarray], weights: np.ndarray) -> np.ndarray:
-    """``out[indices] += weights`` with repeated indices, via bincount.
+    """``out[indices] += weights`` with repeated indices, via the backend.
 
     Drop-in replacement for ``np.add.at(out, tuple(indices), weights)`` on
     float accumulators.  Returns ``out``.
     """
-    flat, size = _flat_indices(out, indices)
-    if not flat.size:
-        return out
-    if flat.size * _SPARSE_RATIO < size:
-        _sparse_add_at(out, flat, indices, np.asarray(weights, dtype=np.float64))
-        return out
-    binned = np.bincount(flat, weights=np.asarray(weights, dtype=np.float64), minlength=size)
-    out += binned.reshape(out.shape)
-    return out
+    if np.issubdtype(out.dtype, np.integer):
+        # np.add.at raises on float-into-int; the backend kernels would
+        # silently truncate instead, so keep the loud failure here.
+        raise TypeError(
+            "scatter_add writes float weights; integer accumulators take "
+            "scatter_add_signed_units or scatter_count"
+        )
+    return _accumulate(out, indices, np.asarray(weights, dtype=np.float64))
 
 
 def scatter_add_signed_units(
@@ -81,42 +116,12 @@ def scatter_add_signed_units(
 ) -> np.ndarray:
     """``out[indices] += ys`` for ``ys in {-1, +1}`` on integer accumulators.
 
-    One weighted bincount computes every per-bin sum of ±1 payloads.  The
-    float64 intermediate is *exact*: every partial sum is an integer of
-    magnitude at most ``len(ys) < 2**53``, so no rounding can occur and
-    the result is bit-for-bit identical to integer ``np.add.at``.
-    Returns ``out``.
+    Exact bit-for-bit with integer ``np.add.at`` on every backend (see
+    module docstring).  Returns ``out``.
     """
-    flat, size = _flat_indices(out, indices)
-    if not flat.size:
-        return out
-    if flat.size * _SPARSE_RATIO < size:
-        _sparse_add_at(out, flat, indices, np.asarray(ys, dtype=out.dtype))
-        return out
-    binned = np.bincount(flat, weights=np.asarray(ys, dtype=np.float64), minlength=size)
-    out += binned.reshape(out.shape).astype(out.dtype, copy=False)
-    return out
+    return _accumulate(out, indices, np.asarray(ys))
 
 
 def scatter_count(out: np.ndarray, indices: Sequence[np.ndarray]) -> np.ndarray:
-    """``out[indices] += 1`` with repeated indices, via bincount. Returns ``out``."""
-    flat, size = _flat_indices(out, indices)
-    if not flat.size:
-        return out
-    if flat.size * _SPARSE_RATIO < size:
-        _sparse_add_at(out, flat, indices, 1)
-        return out
-    out += np.bincount(flat, minlength=size).reshape(out.shape).astype(out.dtype, copy=False)
-    return out
-
-
-def _sparse_add_at(out: np.ndarray, flat: np.ndarray, indices, values) -> None:
-    """Scatter a small batch with ``np.add.at``, preferring flat indexing.
-
-    ``reshape(-1)`` on a non-contiguous accumulator would copy (and lose
-    the update), so those fall back to the original index tuple.
-    """
-    if out.flags.c_contiguous:
-        np.add.at(out.reshape(-1), flat, values)
-    else:
-        np.add.at(out, tuple(np.asarray(i) for i in indices), values)
+    """``out[indices] += 1`` with repeated indices. Returns ``out``."""
+    return _accumulate(out, indices, None)

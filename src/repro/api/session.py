@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..accumulate import scatter_add_signed_units
+from ..backend import resolve_backend, use_backend
 from ..core.client import DEFAULT_CHUNK_SIZE, ReportBatch, encode_reports_into
 from ..core.multiway import (
     LDPCompassProtocol,
@@ -124,6 +125,14 @@ class JoinSession:
         Pre-built hash pairs to share with sibling shards; normally
         obtained from a coordinator session via :attr:`pairs` or
         :meth:`spawn_shard`.
+    backend:
+        Compute-backend pin (``"numpy"``, ``"numba"``, a live
+        :class:`repro.backend.Backend`, or ``None`` to follow the
+        process-wide selection).  Every ingest and sketch
+        materialisation of this session runs scoped to it.  A runtime
+        preference, not state: it does not travel through
+        :meth:`to_dict` and does not affect mergeability — shards built
+        on different backends produce bit-identical accumulators.
     """
 
     def __init__(
@@ -133,8 +142,14 @@ class JoinSession:
         attribute_widths: Optional[Sequence[int]] = None,
         seed: RandomState = None,
         pairs: Optional[Sequence[HashPairs]] = None,
+        backend=None,
     ) -> None:
         self.params = params
+        if backend is not None:
+            # Fail at construction on a backend typo (the spec itself is
+            # kept, not the resolved instance — names stay picklable).
+            resolve_backend(backend)
+        self.backend = backend
         self._rng = ensure_rng(seed)
         # The protocol owns (and validates) the pairs: shared ones must
         # match params.k and any declared widths; fresh ones are drawn
@@ -191,9 +206,11 @@ class JoinSession:
 
         Shards ingest independently (in other threads, processes or
         machines — see :meth:`to_dict`) and are folded back with
-        :meth:`merge`.
+        :meth:`merge`.  The shard inherits this session's backend pin.
         """
-        return JoinSession(self.params, seed=seed, pairs=self._pairs)
+        return JoinSession(
+            self.params, seed=seed, pairs=self._pairs, backend=self.backend
+        )
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -235,7 +252,10 @@ class JoinSession:
                 )
             num_new = len(batch)
             if num_new:
-                scatter_add_signed_units(state.raw, (batch.rows, batch.cols), batch.ys)
+                with use_backend(self.backend):
+                    scatter_add_signed_units(
+                        state.raw, (batch.rows, batch.cols), batch.ys
+                    )
         else:
             rng = self._rng if seed is None else ensure_rng(seed)
             num_new = encode_reports_into(
@@ -245,6 +265,7 @@ class JoinSession:
                 state.raw,
                 rng,
                 chunk_size=chunk_size,
+                backend=self.backend,
             )
         if num_new:
             state.num_reports += num_new
@@ -292,13 +313,17 @@ class JoinSession:
             if right_values is None:
                 raise ParameterError("middle-table collection needs both value columns")
             rng = self._rng if seed is None else ensure_rng(seed)
-            batch = self._protocol.encode_middle(
-                state.left_attribute, left_values, right_values, rng
-            )
+            with use_backend(self.backend):
+                batch = self._protocol.encode_middle(
+                    state.left_attribute, left_values, right_values, rng
+                )
         if len(batch):
-            scatter_add_signed_units(
-                state.raw, (batch.replicas, batch.left_cols, batch.right_cols), batch.ys
-            )
+            with use_backend(self.backend):
+                scatter_add_signed_units(
+                    state.raw,
+                    (batch.replicas, batch.left_cols, batch.right_cols),
+                    batch.ys,
+                )
             state.num_reports += len(batch)
             state.uplink_bits += batch.total_bits
             self._charge(stream, state, "LDP-COMPASS")
@@ -396,7 +421,8 @@ class JoinSession:
             # FWHT.
             counts = state.raw.astype(np.float64)
             counts *= params.scale
-            fwht_inplace(counts)
+            with use_backend(self.backend):
+                fwht_inplace(counts)
             state.cached = LDPJoinSketch(
                 params, self._pairs[state.attribute], counts, state.num_reports
             )
@@ -412,7 +438,8 @@ class JoinSession:
         if state.cached is None:
             scaled = state.raw.astype(np.float64)
             scaled *= self.params.scale
-            counts = finalize_middle_counts(scaled)
+            with use_backend(self.backend):
+                counts = finalize_middle_counts(scaled)
             state.cached = LDPMiddleSketch(
                 self._pairs[state.left_attribute],
                 self._pairs[state.left_attribute + 1],

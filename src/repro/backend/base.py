@@ -1,0 +1,236 @@
+"""The compute-backend kernel ABI.
+
+Every hot path of the simulator — k-wise Mersenne hashing, the fused
+client encode→accumulate kernels, the FWHT butterfly, flattened-index
+scatter-adds and the frequency-oracle support scans — funnels through the
+narrow set of kernels declared here.  :mod:`repro.backend.numpy_backend`
+is the reference implementation (the vectorised NumPy code the library
+grew up with, extracted behind this interface);
+:mod:`repro.backend.numba_backend` provides optional ``@njit`` compiled
+loop kernels.  Because the ABI is small and purely deterministic, adding
+a backend means implementing eight array functions — not forking the
+protocol code.
+
+Determinism contract
+--------------------
+Backends never draw randomness.  Every stochastic input (sampled rows and
+columns, flip-channel indicators) is drawn by the *dispatcher* from a
+NumPy :class:`~numpy.random.Generator` in the protocol's documented draw
+order and handed to the kernel as plain arrays.  A kernel is a pure
+function of its array arguments, required to reproduce the reference
+backend **bit for bit**:
+
+* integer kernels (hashing, encode→accumulate, integer scatters) compute
+  exact modular / integer arithmetic, so equality is literal;
+* the FWHT butterfly must apply the same ``(a + b, a - b)`` operation per
+  element pair per level, which makes the float results identical too.
+
+``tests/test_backend_parity.py`` enforces the contract over a seeded grid
+(odd chunk sizes, ``T = 1``, ``n ∈ {0, 1}``, shared vs per-trial pairs).
+
+Array-argument conventions
+--------------------------
+* ``coefficients_t`` matrices are the *transposed* ``(degree, R)`` uint64
+  coefficient layouts produced by :mod:`repro.hashing.pairs` (one
+  contiguous row per degree); entries lie in ``[0, p)`` with
+  ``p = 2**31 - 1``.
+* ``x`` evaluation points are uint64 values in ``[0, p)`` — dispatchers
+  validate the domain once per batch, kernels trust their inputs.
+* ``rows`` / ``cols`` are int64 index arrays already range-checked by the
+  dispatcher.
+* ``out`` accumulators are C-contiguous int64 unless stated otherwise
+  and are mutated in place.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Backend", "SPARSE_RATIO"]
+
+#: Batch-vs-accumulator ratio below which :meth:`Backend.bincount_accumulate`
+#: takes the element-wise scatter instead of a dense histogram.  Part of the
+#: ABI, not a per-backend tunable: for float weights the two branches sum
+#: bins in different orders (element-wise into ``out`` vs per-bin totals
+#: added once), so every backend must flip branches at the *same* threshold
+#: or the bit-for-bit parity contract breaks in the ratio window between
+#: two thresholds.
+SPARSE_RATIO = 16
+
+
+class Backend(abc.ABC):
+    """Abstract compute backend: the eight-kernel ABI.
+
+    Subclasses set :attr:`name` (the registry key users select with
+    ``set_backend`` / ``REPRO_BACKEND``) and implement the kernels.
+    Instances are stateless and shared process-wide; kernels must be
+    thread-compatible (no hidden mutable state beyond ``out`` arguments).
+    """
+
+    #: Registry key ("numpy", "numba", ...).
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # k-wise Mersenne hashing
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def polyval_mersenne_rows(
+        self, coefficients_t: np.ndarray, rows: np.ndarray, x: np.ndarray
+    ) -> np.ndarray:
+        """Per-element polynomial gather-and-evaluate ``g_{rows[i]}(x[i])``.
+
+        ``coefficients_t`` is ``(degree, R)`` uint64; ``rows`` (int64, in
+        ``[0, R)``) selects one polynomial per element; ``x`` (uint64, in
+        ``[0, p)``) holds the evaluation points.  Returns uint64 residues
+        in ``[0, p)`` shaped like ``x``.  This is the client hot path:
+        one bucket hash and one sign hash per report.
+        """
+
+    @abc.abstractmethod
+    def polyval_mersenne_all(
+        self, coefficients_t: np.ndarray, x: np.ndarray
+    ) -> np.ndarray:
+        """All-rows evaluation ``G[j, i] = g_j(x[i])`` — shape ``(R, n)``.
+
+        The server-side scan path (domain-wide frequency read-outs, the
+        non-private Fast-AGMS update, the HCMS/Count-Mean support scan).
+        """
+
+    # ------------------------------------------------------------------
+    # Fused client encode→accumulate (Algorithm 1 hot paths)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def fused_encode_accumulate(
+        self,
+        bucket_coefficients_t: np.ndarray,
+        sign_coefficients_t: np.ndarray,
+        x: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        flips: np.ndarray,
+        m: int,
+        out: np.ndarray,
+    ) -> None:
+        """One chunk of perturbed reports folded into a ``(k, m)`` sketch.
+
+        For each element ``i``: evaluate the bucket hash
+        ``b = g_{rows[i]}(x[i]) mod m`` and the sign-hash parity, XOR with
+        the sampled Hadamard entry parity ``popcount(b & cols[i]) & 1``
+        and the boolean flip indicator ``flips[i]``, and scatter the
+        resulting ``y ∈ {-1, +1}`` into ``out[rows[i], cols[i]]``.  The
+        per-trial variant of the fused kernel (one accumulator).
+        """
+
+    @abc.abstractmethod
+    def fused_encode_accumulate_trials(
+        self,
+        bucket_coefficients_t: np.ndarray,
+        sign_coefficients_t: np.ndarray,
+        x: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        flips: np.ndarray,
+        m: int,
+        out: np.ndarray,
+    ) -> None:
+        """Trial-axis variant: ``T`` trials of one value chunk in one call.
+
+        ``x`` is the shared ``(c,)`` value chunk; ``rows`` / ``cols`` /
+        ``flips`` are ``(T, c)`` per-trial draws; ``out`` is ``(T, k, m)``.
+        Trial ``t``'s coefficient columns sit at ``t * k + rows[t, i]`` in
+        the stacked ``(degree, T * k)`` matrices (the layout
+        :func:`repro.hashing.pairs.stack_pair_coefficients` builds).  Must
+        equal ``T`` independent :meth:`fused_encode_accumulate` calls on
+        ``out[t]`` bit for bit.
+        """
+
+    @abc.abstractmethod
+    def fused_encode_shared_pass(
+        self,
+        bucket_coefficients_t: np.ndarray,
+        sign_coefficients_t: np.ndarray,
+        x: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        m: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Grouped variant front half: unperturbed signs + flat cells.
+
+        The trial-group kernel (common random numbers across the epsilon
+        axis) hashes and samples once per (dataset, method) block; only
+        the flip channel is drawn per trial.  This kernel computes the
+        shared part: returns ``(cell, base_signs)`` where
+        ``cell[i] = rows[i] * m + cols[i]`` (int64 flat sketch index) and
+        ``base_signs[i] ∈ {-1, +1}`` (int64) is the sign-hash ⊕ Hadamard
+        parity *before* any flip.  The dispatcher applies the per-trial
+        threshold bands on top via :meth:`bincount_accumulate`.
+        """
+
+    # ------------------------------------------------------------------
+    # Transform
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def fwht_batch_inplace(self, data: np.ndarray) -> np.ndarray:
+        """In-place fast Walsh–Hadamard transform along the last axis.
+
+        ``data`` is a float array whose last dimension ``m`` is a power
+        of two (``m >= 2``; the dispatcher already handled ``m = 1`` and
+        dtype validation).  Each butterfly level must apply
+        ``(a, b) <- (a + b, a - b)`` to the same element pairs as the
+        reference backend so float results stay bit-identical.  Returns
+        ``data``.
+        """
+
+    # ------------------------------------------------------------------
+    # Scatter-add
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def bincount_accumulate(
+        self, out: np.ndarray, flat: np.ndarray, weights: Optional[np.ndarray]
+    ) -> None:
+        """``out.reshape(-1)[flat] += weights`` with repeated indices.
+
+        ``out`` is a C-contiguous accumulator of any shape; ``flat``
+        holds int64 raveled indices (already bounds-checked and computed
+        in int64 — see :func:`repro.accumulate._flat_indices` for the
+        int32-overflow guard).  ``weights`` is ``None`` for unit counts,
+        else an array broadcastable against ``flat``.  Integer ``out``
+        with integer-valued ``weights`` must accumulate exactly; float
+        accumulation must match the reference backend's in-input-order
+        per-bin summation bit for bit.
+        """
+
+    # ------------------------------------------------------------------
+    # Frequency-oracle support scans
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def oracle_support_scan(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        candidates: np.ndarray,
+        g: int,
+        *,
+        reports: Optional[np.ndarray] = None,
+        counts: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Candidate supports of a local-hashing oracle (OLH / FLH).
+
+        The hash family is ``h_r(x) = ((a[r] * x + b[r]) mod p) mod g``
+        with ``p = 2**31 - 1``.  Exactly one of ``reports`` / ``counts``
+        is given:
+
+        * ``reports`` (exact OLH): one hash per user; the support of
+          candidate ``d`` is ``#{u : reports[u] = h_u(d)}`` — a
+          Theta(users × candidates) scan;
+        * ``counts`` (FLH): a shared ``(pool, g)`` count matrix; the
+          support is ``sum_r counts[r, h_r(d)]`` — pool-sized lookups.
+
+        Returns float64 supports shaped like ``candidates``.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,412 @@
+"""Optional Numba JIT backend: compiled loop kernels for every hot path.
+
+Importing this module requires `numba <https://numba.pydata.org>`_; the
+registry treats an :class:`ImportError` here as "backend unavailable" and
+falls back to :class:`~repro.backend.numpy_backend.NumpyBackend`.  Nothing
+else in the library imports numba, so the dependency stays strictly
+optional.
+
+Design notes
+------------
+* Kernels are ``@njit(cache=True)`` loop nests — no full-array
+  temporaries, no per-chunk NumPy dispatch.  The embarrassingly parallel
+  ones (per-element hashing, per-row FWHT, per-candidate support scans)
+  additionally use ``parallel=True`` with ``prange``.
+* **Bit-for-bit parity with the NumPy backend is by construction**: all
+  randomness is drawn by the dispatchers from NumPy generators (in the
+  protocol draw order) and enters these kernels as plain arrays, and the
+  arithmetic here is exact integer/modular math — plus an FWHT that
+  applies the identical ``(a + b, a - b)`` float operation per element
+  pair per level.  ``tests/test_backend_parity.py`` enforces this over a
+  seeded grid whenever numba is installed.
+* The fused single-accumulator kernel keeps one private ``(k, m)``
+  histogram per thread and reduces them once per chunk — race-free
+  without atomics, and ~1 MB per thread at the paper's default shape.
+* Scatter-adds into *float* accumulators replicate NumPy's bincount
+  contract (per-bin sums formed in input order in a zeroed float64
+  transient, then added to ``out`` once) so float results match the
+  reference backend bit for bit even under non-associative rounding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+import numba  # noqa: F401 - availability probe; ImportError gates the backend
+from numba import njit, prange
+
+from .base import SPARSE_RATIO, Backend
+
+__all__ = ["NumbaBackend"]
+
+_P = np.uint64((1 << 31) - 1)
+_SHIFT = np.uint64(31)
+_ONE = np.uint64(1)
+
+
+@njit(cache=True)
+def _polyval_one(coefficients_t, row, x):
+    """Horner evaluation of one polynomial over GF(2**31 - 1).
+
+    ``acc`` is kept canonical in ``[0, p)`` after every step, so the
+    uint64 product ``acc * x`` stays below ``2**62`` and the shift-add
+    Mersenne fold is exact — the residue equals the NumPy lazy-fold
+    kernel's output for every input.
+    """
+    degree = coefficients_t.shape[0]
+    acc = coefficients_t[degree - 1, row]
+    for t in range(degree - 2, -1, -1):
+        acc = acc * x + coefficients_t[t, row]
+        acc = (acc & _P) + (acc >> _SHIFT)
+        acc = (acc & _P) + (acc >> _SHIFT)
+        if acc >= _P:
+            acc -= _P
+    return acc
+
+
+@njit(cache=True)
+def _parity64(v):
+    """Parity of the popcount of a uint64 (word-level XOR fold)."""
+    v ^= v >> np.uint64(32)
+    v ^= v >> np.uint64(16)
+    v ^= v >> np.uint64(8)
+    v ^= v >> np.uint64(4)
+    v ^= v >> np.uint64(2)
+    v ^= v >> np.uint64(1)
+    return v & _ONE
+
+
+@njit(cache=True, parallel=True)
+def _polyval_rows_kernel(coefficients_t, rows, x, out):
+    for i in prange(x.size):
+        out[i] = _polyval_one(coefficients_t, rows[i], x[i])
+
+
+@njit(cache=True, parallel=True)
+def _polyval_all_kernel(coefficients_t, x, out):
+    k = coefficients_t.shape[1]
+    for j in prange(k):
+        for i in range(x.size):
+            out[j, i] = _polyval_one(coefficients_t, j, x[i])
+
+
+@njit(cache=True)
+def _encode_y(bucket_coeffs_t, sign_coeffs_t, x_i, coeff_row, col, flip, m64, pow2):
+    """One report's payload: bucket, then the XOR of the three sign bits."""
+    braw = _polyval_one(bucket_coeffs_t, coeff_row, x_i)
+    bucket = braw & (m64 - _ONE) if pow2 else braw % m64
+    sign_parity = _polyval_one(sign_coeffs_t, coeff_row, x_i) & _ONE
+    hadamard_parity = _parity64(bucket & np.uint64(col))
+    parity = sign_parity ^ hadamard_parity
+    if flip:
+        parity ^= _ONE
+    y = 1 - 2 * np.int64(parity)
+    return np.int64(bucket), y
+
+
+@njit(cache=True)
+def _fused_encode_accumulate_serial_kernel(
+    bucket_coeffs_t, sign_coeffs_t, x, rows, cols, flips, m, out
+):
+    # Direct serial scatter — no private histograms to zero or reduce.
+    # Integer sums are order-independent, so the result is identical to
+    # the parallel kernel and to the reference backend.
+    m64 = np.uint64(m)
+    pow2 = (m & (m - 1)) == 0
+    for i in range(x.size):
+        bucket, y = _encode_y(
+            bucket_coeffs_t, sign_coeffs_t, x[i], rows[i], cols[i], flips[i],
+            m64, pow2,
+        )
+        out[rows[i], cols[i]] += y
+
+
+@njit(cache=True, parallel=True)
+def _fused_encode_accumulate_kernel(
+    bucket_coeffs_t, sign_coeffs_t, x, rows, cols, flips, m, out
+):
+    n = x.size
+    k = out.shape[0]
+    m64 = np.uint64(m)
+    pow2 = (m & (m - 1)) == 0
+    nthreads = numba.get_num_threads()
+    # One private (k, m) histogram per thread, reduced once per chunk —
+    # race-free scatter without atomics.
+    private = np.zeros((nthreads, k, m), dtype=np.int64)
+    for i in prange(n):
+        tid = numba.get_thread_id()
+        bucket, y = _encode_y(
+            bucket_coeffs_t, sign_coeffs_t, x[i], rows[i], cols[i], flips[i],
+            m64, pow2,
+        )
+        private[tid, rows[i], cols[i]] += y
+    # Reduce the privates in parallel over sketch rows so the reduction
+    # cost is O(nthreads * k * m / nthreads) per core, not serial.
+    for j in prange(k):
+        for col in range(m):
+            acc = np.int64(0)
+            for t in range(nthreads):
+                acc += private[t, j, col]
+            out[j, col] += acc
+
+
+@njit(cache=True, parallel=True)
+def _fused_encode_accumulate_trials_kernel(
+    bucket_coeffs_t, sign_coeffs_t, x, rows, cols, flips, m, out
+):
+    trials, c = rows.shape
+    k = out.shape[1]
+    m64 = np.uint64(m)
+    pow2 = (m & (m - 1)) == 0
+    # Trials are independent accumulators: parallelise the trial axis and
+    # keep each trial's scatter serial — race-free by construction.
+    for t in prange(trials):
+        for i in range(c):
+            bucket, y = _encode_y(
+                bucket_coeffs_t, sign_coeffs_t, x[i], t * k + rows[t, i],
+                cols[t, i], flips[t, i], m64, pow2,
+            )
+            out[t, rows[t, i], cols[t, i]] += y
+
+
+@njit(cache=True, parallel=True)
+def _fused_shared_pass_kernel(
+    bucket_coeffs_t, sign_coeffs_t, x, rows, cols, m, cell, base_signs
+):
+    m64 = np.uint64(m)
+    pow2 = (m & (m - 1)) == 0
+    for i in prange(x.size):
+        braw = _polyval_one(bucket_coeffs_t, rows[i], x[i])
+        bucket = braw & (m64 - _ONE) if pow2 else braw % m64
+        sign_parity = _polyval_one(sign_coeffs_t, rows[i], x[i]) & _ONE
+        parity = sign_parity ^ _parity64(bucket & np.uint64(cols[i]))
+        cell[i] = rows[i] * m + cols[i]
+        base_signs[i] = 1 - 2 * np.int64(parity)
+
+
+@njit(cache=True, parallel=True)
+def _fwht_batch_kernel(data):
+    n_rows, m = data.shape
+    for r in prange(n_rows):
+        h = 1
+        while h < m:
+            for start in range(0, m, 2 * h):
+                for j in range(start, start + h):
+                    a = data[r, j]
+                    b = data[r, j + h]
+                    data[r, j] = a + b
+                    data[r, j + h] = a - b
+            h *= 2
+
+
+@njit(cache=True)
+def _scatter_int_kernel(out_flat, flat, weights):
+    for i in range(flat.size):
+        out_flat[flat[i]] += weights[i]
+
+
+@njit(cache=True)
+def _scatter_count_kernel(out_flat, flat):
+    for i in range(flat.size):
+        out_flat[flat[i]] += 1
+
+
+@njit(cache=True)
+def _scatter_float_direct_kernel(out_flat, flat, weights):
+    for i in range(flat.size):
+        out_flat[flat[i]] += weights[i]
+
+
+@njit(cache=True)
+def _bin_weights_kernel(flat, weights, binned):
+    # Form per-bin sums in input order in a zeroed float64 transient —
+    # NumPy's np.bincount contract.  The caller folds ``binned`` into the
+    # accumulator with the reference backend's exact cast-then-add NumPy
+    # expression, so float results match bit for bit even when the
+    # accumulator dtype is narrower than float64.
+    for i in range(flat.size):
+        binned[flat[i]] += weights[i]
+
+
+@njit(cache=True, parallel=True)
+def _support_reports_kernel(a, b, candidates, g, reports, support):
+    g64 = np.uint64(g)
+    for c in prange(candidates.size):
+        x = np.uint64(candidates[c])
+        hits = 0
+        for u in range(a.size):
+            hashed = (np.uint64(a[u]) * x + np.uint64(b[u])) % _P
+            if np.int64(hashed % g64) == reports[u]:
+                hits += 1
+        support[c] = float(hits)
+
+
+@njit(cache=True, parallel=True)
+def _support_counts_kernel(a, b, candidates, g, counts, support):
+    g64 = np.uint64(g)
+    for c in prange(candidates.size):
+        x = np.uint64(candidates[c])
+        acc = 0.0
+        for r in range(a.size):
+            hashed = (np.uint64(a[r]) * x + np.uint64(b[r])) % _P
+            acc += counts[r, np.int64(hashed % g64)]
+        support[c] = acc
+
+
+class NumbaBackend(Backend):
+    """Compiled loop kernels; selected automatically when numba imports."""
+
+    name = "numba"
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+    def polyval_mersenne_rows(self, coefficients_t, rows, x):
+        out = np.empty(x.shape, dtype=np.uint64)
+        if x.size:
+            _polyval_rows_kernel(
+                np.ascontiguousarray(coefficients_t),
+                np.ascontiguousarray(rows, dtype=np.int64),
+                np.ascontiguousarray(x, dtype=np.uint64),
+                out,
+            )
+        return out
+
+    def polyval_mersenne_all(self, coefficients_t, x):
+        x = np.ascontiguousarray(x, dtype=np.uint64).reshape(-1)
+        out = np.empty((coefficients_t.shape[1], x.size), dtype=np.uint64)
+        if out.size:
+            _polyval_all_kernel(np.ascontiguousarray(coefficients_t), x, out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Fused encode→accumulate
+    # ------------------------------------------------------------------
+    def fused_encode_accumulate(
+        self, bucket_coefficients_t, sign_coefficients_t, x, rows, cols, flips, m, out
+    ):
+        if not x.size:
+            return
+        args = (
+            np.ascontiguousarray(bucket_coefficients_t),
+            np.ascontiguousarray(sign_coefficients_t),
+            np.ascontiguousarray(x, dtype=np.uint64),
+            np.ascontiguousarray(rows, dtype=np.int64),
+            np.ascontiguousarray(cols, dtype=np.int64),
+            np.ascontiguousarray(flips),
+            m,
+            out,
+        )
+        # The parallel kernel zeroes and reduces an (nthreads, k, m)
+        # private histogram per call; on the chunked production path
+        # (default chunk 8192 against 18k+ sketch cells) that overhead
+        # dwarfs the encode work and grows with core count.  Scatter
+        # serially unless the chunk amortises the private buffers.
+        if x.size < numba.get_num_threads() * out.size:
+            _fused_encode_accumulate_serial_kernel(*args)
+        else:
+            _fused_encode_accumulate_kernel(*args)
+
+    def fused_encode_accumulate_trials(
+        self, bucket_coefficients_t, sign_coefficients_t, x, rows, cols, flips, m, out
+    ):
+        if not x.size or not rows.shape[0]:
+            return
+        _fused_encode_accumulate_trials_kernel(
+            np.ascontiguousarray(bucket_coefficients_t),
+            np.ascontiguousarray(sign_coefficients_t),
+            np.ascontiguousarray(x, dtype=np.uint64),
+            np.ascontiguousarray(rows, dtype=np.int64),
+            np.ascontiguousarray(cols, dtype=np.int64),
+            np.ascontiguousarray(flips),
+            m,
+            out,
+        )
+
+    def fused_encode_shared_pass(
+        self, bucket_coefficients_t, sign_coefficients_t, x, rows, cols, m
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        cell = np.empty(x.shape, dtype=np.int64)
+        base_signs = np.empty(x.shape, dtype=np.int64)
+        if x.size:
+            _fused_shared_pass_kernel(
+                np.ascontiguousarray(bucket_coefficients_t),
+                np.ascontiguousarray(sign_coefficients_t),
+                np.ascontiguousarray(x, dtype=np.uint64),
+                np.ascontiguousarray(rows, dtype=np.int64),
+                np.ascontiguousarray(cols, dtype=np.int64),
+                m,
+                cell,
+                base_signs,
+            )
+        return cell, base_signs
+
+    # ------------------------------------------------------------------
+    # Transform
+    # ------------------------------------------------------------------
+    def fwht_batch_inplace(self, data):
+        if not data.flags.c_contiguous:
+            # The loop kernel needs a flat (rows, m) view; exotic layouts
+            # take the reference path (identical results).
+            from ..transform.hadamard import fwht_batch_inplace_numpy
+
+            return fwht_batch_inplace_numpy(data)
+        _fwht_batch_kernel(data.reshape(-1, data.shape[-1]))
+        return data
+
+    # ------------------------------------------------------------------
+    # Scatter-add
+    # ------------------------------------------------------------------
+    def bincount_accumulate(
+        self, out: np.ndarray, flat: np.ndarray, weights: Optional[np.ndarray]
+    ) -> None:
+        if not flat.size:
+            return
+        out_flat = out.reshape(-1)
+        flat = np.ascontiguousarray(flat, dtype=np.int64)
+        if weights is None:
+            _scatter_count_kernel(out_flat, flat)
+        elif np.issubdtype(out.dtype, np.integer):
+            _scatter_int_kernel(
+                out_flat, flat, np.ascontiguousarray(weights, dtype=out.dtype)
+            )
+        elif flat.size * SPARSE_RATIO < out.size:
+            # Mirror the reference backend's sparse branch (element-wise
+            # in-order adds straight into ``out``) so float rounding
+            # matches np.add.at bit for bit.
+            _scatter_float_direct_kernel(
+                out_flat, flat, np.ascontiguousarray(weights, dtype=np.float64)
+            )
+        else:
+            binned = np.zeros(out.size, dtype=np.float64)
+            _bin_weights_kernel(
+                flat, np.ascontiguousarray(weights, dtype=np.float64), binned
+            )
+            out_flat += binned.astype(out.dtype, copy=False)
+
+    # ------------------------------------------------------------------
+    # Support scans
+    # ------------------------------------------------------------------
+    def oracle_support_scan(
+        self, a, b, candidates, g, *, reports=None, counts=None
+    ) -> np.ndarray:
+        if (reports is None) == (counts is None):
+            raise ValueError("pass exactly one of reports (OLH) or counts (FLH)")
+        support = np.zeros(candidates.size, dtype=np.float64)
+        if not candidates.size or not a.size:
+            return support
+        cand = np.ascontiguousarray(candidates, dtype=np.int64)
+        a = np.ascontiguousarray(a, dtype=np.int64)
+        b = np.ascontiguousarray(b, dtype=np.int64)
+        if reports is not None:
+            _support_reports_kernel(
+                a, b, cand, g, np.ascontiguousarray(reports, dtype=np.int64), support
+            )
+        else:
+            _support_counts_kernel(
+                a, b, cand, g,
+                np.ascontiguousarray(counts, dtype=np.float64), support,
+            )
+        return support

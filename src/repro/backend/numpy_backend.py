@@ -1,0 +1,191 @@
+"""The NumPy reference backend.
+
+This is the vectorised NumPy code the library grew up with (PR 2's fused
+chunk kernels, PR 3's trial-axis variants), relocated behind the
+:class:`~repro.backend.base.Backend` ABI.  Every other backend is pinned
+bit for bit against this one, so the implementations here double as the
+executable specification of the kernels.
+
+The heavy lifting lives next to the data structures it belongs to —
+:func:`repro.hashing.kwise.polyval_rows_numpy` for the lazy-fold Horner
+evaluation, :func:`repro.transform.hadamard.fwht_batch_inplace_numpy` for
+the scratch-buffered butterfly — and this module composes them into the
+fused kernels plus the bincount scatter and the chunked-broadcast support
+scans that used to live (twice) in :mod:`repro.mechanisms`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..hashing.kwise import (
+    MERSENNE_PRIME_31,
+    polyval_all_numpy,
+    polyval_rows_numpy,
+    reduce_mod_m,
+)
+from ..transform.hadamard import _popcount_parity, fwht_batch_inplace_numpy
+from .base import SPARSE_RATIO, Backend
+
+__all__ = ["NumpyBackend"]
+
+#: Transient-table budgets of the chunked support scans (entries).
+_OLH_TABLE_BUDGET = 8_388_608
+_FLH_TABLE_BUDGET = 4_194_304
+
+
+class NumpyBackend(Backend):
+    """Pure-NumPy reference kernels (always available)."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+    def polyval_mersenne_rows(self, coefficients_t, rows, x):
+        return polyval_rows_numpy(coefficients_t, rows, x)
+
+    def polyval_mersenne_all(self, coefficients_t, x):
+        return polyval_all_numpy(coefficients_t, x)
+
+    # ------------------------------------------------------------------
+    # Fused encode→accumulate
+    # ------------------------------------------------------------------
+    def _encode_ys(self, bucket_coefficients_t, sign_coefficients_t, x, rows, cols, m):
+        """Shared front half: buckets, then the XOR-of-parities payload."""
+        buckets = reduce_mod_m(
+            polyval_rows_numpy(bucket_coefficients_t, rows, x), m
+        )
+        sign_parity = (
+            polyval_rows_numpy(sign_coefficients_t, rows, x) & np.uint64(1)
+        ).astype(np.int64)
+        # The AND result is freshly allocated — donate it as fold scratch;
+        # indices are < m so the parity fold is log2(m)-bit bounded.
+        hadamard_parity = _popcount_parity(
+            np.bitwise_and(buckets, cols), bits=max(1, int(m).bit_length() - 1),
+            consume=True,
+        )
+        return buckets, sign_parity ^ hadamard_parity
+
+    def fused_encode_accumulate(
+        self, bucket_coefficients_t, sign_coefficients_t, x, rows, cols, flips, m, out
+    ):
+        _, base_parity = self._encode_ys(
+            bucket_coefficients_t, sign_coefficients_t, x, rows, cols, m
+        )
+        # y = xi * H[h, l] * b is a product of three signs; XOR-ing their
+        # parity bits computes it in integer passes without ±1 multiplies.
+        ys = 1 - 2 * (base_parity ^ flips)
+        flat = rows * np.int64(out.shape[1]) + cols
+        self.bincount_accumulate(out, flat, ys)
+
+    def fused_encode_accumulate_trials(
+        self, bucket_coefficients_t, sign_coefficients_t, x, rows, cols, flips, m, out
+    ):
+        trials, c = rows.shape
+        k = out.shape[1]
+        # One gathered Horner pass over T * c elements: trial t's row-j
+        # polynomial sits at stacked column t * k + j.
+        row_offsets = (np.arange(trials, dtype=np.int64) * k)[:, None]
+        x_all = np.tile(x, trials)
+        idx = (row_offsets + rows).ravel()
+        _, base_parity = self._encode_ys(
+            bucket_coefficients_t, sign_coefficients_t, x_all, idx, cols.ravel(), m
+        )
+        ys = (1 - 2 * (base_parity ^ flips.ravel())).reshape(trials, c)
+        # Scatter per trial: each histogram then targets one (k, m)
+        # accumulator (L2-resident) instead of one T-times-larger flat
+        # block — the integer sums are identical either way.
+        for t in range(trials):
+            flat = rows[t] * np.int64(m) + cols[t]
+            self.bincount_accumulate(out[t], flat, ys[t])
+
+    def fused_encode_shared_pass(
+        self, bucket_coefficients_t, sign_coefficients_t, x, rows, cols, m
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        _, base_parity = self._encode_ys(
+            bucket_coefficients_t, sign_coefficients_t, x, rows, cols, m
+        )
+        cell = rows * np.int64(m) + cols
+        return cell, 1 - 2 * base_parity
+
+    # ------------------------------------------------------------------
+    # Transform
+    # ------------------------------------------------------------------
+    def fwht_batch_inplace(self, data):
+        return fwht_batch_inplace_numpy(data)
+
+    # ------------------------------------------------------------------
+    # Scatter-add
+    # ------------------------------------------------------------------
+    def bincount_accumulate(
+        self, out: np.ndarray, flat: np.ndarray, weights: Optional[np.ndarray]
+    ) -> None:
+        size = out.size
+        if flat.size * SPARSE_RATIO < size:
+            # Small batch into a huge accumulator: the dense histogram's
+            # O(size) transient dwarfs the scatter, so fall back to the
+            # buffered element-wise scatter on the flat view.
+            if weights is None:
+                np.add.at(out.reshape(-1), flat, 1)
+            elif np.issubdtype(out.dtype, np.integer):
+                np.add.at(out.reshape(-1), flat, weights.astype(out.dtype, copy=False))
+            else:
+                np.add.at(
+                    out.reshape(-1), flat, np.asarray(weights, dtype=np.float64)
+                )
+            return
+        if weights is None:
+            binned = np.bincount(flat, minlength=size)
+        else:
+            # The float64 intermediate is exact for the ±1 unit payloads
+            # of the sketch hot path: every partial sum is an integer of
+            # magnitude at most len(weights) < 2**53.
+            binned = np.bincount(
+                flat, weights=np.asarray(weights, dtype=np.float64), minlength=size
+            )
+        out += binned.reshape(out.shape).astype(out.dtype, copy=False)
+
+    # ------------------------------------------------------------------
+    # Support scans
+    # ------------------------------------------------------------------
+    def oracle_support_scan(
+        self, a, b, candidates, g, *, reports=None, counts=None
+    ) -> np.ndarray:
+        if (reports is None) == (counts is None):
+            raise ValueError("pass exactly one of reports (OLH) or counts (FLH)")
+        prime = np.uint64(MERSENNE_PRIME_31)
+        g64 = np.uint64(g)
+        cand = candidates.astype(np.uint64)[None, :]
+        support = np.zeros(candidates.size, dtype=np.float64)
+        if not candidates.size:
+            return support
+        if reports is not None:
+            # All candidates against all per-user hash parameters, one
+            # broadcast per user chunk; the chunking bounds the transient
+            # (users, candidates) table.
+            user_chunk = max(1, _OLH_TABLE_BUDGET // candidates.size)
+            for start in range(0, a.size, user_chunk):
+                sl = slice(start, start + user_chunk)
+                hashed = (
+                    (a[sl].astype(np.uint64)[:, None] * cand
+                     + b[sl].astype(np.uint64)[:, None]) % prime
+                ) % g64
+                support += np.count_nonzero(
+                    hashed.astype(np.int64) == reports[sl][:, None], axis=0
+                )
+            return support
+        # FLH: iterate the pool in slices so the (pool, candidates) hash
+        # table stays bounded regardless of domain size.
+        pool_chunk = max(1, _FLH_TABLE_BUDGET // candidates.size)
+        for start in range(0, a.size, pool_chunk):
+            stop = min(start + pool_chunk, a.size)
+            table = (
+                (a[start:stop].astype(np.uint64)[:, None] * cand
+                 + b[start:stop].astype(np.uint64)[:, None]) % prime
+            ) % g64
+            rows = np.arange(start, stop, dtype=np.int64)[:, None]
+            support += np.sum(counts[rows, table.astype(np.int64)], axis=0)
+        return support

@@ -43,9 +43,10 @@ from typing import Iterable, Sequence, Tuple, Union
 import numpy as np
 
 from ..accumulate import scatter_add_signed_units
+from ..backend import resolve_backend, use_backend
 from ..errors import DomainError, ParameterError
 from ..hashing import HashPairs, stack_pair_coefficients
-from ..hashing.kwise import MERSENNE_PRIME_31, polyval_rows
+from ..hashing.kwise import MERSENNE_PRIME_31
 from ..rng import RandomState, ensure_rng
 from ..transform.hadamard import hadamard_entry, sample_hadamard_parities
 from ..validation import as_value_array
@@ -187,6 +188,8 @@ def encode_reports_into(
     out: np.ndarray,
     rng: RandomState = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    *,
+    backend=None,
 ) -> int:
     """Fused Algorithm 1 + accumulation: encode clients straight into ``out``.
 
@@ -215,6 +218,10 @@ def encode_reports_into(
         Randomness source for all sampling.
     chunk_size:
         Number of clients encoded per pass.
+    backend:
+        Compute backend override (name, instance or ``None`` for the
+        process-wide default); hashing, perturbation and accumulation of
+        every chunk run on its fused kernel.
 
     Returns
     -------
@@ -238,11 +245,51 @@ def encode_reports_into(
         raise DomainError("hash inputs must lie in [0, 2**31 - 1)")
     generator = ensure_rng(rng)
     n = arr.size
-    for start in range(0, n, int(chunk_size)):
-        chunk = arr[start : start + int(chunk_size)]
-        ys, rows, cols = _encode_chunk(chunk, params, pairs, generator, domain_checked=True)
-        scatter_add_signed_units(out, (rows, cols), ys)
+    fused = _fused_kernel_inputs(pairs, backend, out.flags.c_contiguous)
+    # The context pin covers the fallback path too: without it an
+    # explicit ``backend=`` would be honoured by the fused kernel but
+    # silently ignored by the generic encode + scatter dispatches below.
+    with use_backend(backend):
+        for start in range(0, n, int(chunk_size)):
+            chunk = arr[start : start + int(chunk_size)]
+            if fused is None:
+                ys, rows, cols = _encode_chunk(
+                    chunk, params, pairs, generator, domain_checked=True
+                )
+                scatter_add_signed_units(out, (rows, cols), ys)
+                continue
+            compute, bucket_coeffs, sign_coeffs = fused
+            c = chunk.size
+            # Draw order is the wire contract (rows, cols, flip uniforms)
+            # — the hash evaluation between the draws consumes no
+            # randomness, so hoisting the flip draw keeps the stream
+            # identical to :func:`encode_reports`.
+            rows = generator.integers(0, params.k, size=c)
+            cols = generator.integers(0, params.m, size=c)
+            flips = generator.random(c) < params.flip_probability
+            compute.fused_encode_accumulate(
+                bucket_coeffs, sign_coeffs, chunk.astype(np.uint64), rows, cols,
+                flips, params.m, out,
+            )
     return int(n)
+
+
+def _fused_kernel_inputs(pairs: HashPairs, backend, contiguous: bool):
+    """Resolve the backend + stacked coefficients of a fused encode call.
+
+    Returns ``None`` when the fused kernel cannot run — heterogeneous
+    hash degrees (hand-built pairs) or a non-contiguous accumulator —
+    in which case callers fall back to the generic encode + scatter
+    path (identical output, it merely re-derives the hashes per array
+    instead of per element).
+    """
+    if not contiguous:
+        return None
+    bucket_coeffs = pairs._bucket_coeffs
+    sign_coeffs = pairs._sign_coeffs
+    if bucket_coeffs is None or sign_coeffs is None:
+        return None
+    return resolve_backend(backend), bucket_coeffs, sign_coeffs
 
 
 def encode_reports_trials_into(
@@ -252,6 +299,8 @@ def encode_reports_trials_into(
     out: np.ndarray,
     rngs: Sequence[RandomState],
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    *,
+    backend=None,
 ) -> int:
     """Fused Algorithm 1 for ``T`` independent trials in one value pass.
 
@@ -317,19 +366,18 @@ def encode_reports_trials_into(
     if arr.size and (arr.min() < 0 or arr.max() >= MERSENNE_PRIME_31):
         raise DomainError("hash inputs must lie in [0, 2**31 - 1)")
     stacked = stack_pair_coefficients(pairs_list)
-    if stacked is None:
+    if stacked is None or not out.flags.c_contiguous:
         # Heterogeneous hash degrees (hand-built pairs): fall back to the
         # serial kernel per trial — each generator still sees its own
         # draws in the contract order, so the result is unchanged.
         for t in range(trials):
             encode_reports_into(
-                arr, params, pairs_list[t], out[t], generators[t], chunk_size=chunk_size
+                arr, params, pairs_list[t], out[t], generators[t],
+                chunk_size=chunk_size, backend=backend,
             )
         return int(arr.size)
     bucket_coeffs, sign_coeffs = stacked
-    k = params.k
-    reduce_buckets = pairs_list[0]._reduce_buckets
-    row_offsets = (np.arange(trials, dtype=np.int64) * k)[:, None]
+    compute = resolve_backend(backend)
     n = arr.size
     for start in range(0, n, int(chunk_size)):
         chunk = arr[start : start + int(chunk_size)]
@@ -339,24 +387,16 @@ def encode_reports_trials_into(
         for t, generator in enumerate(generators):
             rows[t] = generator.integers(0, params.k, size=c)
             cols[t] = generator.integers(0, params.m, size=c)
-        x_all = np.tile(chunk.astype(np.uint64), trials)
-        idx = (row_offsets + rows).ravel()
-        buckets = reduce_buckets(polyval_rows(bucket_coeffs, idx, x_all))
-        sign_parity = (polyval_rows(sign_coeffs, idx, x_all) & np.uint64(1)).astype(
-            np.int64
-        )
-        hadamard_parity = sample_hadamard_parities(buckets, cols.ravel(), params.m)
         flips = np.empty((trials, c), dtype=bool)
         for t, generator in enumerate(generators):
             flips[t] = generator.random(c) < params.flip_probability
-        ys = (1 - 2 * (sign_parity ^ hadamard_parity ^ flips.ravel())).reshape(
-            trials, c
+        # All T trials' hashes ride one gathered kernel call (trial t's
+        # polynomials sit at stacked columns t*k + j); each trial's
+        # reports land in its own (k, m) accumulator.
+        compute.fused_encode_accumulate_trials(
+            bucket_coeffs, sign_coeffs, chunk.astype(np.uint64), rows, cols,
+            flips, params.m, out,
         )
-        # Scatter per trial: each histogram then targets one (k, m)
-        # accumulator (L2-resident) instead of one T-times-larger flat
-        # block — the integer sums are identical either way.
-        for t in range(trials):
-            scatter_add_signed_units(out[t], (rows[t], cols[t]), ys[t])
     return int(n)
 
 
@@ -368,6 +408,8 @@ def encode_reports_grouped_into(
     sample_rng: RandomState,
     trial_rngs: Sequence[RandomState],
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    *,
+    backend=None,
 ) -> int:
     """Trial-group kernel: hash/sample once, perturb per (trial, epsilon).
 
@@ -450,26 +492,40 @@ def encode_reports_grouped_into(
     p_sorted = probs[order]
     shared = np.zeros(k * m, dtype=np.int64)
     bands = np.zeros((trials, num_eps, k * m), dtype=np.int64)
+    compute = resolve_backend(backend)
+    use_kernel = pairs._bucket_coeffs is not None and pairs._sign_coeffs is not None
     n = arr.size
-    for start in range(0, n, int(chunk_size)):
-        chunk = arr[start : start + int(chunk_size)]
-        c = chunk.size
-        rows = sampler.integers(0, k, size=c)
-        cols = sampler.integers(0, m, size=c)
-        buckets, sign_parity = pairs.bucket_and_sign_parity_rows(
-            rows, chunk, domain_checked=True
-        )
-        base_signs = 1 - 2 * (sign_parity ^ sample_hadamard_parities(buckets, cols, m))
-        cell = rows * m + cols
-        scatter_add_signed_units(shared, (cell,), base_signs)
-        for t, generator in enumerate(generators):
-            band = np.searchsorted(p_sorted, generator.random(c), side="right")
-            flipped = band < num_eps
-            if np.any(flipped):
-                idx = band[flipped] * (k * m) + cell[flipped]
-                scatter_add_signed_units(
-                    bands[t].reshape(-1), (idx,), base_signs[flipped]
+    # The context pin covers the hand-built-pairs fallback and the
+    # scatter dispatches, which would otherwise follow the process-wide
+    # default rather than an explicit ``backend=``.
+    with use_backend(backend):
+        for start in range(0, n, int(chunk_size)):
+            chunk = arr[start : start + int(chunk_size)]
+            c = chunk.size
+            rows = sampler.integers(0, k, size=c)
+            cols = sampler.integers(0, m, size=c)
+            if use_kernel:
+                cell, base_signs = compute.fused_encode_shared_pass(
+                    pairs._bucket_coeffs, pairs._sign_coeffs,
+                    chunk.astype(np.uint64), rows, cols, m,
                 )
+            else:
+                buckets, sign_parity = pairs.bucket_and_sign_parity_rows(
+                    rows, chunk, domain_checked=True
+                )
+                base_signs = 1 - 2 * (
+                    sign_parity ^ sample_hadamard_parities(buckets, cols, m)
+                )
+                cell = rows * m + cols
+            scatter_add_signed_units(shared, (cell,), base_signs)
+            for t, generator in enumerate(generators):
+                band = np.searchsorted(p_sorted, generator.random(c), side="right")
+                flipped = band < num_eps
+                if np.any(flipped):
+                    idx = band[flipped] * (k * m) + cell[flipped]
+                    scatter_add_signed_units(
+                        bands[t].reshape(-1), (idx,), base_signs[flipped]
+                    )
     # F accumulates over ascending thresholds (band j flips every epsilon
     # with sorted position >= j); undo the sort when writing out.
     flipped_sums = np.cumsum(bands, axis=1)

@@ -21,6 +21,10 @@ part of the pipeline rejected the input:
 ``UnknownEstimatorError``
     A name passed to the estimator registry (:mod:`repro.api`) does not
     resolve to any registered estimator, or a registration collides.
+``BackendUnavailableError``
+    A compute backend requested by name (:mod:`repro.backend`) is not
+    registered or cannot be imported (e.g. ``"numba"`` without numba
+    installed).
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ __all__ = [
     "ProtocolError",
     "DataGenerationError",
     "UnknownEstimatorError",
+    "BackendUnavailableError",
 ]
 
 
@@ -65,3 +70,7 @@ class UnknownEstimatorError(ReproError, KeyError):
 
     def __str__(self) -> str:  # KeyError quotes its message; keep it plain
         return self.args[0] if self.args else ""
+
+
+class BackendUnavailableError(ReproError, RuntimeError):
+    """A requested compute backend is unknown or cannot be imported."""

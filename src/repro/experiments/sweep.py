@@ -363,8 +363,52 @@ def _instance_from_ref(ref) -> JoinInstance:
     return instance
 
 
-def _execute_remote(unit: SweepUnit, estimator: JoinEstimator, ref):
-    """Worker entry point: attach the dataset, run the unit."""
+#: The backend name this worker process last selected (avoids re-running
+#: the registry resolution on every unit).
+_WORKER_BACKEND: Optional[str] = None
+
+
+def _ensure_worker_backend(name: Optional[str]) -> None:
+    """Re-resolve the compute backend inside a pool worker.
+
+    Under ``fork`` the parent's resolved backend object is inherited, but
+    under ``spawn`` the worker re-imports :mod:`repro.backend` and would
+    silently auto-detect — dropping an explicit parent-side
+    :func:`repro.backend.set_backend` choice.  The parent therefore ships
+    the *name* of its active backend with every unit and the worker
+    re-resolves it here, once.  A backend that exists in the parent but
+    not in the worker (exotic heterogeneous deployments) degrades to the
+    worker's default with a warning instead of poisoning the sweep.
+    """
+    global _WORKER_BACKEND
+    from ..backend import (
+        BackendUnavailableError,
+        _clear_context_override,
+        set_backend,
+    )
+
+    # A use_backend scope active in the parent when the pool forked is
+    # inherited through the contextvar and would shadow set_backend here
+    # for every unit this worker ever runs — drop it first.
+    _clear_context_override()
+    if name is None or name == _WORKER_BACKEND:
+        return
+    try:
+        set_backend(name)
+    except BackendUnavailableError as exc:  # pragma: no cover - heterogeneous
+        import warnings
+
+        warnings.warn(
+            f"sweep worker could not select backend {name!r} ({exc}); "
+            f"continuing on the worker's default backend",
+            RuntimeWarning,
+        )
+    _WORKER_BACKEND = name
+
+
+def _execute_remote(unit: SweepUnit, estimator: JoinEstimator, ref, backend=None):
+    """Worker entry point: re-pin the backend, attach the dataset, run."""
+    _ensure_worker_backend(backend)
     return unit.index, execute_unit(unit, estimator, _instance_from_ref(ref))
 
 
@@ -430,6 +474,11 @@ def iter_sweep(
         ready: List[Tuple[int, List[TrialRecord]]] = []  # heap on unit index
         next_index = 0
         pool = _get_executor(min(workers, len(plan.units)))
+        # Ship the parent's active backend name so workers re-resolve it
+        # after fork/spawn (see _ensure_worker_backend).
+        from ..backend import get_backend
+
+        backend_name = get_backend().name
         try:
             pending = {
                 pool.submit(
@@ -437,6 +486,7 @@ def iter_sweep(
                     unit,
                     plan.estimators[unit.method],
                     refs[unit.dataset],
+                    backend_name,
                 )
                 for unit in plan.units
             }

@@ -18,6 +18,12 @@ independent over ``[0, p)``.  We fix ``p = 2^31 - 1`` (a Mersenne prime):
 :class:`KWiseHash` evaluates batches of values; range reduction to ``[m]``
 or to signs is layered on top (see :mod:`repro.hashing.sign` and
 :class:`repro.hashing.pairs.HashPairs`).
+
+The batched entry points :func:`polyval_rows` / :func:`polyval_all`
+dispatch to the active compute backend (:mod:`repro.backend`); the NumPy
+reference kernels live here as :func:`polyval_rows_numpy` /
+:func:`polyval_all_numpy` and remain the executable specification every
+backend is pinned against.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..backend import get_backend
 from ..errors import DomainError, ParameterError
 from ..rng import RandomState, ensure_rng
 from ..validation import require_positive_int
@@ -37,7 +44,10 @@ __all__ = [
     "mod_mersenne31",
     "polyval_mersenne",
     "polyval_rows",
+    "polyval_rows_numpy",
     "polyval_all",
+    "polyval_all_numpy",
+    "reduce_mod_m",
 ]
 
 #: The field modulus: fifth Mersenne prime, 2**31 - 1.
@@ -56,6 +66,18 @@ def check_domain(values: np.ndarray) -> None:
     """
     if values.size and (values.min() < 0 or values.max() >= MERSENNE_PRIME_31):
         raise DomainError("hash inputs must lie in [0, 2**31 - 1)")
+
+
+def reduce_mod_m(raw: np.ndarray, m: int) -> np.ndarray:
+    """Map field residues into ``[0, m)`` — a mask when ``m`` is ``2**b``.
+
+    The single bucket-reduction shared by :class:`~repro.hashing.pairs.HashPairs`
+    and the fused backend kernels, so the fused and non-fused encode paths
+    cannot drift apart.
+    """
+    if m & (m - 1) == 0:
+        return (raw & np.uint64(m - 1)).astype(np.int64)
+    return (raw % np.uint64(m)).astype(np.int64)
 
 
 def mod_mersenne31(x: np.ndarray) -> np.ndarray:
@@ -135,12 +157,23 @@ def polyval_rows(coefficients_t: np.ndarray, rows: np.ndarray, x: np.ndarray) ->
     """Per-element polynomial gather-and-evaluate: ``g_{rows[i]}(x[i])``.
 
     ``coefficients_t`` is the *transposed* ``(degree, k)`` coefficient
-    matrix (one contiguous row per degree, so each per-report gather is a
-    flat ``np.take`` instead of a strided column read — the difference is
-    ~2x on million-report batches).  ``rows`` selects the polynomial per
-    element and must lie in ``[0, k)``; ``x`` holds the evaluation points
-    in ``[0, p)`` as uint64.  This is the client hot path: one hash
-    evaluation per report.
+    matrix; ``rows`` selects the polynomial per element and must lie in
+    ``[0, k)``; ``x`` holds the evaluation points in ``[0, p)`` as
+    uint64.  This is the client hot path: one hash evaluation per report.
+    Dispatches to the active compute backend;
+    :func:`polyval_rows_numpy` is the reference kernel.
+    """
+    return get_backend().polyval_mersenne_rows(coefficients_t, rows, x)
+
+
+def polyval_rows_numpy(
+    coefficients_t: np.ndarray, rows: np.ndarray, x: np.ndarray
+) -> np.ndarray:
+    """NumPy reference kernel behind :func:`polyval_rows`.
+
+    One contiguous coefficient row per degree means each per-report
+    gather is a flat ``np.take`` instead of a strided column read — the
+    difference is ~2x on million-report batches.
     """
     degree = coefficients_t.shape[0]
     # mode="clip" keeps np.take on its unbuffered fast path (~2.5x the
@@ -161,9 +194,16 @@ def polyval_all(coefficients_t: np.ndarray, x: np.ndarray) -> np.ndarray:
     """All-rows evaluation: matrix ``G[j, i] = g_j(x[i])`` — shape ``(k, n)``.
 
     ``coefficients_t`` is the transposed ``(degree, k)`` matrix; every
-    polynomial is evaluated against the whole batch in one broadcast
-    Horner pass (the server-side scan path).
+    polynomial is evaluated against the whole batch (the server-side
+    scan path).  Dispatches to the active compute backend;
+    :func:`polyval_all_numpy` is the reference kernel.
     """
+    return get_backend().polyval_mersenne_all(coefficients_t, x)
+
+
+def polyval_all_numpy(coefficients_t: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """NumPy reference kernel behind :func:`polyval_all`: one broadcast
+    Horner pass over all rows at once."""
     degree, k = coefficients_t.shape
     x = x[None, :]
     acc = np.repeat(coefficients_t[-1][:, None], x.shape[1], axis=1)

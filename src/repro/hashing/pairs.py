@@ -19,7 +19,7 @@ import numpy as np
 from ..errors import ParameterError
 from ..rng import RandomState, ensure_rng, spawn_many
 from ..validation import require_positive_int
-from .kwise import KWiseHash, check_domain, polyval_all, polyval_rows
+from .kwise import KWiseHash, check_domain, polyval_all, polyval_rows, reduce_mod_m
 from .sign import SignHash
 
 __all__ = ["HashPairs", "stack_pair_coefficients"]
@@ -245,10 +245,7 @@ class HashPairs:
         return 1 - 2 * (raw & np.uint64(1)).astype(np.int64)
 
     def _reduce_buckets(self, raw: np.ndarray) -> np.ndarray:
-        """Map field residues into ``[0, m)`` — a mask when ``m`` is 2**b."""
-        if self.m & (self.m - 1) == 0:
-            return (raw & np.uint64(self.m - 1)).astype(np.int64)
-        return (raw % np.uint64(self.m)).astype(np.int64)
+        return reduce_mod_m(raw, self.m)
 
     # ------------------------------------------------------------------
     # Compatibility / serialisation

@@ -24,6 +24,7 @@ import math
 import numpy as np
 
 from ..accumulate import scatter_count
+from ..backend import get_backend
 from ..errors import IncompatibleSketchError
 from ..hashing.kwise import MERSENNE_PRIME_31
 from ..privacy.response import grr_perturb, grr_probabilities
@@ -83,21 +84,12 @@ class FLHOracle(FrequencyOracle):
         self._counts += other._counts
 
     def _frequencies(self, candidates: np.ndarray) -> np.ndarray:
-        # Supports need the (pool, candidate) hash table; iterate the pool
-        # in slices so the transient table stays ~a few million entries
-        # regardless of domain size.
-        prime = np.uint64(MERSENNE_PRIME_31)
-        g = np.uint64(self.g)
-        cand = candidates.astype(np.uint64)[None, :]
-        support = np.zeros(candidates.size, dtype=np.float64)
-        pool_chunk = max(1, 4_194_304 // max(1, candidates.size))
-        for start in range(0, self.pool_size, pool_chunk):
-            stop = min(start + pool_chunk, self.pool_size)
-            a = self._pool_a[start:stop].astype(np.uint64)[:, None]
-            b = self._pool_b[start:stop].astype(np.uint64)[:, None]
-            table = (((a * cand + b) % prime) % g).astype(np.int64)
-            rows = np.arange(start, stop, dtype=np.int64)[:, None]
-            support += np.sum(self._counts[rows, table], axis=0)
+        # Same support-scan kernel as OLH (the shared local-hashing
+        # family), in counts mode: pool-sized table lookups per
+        # candidate instead of a per-user comparison scan.
+        support = get_backend().oracle_support_scan(
+            self._pool_a, self._pool_b, candidates, self.g, counts=self._counts
+        )
         return (support - self.num_reports / self.g) / (self.p - 1.0 / self.g)
 
     @property

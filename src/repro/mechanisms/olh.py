@@ -25,6 +25,7 @@ from typing import List
 
 import numpy as np
 
+from ..backend import get_backend
 from ..hashing.kwise import MERSENNE_PRIME_31
 from ..privacy.response import grr_perturb, grr_probabilities
 from ..rng import RandomState
@@ -97,18 +98,13 @@ class OLHOracle(FrequencyOracle):
         return self._hash_a[0], self._hash_b[0], self._reports[0]
 
     def _frequencies(self, candidates: np.ndarray) -> np.ndarray:
-        # All candidates are evaluated against all stored per-user hash
-        # parameters in one broadcast per user chunk; the chunking bounds
-        # the transient (users, candidates) table to ~8M entries.
+        # The Theta(users x candidates) scan runs on the active compute
+        # backend's support-scan kernel (chunked broadcast on NumPy,
+        # compiled per-candidate loops under numba).
         a, b, reports = self._consolidated()
-        support = np.zeros(candidates.size, dtype=np.float64)
-        user_chunk = max(1, 8_388_608 // max(1, candidates.size))
-        for start in range(0, a.size, user_chunk):
-            sl = slice(start, start + user_chunk)
-            hashed = self._hash(
-                a[sl][:, None], b[sl][:, None], candidates[None, :]
-            ) % self.g
-            support += np.count_nonzero(hashed == reports[sl][:, None], axis=0)
+        support = get_backend().oracle_support_scan(
+            a, b, candidates, self.g, reports=reports
+        )
         return (support - self.num_reports / self.g) / (self.p - 1.0 / self.g)
 
     @property

@@ -22,12 +22,15 @@ Three facts make the protocols cheap:
   (the fast Walsh--Hadamard transform, FWHT), which the server uses to undo
   the client-side transform row by row.
 
-Everything here is pure NumPy and operates on float64 arrays; the FWHT
-accepts either a single vector or a batch of row vectors.
+The FWHT accepts either a single vector or a batch of row vectors;
+:func:`fwht_inplace` dispatches to the active compute backend
+(:mod:`repro.backend`), with :func:`fwht_batch_inplace_numpy` as the
+scratch-buffered reference butterfly.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Union
 
 import numpy as np
@@ -40,21 +43,42 @@ __all__ = [
     "hadamard_matrix",
     "fwht",
     "fwht_inplace",
+    "fwht_batch_inplace_numpy",
     "sample_hadamard_entries",
     "sample_hadamard_parities",
 ]
 
 
+def _build_parity_lut() -> np.ndarray:
+    """Popcount-parity of every 16-bit word, built once at import."""
+    v = np.arange(1 << 16, dtype=np.uint32)
+    v ^= v >> 8
+    v ^= v >> 4
+    v ^= v >> 2
+    v ^= v >> 1
+    return (v & 1).astype(np.uint8)
+
+
+#: 64 KiB popcount-parity lookup table (L2-resident) — one gather per
+#: element replaces the last four XOR-fold passes of the word-parity
+#: reduction.
+_PARITY16 = _build_parity_lut()
+_MASK16 = np.uint64(0xFFFF)
+
+
 def _popcount_parity(x: np.ndarray, bits: int = 64, *, consume: bool = False) -> np.ndarray:
     """Return the parity (0 or 1) of the popcount of each element of ``x``.
 
-    Uses the word-level parity fold, skipping folds above the stated bit
-    width — sketch indices are ``log2(m)``-bit values, so the typical call
-    runs 4 passes instead of 6.  ``x`` must be a non-negative integer
-    array with values below ``2**bits`` (and below 2**63).  With
-    ``consume=True`` the caller donates ``x`` as scratch (hot paths pass
-    a freshly allocated array to fold fully in place); otherwise the
-    first applied fold allocates so the caller's buffer survives.
+    Folds each word down to 16 bits with the XOR identity
+    ``parity(x) = parity(x ^ (x >> s))``, skipping folds above the stated
+    bit width, then reads the answer from the precomputed 16-bit lookup
+    table — sketch indices are ``log2(m)``-bit values, so the typical
+    call is a single table gather with no fold passes at all.  ``x`` must
+    be a non-negative integer array with values below ``2**bits`` (and
+    below 2**63).  With ``consume=True`` the caller donates ``x`` as
+    scratch (hot paths pass a freshly allocated array to fold fully in
+    place); otherwise any applied fold allocates so the caller's buffer
+    survives.
     """
     x = np.asarray(x)
     if x.dtype == np.int64:
@@ -65,16 +89,14 @@ def _popcount_parity(x: np.ndarray, bits: int = 64, *, consume: bool = False) ->
     else:
         x = x.astype(np.uint64)
         owned = True
-    shift = 32
-    while shift:
+    for shift in (32, 16):
         if shift < bits:
             if owned:
                 x ^= x >> np.uint64(shift)
             else:
                 x = x ^ (x >> np.uint64(shift))
                 owned = True
-        shift //= 2
-    return (x & np.uint64(1)).astype(np.int64)
+    return _PARITY16[np.bitwise_and(x, _MASK16)].astype(np.int64)
 
 
 def hadamard_entry(i: Union[int, np.ndarray], j: Union[int, np.ndarray], order: int) -> Union[int, np.ndarray]:
@@ -124,11 +146,8 @@ def fwht_inplace(data: np.ndarray) -> np.ndarray:
     ``data`` must be a float array whose last dimension is a power of two.
     Computes ``data @ H_m`` (equivalently ``H_m @ data`` per row, since the
     matrix is symmetric) without materialising ``H_m``.  Returns ``data``.
-
-    A single half-size scratch buffer, allocated once and reshaped per
-    butterfly level, carries the differences — no per-level ``.copy()``
-    allocations, so the transform's transient footprint is exactly
-    ``data.size / 2`` elements regardless of ``log2(m)`` levels.
+    Validation lives here; the butterfly itself runs on the active
+    compute backend (:func:`fwht_batch_inplace_numpy` is the reference).
     """
     if data.ndim == 0:
         raise ValueError("fwht requires at least a 1-D array")
@@ -144,7 +163,40 @@ def fwht_inplace(data: np.ndarray) -> np.ndarray:
     require_power_of_two("transform length", m)
     if m == 1:
         return data
-    scratch = np.empty(data.size // 2, dtype=data.dtype)
+    from ..backend import get_backend
+
+    return get_backend().fwht_batch_inplace(data)
+
+
+#: Per-thread scratch reused across :func:`fwht_batch_inplace_numpy`
+#: calls — the half-size difference buffer is the transform's only
+#: transient, and back-to-back sketch finalisations all need the same
+#: ``k * m / 2`` floats.  Buffers above the cap are not retained so one
+#: giant transform cannot pin memory for the rest of the process.
+_SCRATCH = threading.local()
+_SCRATCH_CACHE_MAX = 1 << 20  # elements (8 MiB of float64)
+
+
+def _fwht_scratch(size: int, dtype: np.dtype) -> np.ndarray:
+    buf = getattr(_SCRATCH, "buf", None)
+    if buf is None or buf.dtype != dtype or buf.size < size:
+        buf = np.empty(size, dtype=dtype)
+        if size <= _SCRATCH_CACHE_MAX:
+            _SCRATCH.buf = buf
+    return buf[:size]
+
+
+def fwht_batch_inplace_numpy(data: np.ndarray) -> np.ndarray:
+    """NumPy reference butterfly behind :func:`fwht_inplace`.
+
+    A single half-size scratch buffer — reused across calls via a
+    per-thread cache — carries each level's differences: no per-level
+    ``.copy()`` and, on the steady-state hot path, no per-call
+    allocation at all.  Transient footprint is exactly ``data.size / 2``
+    elements regardless of ``log2(m)`` levels.
+    """
+    m = data.shape[-1]
+    scratch = _fwht_scratch(data.size // 2, data.dtype)
     h = 1
     while h < m:
         # Butterfly over blocks of width 2*h: (a, b) <- (a + b, a - b).

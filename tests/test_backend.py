@@ -1,0 +1,446 @@
+"""Compute-backend registry, dispatch and NumPy-kernel pins.
+
+The backend layer (``repro.backend``) must (a) resolve/select backends
+deterministically — env override, explicit set, auto-detect with graceful
+fallback — and (b) keep the NumPy kernels bit-for-bit equal to the
+pre-backend implementations they were extracted from.  Numba-vs-NumPy
+parity lives in ``tests/test_backend_parity.py``; this module runs with
+or without numba installed.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro.backend as backend_mod
+from repro.backend import (
+    Backend,
+    BackendUnavailableError,
+    available_backends,
+    backend_available,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.backend.numpy_backend import NumpyBackend
+from repro.core import SketchParams, encode_reports
+from repro.core.client import (
+    encode_reports_grouped_into,
+    encode_reports_into,
+    encode_reports_trials_into,
+)
+from repro.hashing import HashPairs
+from repro.hashing.kwise import (
+    MERSENNE_PRIME_31,
+    polyval_all_numpy,
+    polyval_rows_numpy,
+)
+from repro.transform.hadamard import hadamard_matrix
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Leave the process-wide selection untouched by every test."""
+    active = backend_mod._ACTIVE
+    yield
+    backend_mod._ACTIVE = active
+
+
+def _subprocess_backend_name(env_value):
+    """The backend name a fresh interpreter resolves under REPRO_BACKEND."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    if env_value is None:
+        env.pop("REPRO_BACKEND", None)
+    else:
+        env["REPRO_BACKEND"] = env_value
+    out = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "import warnings; warnings.simplefilter('ignore'); "
+            "from repro.backend import get_backend; print(get_backend().name)",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    return out.stdout.strip()
+
+
+class TestRegistry:
+    def test_numpy_is_always_available(self):
+        assert "numpy" in available_backends()
+        assert backend_available("numpy")
+        assert isinstance(resolve_backend("numpy"), NumpyBackend)
+
+    def test_numba_is_registered(self):
+        # Registered (auto-detection order: numba first) even when its
+        # optional dependency is missing.
+        assert available_backends()[0] == "numba"
+
+    def test_get_backend_resolves_once(self):
+        first = get_backend()
+        assert isinstance(first, Backend)
+        assert get_backend() is first
+
+    def test_set_backend_by_name_and_instance(self):
+        chosen = set_backend("numpy")
+        assert chosen.name == "numpy"
+        assert get_backend() is chosen
+        custom = NumpyBackend()
+        assert set_backend(custom) is custom
+        assert get_backend() is custom
+
+    def test_set_backend_none_drops_back_to_default(self):
+        set_backend("numpy")
+        assert set_backend(None) is get_backend()
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(BackendUnavailableError, match="unknown backend"):
+            set_backend("antigravity")
+        with pytest.raises(BackendUnavailableError):
+            resolve_backend(42)
+
+    @pytest.mark.skipif(
+        backend_available("numba"), reason="numba installed: selection succeeds"
+    )
+    def test_missing_numba_raises_on_explicit_selection(self):
+        with pytest.raises(BackendUnavailableError, match="not available"):
+            set_backend("numba")
+
+    def test_use_backend_scopes_and_restores(self):
+        outer = get_backend()
+        custom = NumpyBackend()
+        with use_backend(custom) as active:
+            assert active is custom
+            assert get_backend() is custom
+        assert get_backend() is outer
+
+    def test_use_backend_none_is_passthrough(self):
+        outer = get_backend()
+        with use_backend(None) as active:
+            assert active is outer
+        assert get_backend() is outer
+
+    def test_use_backend_restores_on_error(self):
+        outer = get_backend()
+        with pytest.raises(RuntimeError, match="boom"):
+            with use_backend("numpy"):
+                raise RuntimeError("boom")
+        assert get_backend() is outer
+
+    def test_register_backend_collision_and_replace(self):
+        try:
+            register_backend("test-backend", NumpyBackend)
+            with pytest.raises(BackendUnavailableError, match="already registered"):
+                register_backend("test-backend", NumpyBackend)
+            register_backend("test-backend", NumpyBackend, replace=True)
+            assert backend_available("test-backend")
+        finally:
+            backend_mod._FACTORIES.pop("test-backend", None)
+            backend_mod._INSTANCES.pop("test-backend", None)
+
+    def test_unimportable_factory_reports_unavailable(self):
+        def factory():
+            raise ImportError("no such luck")
+
+        try:
+            register_backend("test-broken", factory)
+            assert not backend_available("test-broken")
+            with pytest.raises(BackendUnavailableError, match="no such luck"):
+                resolve_backend("test-broken")
+        finally:
+            backend_mod._FACTORIES.pop("test-broken", None)
+
+
+class TestEnvOverride:
+    def test_env_forces_numpy_fallback(self):
+        # The satellite contract: REPRO_BACKEND=numpy must pin the
+        # reference backend even on machines where numba is importable.
+        assert _subprocess_backend_name("numpy") == "numpy"
+
+    def test_env_auto_matches_default(self):
+        assert _subprocess_backend_name("auto") == _subprocess_backend_name(None)
+
+    def test_env_unknown_warns_and_falls_back(self):
+        # Unknown names must not break startup (graceful fallback).
+        assert _subprocess_backend_name("antigravity") in available_backends()
+
+    def test_env_warns_in_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "antigravity")
+        backend_mod._ACTIVE = None
+        with pytest.warns(RuntimeWarning, match="antigravity"):
+            assert get_backend().name in available_backends()
+
+
+@pytest.fixture
+def params():
+    return SketchParams(k=6, m=64, epsilon=2.0)
+
+
+@pytest.fixture
+def pairs(params):
+    return HashPairs(params.k, params.m, seed=1234)
+
+
+class TestNumpyKernelPins:
+    """The extracted kernels must equal the code they were lifted from."""
+
+    def test_polyval_dispatch_matches_reference(self, pairs):
+        rng = np.random.default_rng(7)
+        rows = rng.integers(0, pairs.k, size=257)
+        x = rng.integers(0, MERSENNE_PRIME_31, size=257).astype(np.uint64)
+        backend = get_backend()
+        assert np.array_equal(
+            backend.polyval_mersenne_rows(pairs._bucket_coeffs, rows, x),
+            polyval_rows_numpy(pairs._bucket_coeffs, rows, x),
+        )
+        assert np.array_equal(
+            backend.polyval_mersenne_all(pairs._sign_coeffs, x),
+            polyval_all_numpy(pairs._sign_coeffs, x),
+        )
+
+    @pytest.mark.parametrize("n", [0, 1, 3, 1000])
+    def test_fused_encode_matches_batched_reference(self, params, pairs, n):
+        values = np.random.default_rng(n).integers(0, 5000, size=n)
+        out = np.zeros((params.k, params.m), dtype=np.int64)
+        encode_reports_into(values, params, pairs, out, rng=99, chunk_size=7)
+        reference = np.zeros_like(out)
+        generator = np.random.default_rng(99)
+        for start in range(0, n, 7):
+            batch = encode_reports(values[start : start + 7], params, pairs, generator)
+            np.add.at(
+                reference,
+                (batch.rows.astype(np.int64), batch.cols.astype(np.int64)),
+                batch.ys.astype(np.int64),
+            )
+        assert np.array_equal(out, reference)
+
+    def test_shared_pass_matches_pairs_reference(self, pairs):
+        from repro.transform.hadamard import sample_hadamard_parities
+
+        rng = np.random.default_rng(5)
+        n = 513
+        values = rng.integers(0, 4096, size=n)
+        rows = rng.integers(0, pairs.k, size=n)
+        cols = rng.integers(0, pairs.m, size=n)
+        cell, base_signs = get_backend().fused_encode_shared_pass(
+            pairs._bucket_coeffs,
+            pairs._sign_coeffs,
+            values.astype(np.uint64),
+            rows,
+            cols,
+            pairs.m,
+        )
+        buckets, sign_parity = pairs.bucket_and_sign_parity_rows(rows, values)
+        expected_signs = 1 - 2 * (
+            sign_parity ^ sample_hadamard_parities(buckets, cols, pairs.m)
+        )
+        assert np.array_equal(cell, rows * pairs.m + cols)
+        assert np.array_equal(base_signs, expected_signs)
+
+    def test_bincount_accumulate_dense_and_sparse(self):
+        rng = np.random.default_rng(3)
+        backend = get_backend()
+        # Dense branch: fat batch into a small accumulator.
+        out = np.zeros(32, dtype=np.int64)
+        flat = rng.integers(0, 32, size=1000)
+        ys = rng.choice(np.array([-1, 1], dtype=np.int64), size=1000)
+        backend.bincount_accumulate(out, flat, ys)
+        expected = np.zeros_like(out)
+        np.add.at(expected, flat, ys)
+        assert np.array_equal(out, expected)
+        # Sparse branch: tiny batch into a huge accumulator.
+        out = np.zeros(100_000, dtype=np.float64)
+        flat = rng.integers(0, 100_000, size=8)
+        w = rng.normal(size=8)
+        backend.bincount_accumulate(out, flat, w)
+        expected = np.zeros_like(out)
+        np.add.at(expected, flat, w)
+        assert np.array_equal(out, expected)
+        # Counts (weights=None).
+        out = np.zeros(16, dtype=np.int64)
+        flat = rng.integers(0, 16, size=64)
+        backend.bincount_accumulate(out, flat, None)
+        assert np.array_equal(out, np.bincount(flat, minlength=16))
+
+    def test_oracle_support_scan_reports_mode(self):
+        rng = np.random.default_rng(11)
+        users, g = 200, 8
+        a = rng.integers(1, MERSENNE_PRIME_31, size=users, dtype=np.int64)
+        b = rng.integers(0, MERSENNE_PRIME_31, size=users, dtype=np.int64)
+        reports = rng.integers(0, g, size=users, dtype=np.int64)
+        candidates = rng.integers(0, 1000, size=37).astype(np.int64)
+        support = get_backend().oracle_support_scan(
+            a, b, candidates, g, reports=reports
+        )
+        hashed = ((a[:, None] * candidates[None, :] + b[:, None]) % MERSENNE_PRIME_31) % g
+        expected = np.count_nonzero(hashed == reports[:, None], axis=0).astype(float)
+        assert np.array_equal(support, expected)
+
+    def test_oracle_support_scan_counts_mode(self):
+        rng = np.random.default_rng(13)
+        pool, g = 31, 6
+        a = rng.integers(1, MERSENNE_PRIME_31, size=pool, dtype=np.int64)
+        b = rng.integers(0, MERSENNE_PRIME_31, size=pool, dtype=np.int64)
+        counts = rng.integers(0, 50, size=(pool, g)).astype(np.int64)
+        candidates = rng.integers(0, 1000, size=23).astype(np.int64)
+        support = get_backend().oracle_support_scan(
+            a, b, candidates, g, counts=counts
+        )
+        table = ((a[:, None] * candidates[None, :] + b[:, None]) % MERSENNE_PRIME_31) % g
+        expected = counts[np.arange(pool)[:, None], table].sum(axis=0).astype(float)
+        assert np.array_equal(support, expected)
+
+    def test_oracle_support_scan_rejects_ambiguous_mode(self):
+        backend = get_backend()
+        one = np.ones(1, dtype=np.int64)
+        with pytest.raises(ValueError, match="exactly one"):
+            backend.oracle_support_scan(one, one, one, 2)
+        with pytest.raises(ValueError, match="exactly one"):
+            backend.oracle_support_scan(
+                one, one, one, 2, reports=one, counts=np.ones((1, 2))
+            )
+
+    def test_fwht_dispatch_matches_matrix_product(self):
+        rng = np.random.default_rng(17)
+        data = rng.normal(size=(5, 16))
+        from repro.transform.hadamard import fwht_inplace
+
+        expected = data @ hadamard_matrix(16)
+        out = fwht_inplace(data.copy())
+        assert np.allclose(out, expected)
+
+
+class TestApiThreading:
+    """Backend pins on sessions / estimators stay bit-compatible."""
+
+    def _session_estimate(self, backend):
+        from repro.api import JoinSession
+
+        session = JoinSession(
+            SketchParams(6, 128, 2.0), seed=42, backend=backend
+        )
+        rng = np.random.default_rng(0)
+        session.collect("A", rng.integers(0, 500, size=4000))
+        session.collect("B", rng.integers(0, 500, size=4000))
+        return session.estimate()
+
+    def test_session_backend_pin_matches_default(self):
+        default = self._session_estimate(None)
+        pinned = self._session_estimate("numpy")
+        assert pinned.estimate == default.estimate
+
+    def test_session_shard_inherits_pin(self):
+        from repro.api import JoinSession
+
+        session = JoinSession(SketchParams(4, 32, 2.0), seed=1, backend="numpy")
+        assert session.spawn_shard(seed=2).backend == "numpy"
+
+    def test_registry_backend_option(self):
+        from repro.api import get_estimator
+        from repro.data import make_join_instance
+
+        instance = make_join_instance("zipf-1.1", size=2000, seed=3)
+        default = get_estimator("ldp-join-sketch", k=4, m=64)
+        pinned = get_estimator("ldp-join-sketch", k=4, m=64, backend="numpy")
+        assert pinned.backend == "numpy"
+        assert (
+            pinned.estimate(instance, 2.0, seed=7).estimate
+            == default.estimate(instance, 2.0, seed=7).estimate
+        )
+
+    def test_registry_backend_option_on_oracle_methods(self):
+        from repro.api import get_estimator
+        from repro.data import make_join_instance
+
+        instance = make_join_instance("zipf-1.1", size=500, seed=3)
+        default = get_estimator("flh", pool_size=32)
+        pinned = get_estimator("flh", pool_size=32, backend="numpy")
+        assert (
+            pinned.estimate(instance, 2.0, seed=7).estimate
+            == default.estimate(instance, 2.0, seed=7).estimate
+        )
+
+    def test_sweep_ships_backend_to_workers(self, monkeypatch):
+        # Unit-level: the worker entry point re-pins the named backend.
+        import repro.experiments.sweep as sweep_mod
+
+        calls = []
+        monkeypatch.setattr(
+            sweep_mod, "_WORKER_BACKEND", None, raising=True
+        )
+
+        def fake_set(name):
+            calls.append(name)
+            return get_backend()
+
+        monkeypatch.setattr("repro.backend.set_backend", fake_set)
+        sweep_mod._ensure_worker_backend("numpy")
+        assert calls == ["numpy"]
+        # Second call with the same name is a no-op.
+        sweep_mod._ensure_worker_backend("numpy")
+        assert calls == ["numpy"]
+
+
+class TestFusedKernelFallbacks:
+    def test_heterogeneous_pairs_fall_back(self, params):
+        # Hand-built pairs with mixed hash degrees have no stacked
+        # coefficient matrices; the dispatcher must take the generic
+        # path and still match the batched reference.
+        from repro.hashing.kwise import KWiseHash
+        from repro.hashing.sign import SignHash
+
+        rng = np.random.default_rng(0)
+        bucket_hashes = [
+            KWiseHash(independence=2 + (j % 2), seed=j) for j in range(params.k)
+        ]
+        sign_hashes = [SignHash(seed=100 + j) for j in range(params.k)]
+        pairs = HashPairs(
+            params.k, params.m, bucket_hashes=bucket_hashes, sign_hashes=sign_hashes
+        )
+        assert pairs._bucket_coeffs is None
+        values = rng.integers(0, 1000, size=333)
+        out = np.zeros((params.k, params.m), dtype=np.int64)
+        encode_reports_into(values, params, pairs, out, rng=5, chunk_size=50)
+        reference = np.zeros_like(out)
+        generator = np.random.default_rng(5)
+        for start in range(0, 333, 50):
+            batch = encode_reports(values[start : start + 50], params, pairs, generator)
+            np.add.at(
+                reference,
+                (batch.rows.astype(np.int64), batch.cols.astype(np.int64)),
+                batch.ys.astype(np.int64),
+            )
+        assert np.array_equal(out, reference)
+
+    def test_trials_and_grouped_accept_backend_kwarg(self, params, pairs):
+        values = np.random.default_rng(1).integers(0, 1000, size=200)
+        out = np.zeros((2, params.k, params.m), dtype=np.int64)
+        encode_reports_trials_into(
+            values, params, pairs, out, [1, 2], chunk_size=64, backend="numpy"
+        )
+        reference = np.zeros_like(out)
+        encode_reports_trials_into(
+            values, params, pairs, reference, [1, 2], chunk_size=64
+        )
+        assert np.array_equal(out, reference)
+        grouped = np.zeros((2, 2, params.k, params.m), dtype=np.int64)
+        encode_reports_grouped_into(
+            values, pairs, [1.0, 4.0], grouped, 7, [1, 2], backend="numpy"
+        )
+        grouped_ref = np.zeros_like(grouped)
+        encode_reports_grouped_into(
+            values, pairs, [1.0, 4.0], grouped_ref, 7, [1, 2]
+        )
+        assert np.array_equal(grouped, grouped_ref)

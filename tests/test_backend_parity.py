@@ -1,0 +1,291 @@
+"""Numba-vs-NumPy backend parity: bit-identical sketches and estimates.
+
+The backend ABI's determinism contract says every backend reproduces the
+NumPy reference bit for bit — randomness is drawn host-side in the
+protocol order, kernels are pure array functions, and the FWHT applies
+the identical float operation per element pair.  This suite enforces the
+contract over a seeded grid (methods × epsilons × population sizes,
+including the odd-chunk / ``T = 1`` / ``n ∈ {0, 1}`` / shared-vs-per-trial
+edge cases) whenever numba is installed; without numba the whole module
+skips and the tier-1 suite exercises the NumPy fallback alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import backend_available, resolve_backend, use_backend
+from repro.core import SketchParams
+from repro.core.client import (
+    encode_reports_grouped_into,
+    encode_reports_into,
+    encode_reports_trials_into,
+)
+from repro.hashing import HashPairs
+from repro.hashing.kwise import MERSENNE_PRIME_31
+
+pytestmark = pytest.mark.skipif(
+    not backend_available("numba"), reason="numba not installed"
+)
+
+EPSILONS = (1.0, 4.0)
+SIZES = (0, 1, 3, 1000)
+ODD_CHUNK = 17
+METHODS = ("ldp-join-sketch", "ldp-compass", "flh", "hcms")
+
+
+@pytest.fixture
+def numpy_backend():
+    return resolve_backend("numpy")
+
+
+@pytest.fixture
+def numba_backend():
+    return resolve_backend("numba")
+
+
+@pytest.fixture
+def params():
+    return SketchParams(k=5, m=64, epsilon=2.0)
+
+
+@pytest.fixture
+def pairs(params):
+    return HashPairs(params.k, params.m, seed=2024)
+
+
+def _values(n, seed=0):
+    return np.random.default_rng(seed).integers(0, 10_000, size=n)
+
+
+class TestKernelParity:
+    def test_polyval_rows(self, numpy_backend, numba_backend, pairs):
+        rng = np.random.default_rng(1)
+        rows = rng.integers(0, pairs.k, size=999)
+        x = rng.integers(0, MERSENNE_PRIME_31, size=999).astype(np.uint64)
+        for coeffs in (pairs._bucket_coeffs, pairs._sign_coeffs):
+            assert np.array_equal(
+                numpy_backend.polyval_mersenne_rows(coeffs, rows, x),
+                numba_backend.polyval_mersenne_rows(coeffs, rows, x),
+            )
+
+    def test_polyval_all(self, numpy_backend, numba_backend, pairs):
+        x = np.random.default_rng(2).integers(0, MERSENNE_PRIME_31, size=257).astype(
+            np.uint64
+        )
+        assert np.array_equal(
+            numpy_backend.polyval_mersenne_all(pairs._bucket_coeffs, x),
+            numba_backend.polyval_mersenne_all(pairs._bucket_coeffs, x),
+        )
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_fused_encode_accumulate(
+        self, numpy_backend, numba_backend, params, pairs, n
+    ):
+        rng = np.random.default_rng(n)
+        x = _values(n, seed=n).astype(np.uint64)
+        rows = rng.integers(0, params.k, size=n)
+        cols = rng.integers(0, params.m, size=n)
+        flips = rng.random(n) < 0.25
+        out_np = np.zeros((params.k, params.m), dtype=np.int64)
+        out_nb = np.zeros_like(out_np)
+        numpy_backend.fused_encode_accumulate(
+            pairs._bucket_coeffs, pairs._sign_coeffs, x, rows, cols, flips,
+            params.m, out_np,
+        )
+        numba_backend.fused_encode_accumulate(
+            pairs._bucket_coeffs, pairs._sign_coeffs, x, rows, cols, flips,
+            params.m, out_nb,
+        )
+        assert out_np.tobytes() == out_nb.tobytes()
+
+    def test_fwht_bit_identical(self, numpy_backend, numba_backend):
+        data = np.random.default_rng(3).normal(size=(7, 128))
+        a, b = data.copy(), data.copy()
+        numpy_backend.fwht_batch_inplace(a)
+        numba_backend.fwht_batch_inplace(b)
+        assert a.tobytes() == b.tobytes()
+
+    def test_bincount_accumulate(self, numpy_backend, numba_backend):
+        rng = np.random.default_rng(4)
+        for dtype, weights in (
+            (np.int64, rng.choice(np.array([-1, 1]), size=500)),
+            (np.float64, rng.normal(size=500)),
+            (np.int64, None),
+        ):
+            flat = rng.integers(0, 64, size=500 if weights is None else weights.size)
+            out_np = np.zeros(64, dtype=dtype)
+            out_nb = np.zeros(64, dtype=dtype)
+            numpy_backend.bincount_accumulate(out_np, flat, weights)
+            numba_backend.bincount_accumulate(out_nb, flat, weights)
+            assert out_np.tobytes() == out_nb.tobytes()
+
+    def test_bincount_accumulate_sparse_branch(self, numpy_backend, numba_backend):
+        # flat.size * SPARSE_RATIO < out.size forces the element-wise
+        # scatter — the branch base.py pins as bit-for-bit-critical (the
+        # two branches sum float bins in different orders, so a backend
+        # flipping branches at a different threshold diverges exactly
+        # here: tiny batch, huge accumulator).
+        rng = np.random.default_rng(11)
+        size = 4096
+        for dtype, weights in (
+            (np.int64, rng.choice(np.array([-1, 1]), size=8)),
+            (np.float64, rng.normal(size=8)),
+            (np.int64, None),
+        ):
+            flat = rng.integers(0, size, size=8 if weights is None else weights.size)
+            out_np = rng.normal(size=size).astype(dtype)
+            out_nb = out_np.copy()
+            numpy_backend.bincount_accumulate(out_np, flat, weights)
+            numba_backend.bincount_accumulate(out_nb, flat, weights)
+            assert out_np.tobytes() == out_nb.tobytes()
+
+    def test_fused_encode_parallel_kernel_parity(
+        self, numpy_backend, numba_backend
+    ):
+        # A one-shot call big enough to cross the serial/parallel
+        # threshold (n >= threads * out.size) so the thread-private
+        # histogram kernel — unreachable from the chunked production
+        # path — is exercised against the reference.
+        import numba
+
+        params = SketchParams(k=2, m=16, epsilon=2.0)
+        pairs = HashPairs(params.k, params.m, seed=77)
+        n = numba.get_num_threads() * params.k * params.m + 1
+        rng = np.random.default_rng(13)
+        x = rng.integers(0, MERSENNE_PRIME_31, size=n).astype(np.uint64)
+        rows = rng.integers(0, params.k, size=n)
+        cols = rng.integers(0, params.m, size=n)
+        flips = rng.random(n) < params.flip_probability
+        out_np = np.zeros((params.k, params.m), dtype=np.int64)
+        out_nb = np.zeros((params.k, params.m), dtype=np.int64)
+        numpy_backend.fused_encode_accumulate(
+            pairs._bucket_coeffs, pairs._sign_coeffs, x, rows, cols, flips,
+            params.m, out_np,
+        )
+        numba_backend.fused_encode_accumulate(
+            pairs._bucket_coeffs, pairs._sign_coeffs, x, rows, cols, flips,
+            params.m, out_nb,
+        )
+        assert out_np.tobytes() == out_nb.tobytes()
+
+    def test_oracle_support_scan(self, numpy_backend, numba_backend):
+        rng = np.random.default_rng(5)
+        users, g = 300, 8
+        a = rng.integers(1, MERSENNE_PRIME_31, size=users, dtype=np.int64)
+        b = rng.integers(0, MERSENNE_PRIME_31, size=users, dtype=np.int64)
+        reports = rng.integers(0, g, size=users, dtype=np.int64)
+        counts = rng.integers(0, 40, size=(users, g)).astype(np.int64)
+        candidates = rng.integers(0, 5000, size=41).astype(np.int64)
+        assert np.array_equal(
+            numpy_backend.oracle_support_scan(a, b, candidates, g, reports=reports),
+            numba_backend.oracle_support_scan(a, b, candidates, g, reports=reports),
+        )
+        assert np.array_equal(
+            numpy_backend.oracle_support_scan(a, b, candidates, g, counts=counts),
+            numba_backend.oracle_support_scan(a, b, candidates, g, counts=counts),
+        )
+
+
+class TestSketchParity:
+    """Dispatcher-level: whole accumulators byte-identical under shared seeds."""
+
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    @pytest.mark.parametrize("n", SIZES)
+    def test_encode_reports_into(self, pairs, epsilon, n):
+        params = SketchParams(pairs.k, pairs.m, epsilon)
+        values = _values(n, seed=n)
+        sketches = {}
+        for name in ("numpy", "numba"):
+            out = np.zeros((params.k, params.m), dtype=np.int64)
+            encode_reports_into(
+                values, params, pairs, out, rng=777, chunk_size=ODD_CHUNK,
+                backend=name,
+            )
+            sketches[name] = out
+        assert sketches["numpy"].tobytes() == sketches["numba"].tobytes()
+
+    @pytest.mark.parametrize("trials", [1, 3])
+    @pytest.mark.parametrize("shared_pairs", [True, False])
+    def test_encode_reports_trials_into(self, params, pairs, trials, shared_pairs):
+        values = _values(600, seed=6)
+        pair_arg = (
+            pairs
+            if shared_pairs
+            else [HashPairs(params.k, params.m, seed=50 + t) for t in range(trials)]
+        )
+        sketches = {}
+        for name in ("numpy", "numba"):
+            out = np.zeros((trials, params.k, params.m), dtype=np.int64)
+            encode_reports_trials_into(
+                values, params, pair_arg, out, list(range(trials)),
+                chunk_size=ODD_CHUNK, backend=name,
+            )
+            sketches[name] = out
+        assert sketches["numpy"].tobytes() == sketches["numba"].tobytes()
+
+    def test_encode_reports_grouped_into(self, pairs):
+        values = _values(600, seed=8)
+        sketches = {}
+        for name in ("numpy", "numba"):
+            out = np.zeros((2, 3, pairs.k, pairs.m), dtype=np.int64)
+            encode_reports_grouped_into(
+                values, pairs, [1.0, 2.0, 4.0], out, 11, [21, 22],
+                chunk_size=ODD_CHUNK, backend=name,
+            )
+            sketches[name] = out
+        assert sketches["numpy"].tobytes() == sketches["numba"].tobytes()
+
+
+class TestEstimateParity:
+    """End-to-end: identical EstimateResults across the method grid."""
+
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_estimates_identical(self, method, epsilon):
+        from repro.api import get_estimator
+        from repro.data import make_join_instance
+
+        instance = make_join_instance("zipf-1.1", size=1500, seed=9)
+        results = {}
+        for name in ("numpy", "numba"):
+            estimator = get_estimator(method, backend=name)
+            results[name] = estimator.estimate(instance, epsilon, seed=31)
+        assert results["numpy"].estimate == results["numba"].estimate
+        assert results["numpy"].uplink_bits == results["numba"].uplink_bits
+
+    def test_session_roundtrip_identical(self):
+        from repro.api import JoinSession
+
+        estimates = {}
+        for name in ("numpy", "numba"):
+            session = JoinSession(SketchParams(6, 128, 2.0), seed=12, backend=name)
+            rng = np.random.default_rng(0)
+            session.collect("A", rng.integers(0, 700, size=3000))
+            session.collect("B", rng.integers(0, 700, size=3000))
+            estimates[name] = session.estimate().estimate
+        assert estimates["numpy"] == estimates["numba"]
+
+    def test_env_var_forces_numpy_even_with_numba(self):
+        # REPRO_BACKEND=numpy must win over numba auto-detection.
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["REPRO_BACKEND"] = "numpy"
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.backend import get_backend; print(get_backend().name)",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert out.stdout.strip() == "numpy"

@@ -270,3 +270,46 @@ class TestSerializationCompat:
         payload = encode_array(arr)
         assert payload["dtype"] == "|i1"
         assert np.array_equal(decode_array(payload, np.int64), arr)
+
+
+class TestFlatIndexInt64Guard:
+    """Flat offsets must be computed in int64 even from int32 index input.
+
+    Regression guard for the ``k * m * chunk > 2**31`` regime: a
+    ``(2**17, 2**15)`` accumulator has ``2**32`` cells, so raveling an
+    int32 row/col pair in the index dtype would wrap negative.  The
+    accumulator is a zero-strided phantom (no 4 GiB allocation) — only
+    the shape arithmetic is under test.
+    """
+
+    def test_flat_indices_int64_beyond_2_31(self):
+        from repro.accumulate import _flat_indices
+
+        out = np.lib.stride_tricks.as_strided(
+            np.zeros(1, dtype=np.int8), shape=(1 << 17, 1 << 15), strides=(0, 0)
+        )
+        rows = np.array([1 << 16, (1 << 17) - 1], dtype=np.int32)
+        cols = np.array([5, (1 << 15) - 1], dtype=np.int32)
+        flat, size = _flat_indices(out, (rows, cols))
+        assert size == 1 << 32
+        assert flat.dtype == np.int64
+        expected = rows.astype(np.int64) * (1 << 15) + cols.astype(np.int64)
+        assert np.array_equal(flat, expected)
+        assert flat[0] == (1 << 31) + 5  # would wrap negative in int32
+        assert flat[1] == (1 << 32) - 1
+
+    def test_three_axis_middle_tensor_shape(self):
+        from repro.accumulate import _flat_indices
+
+        # (k, m_left, m_right) middle tensor crossing 2**31 cells.
+        out = np.lib.stride_tricks.as_strided(
+            np.zeros(1, dtype=np.int8),
+            shape=(18, 1 << 14, 1 << 14),
+            strides=(0, 0, 0),
+        )
+        replicas = np.array([17], dtype=np.int32)
+        left = np.array([(1 << 14) - 1], dtype=np.int32)
+        right = np.array([(1 << 14) - 1], dtype=np.int32)
+        flat, size = _flat_indices(out, (replicas, left, right))
+        assert flat[0] == 18 * (1 << 28) - 1
+        assert flat[0] > np.iinfo(np.int32).max

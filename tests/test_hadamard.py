@@ -196,3 +196,89 @@ class TestSampleHadamardEntries:
     def test_shape_mismatch_rejected(self):
         with pytest.raises(ValueError, match="same shape"):
             sample_hadamard_entries(np.zeros(3, dtype=int), np.zeros(4, dtype=int), 8)
+
+
+class TestPopcountParityLUT:
+    """The 16-bit lookup-table parity must pin to the word-level fold."""
+
+    @staticmethod
+    def _reference_fold(x, bits=64):
+        # The pre-LUT implementation: XOR folds down to one bit.
+        x = np.asarray(x)
+        if x.dtype == np.int64:
+            x = x.view(np.uint64)
+        else:
+            x = x.astype(np.uint64)
+        x = x.copy()
+        shift = 32
+        while shift:
+            if shift < bits:
+                x = x ^ (x >> np.uint64(shift))
+            shift //= 2
+        return (x & np.uint64(1)).astype(np.int64)
+
+    @pytest.mark.parametrize("bits", [1, 4, 10, 16, 17, 31, 63, 64])
+    def test_matches_fold_reference(self, bits):
+        from repro.transform.hadamard import _popcount_parity
+
+        rng = np.random.default_rng(bits)
+        high = min(1 << bits, 1 << 62)
+        x = rng.integers(0, high, size=2000, dtype=np.int64)
+        assert np.array_equal(
+            _popcount_parity(x, bits=bits), self._reference_fold(x, bits=bits)
+        )
+
+    def test_exhaustive_16_bit(self):
+        from repro.transform.hadamard import _popcount_parity
+
+        x = np.arange(1 << 16, dtype=np.int64)
+        expected = np.array([bin(int(v)).count("1") & 1 for v in range(1 << 16)])
+        assert np.array_equal(_popcount_parity(x, bits=16), expected)
+
+    def test_caller_buffer_survives_without_consume(self):
+        from repro.transform.hadamard import _popcount_parity
+
+        x = np.arange(100, dtype=np.uint64) << np.uint64(20)
+        original = x.copy()
+        _popcount_parity(x, bits=64, consume=False)
+        assert np.array_equal(x, original)
+
+    def test_dtypes_and_edge_values(self):
+        from repro.transform.hadamard import _popcount_parity
+
+        for dtype in (np.int32, np.uint32, np.int64, np.uint64):
+            x = np.array([0, 1, 2, 3, (1 << 31) - 1], dtype=dtype)
+            assert np.array_equal(
+                _popcount_parity(x), self._reference_fold(x.astype(np.int64))
+            )
+
+
+class TestFwhtScratchCache:
+    """The cached scratch buffer must never leak state across calls."""
+
+    def test_interleaved_shapes_stay_correct(self):
+        rng = np.random.default_rng(7)
+        for m in (8, 64, 16, 256, 8, 1024, 32):
+            x = rng.normal(size=(3, m))
+            expected = x @ hadamard_matrix(m)
+            assert np.allclose(fwht_inplace(x.copy()), expected)
+
+    def test_cache_is_reused_between_calls(self):
+        from repro.transform import hadamard as hd
+
+        a = np.random.default_rng(8).normal(size=(4, 64))
+        fwht_inplace(a.copy())
+        buf_first = getattr(hd._SCRATCH, "buf", None)
+        fwht_inplace(a.copy())
+        assert getattr(hd._SCRATCH, "buf", None) is buf_first
+
+    def test_oversized_scratch_not_retained(self, monkeypatch):
+        from repro.transform import hadamard as hd
+
+        monkeypatch.setattr(hd, "_SCRATCH_CACHE_MAX", 16)
+        before = getattr(hd._SCRATCH, "buf", None)
+        data = np.random.default_rng(9).normal(size=(4, 64))  # scratch = 128 > 16
+        expected = data @ hadamard_matrix(64)
+        assert np.allclose(fwht_inplace(data.copy()), expected)
+        after = getattr(hd._SCRATCH, "buf", None)
+        assert after is before or (after is not None and after.size <= 16)
