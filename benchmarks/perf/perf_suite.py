@@ -28,7 +28,15 @@ every PR has a perf baseline to beat:
   the FWHT butterfly and the k-wise Mersenne hash, one row per available
   backend (``numpy`` always; ``numba`` when importable).  This is the
   apples-to-apples compiled-vs-reference comparison CI's speedup floor
-  reads.
+  reads;
+* ``distributed`` (schema v4) — sharded scatter/gather collection
+  (:mod:`repro.distributed`): one aggregator ingesting the whole
+  population versus K shard aggregators ingesting their partitions.
+  ``sharded_clients_per_sec`` is the parallel ingest capacity (the
+  population over the *slowest shard's* wall-clock — K aggregators run
+  concurrently in production), ``merge_seconds`` is the tree-merge cost
+  of folding the K partials back, and ``identical`` certifies the merged
+  accumulators are byte-identical to the single-aggregator run.
 
 :func:`run_suite` returns a JSON-compatible payload;
 :func:`validate_payload` is the schema check CI runs against the emitted
@@ -61,7 +69,10 @@ from repro.hashing import HashPairs
 from repro.hashing.kwise import MERSENNE_PRIME_31
 from repro.rng import derive_seed, ensure_rng
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
+
+#: Shard count of the ``distributed`` section (one tree of depth 3).
+DISTRIBUTED_SHARDS = 8
 
 #: Headline population sizes.
 FULL_N = 1_000_000
@@ -411,6 +422,91 @@ def _bench_backends(n: int, repeats: int) -> dict:
     }
 
 
+def _bench_distributed(n: int, repeats: int, shards: int = DISTRIBUTED_SHARDS) -> Dict[str, float]:
+    """Sharded ingest + merge-tree cost versus the single aggregator.
+
+    The single-aggregator row times a plain whole-population ``collect``
+    (what one process ingesting everything actually runs — no planner
+    work); the sharded row times each shard aggregator separately on its
+    pre-planned partition — production shards ingest concurrently, so
+    capacity is the population over the *slowest* shard.  Separately
+    (untimed), the tree-merged partials must reproduce the
+    single-aggregator ``collect_sharded`` run of the same plan byte for
+    byte — the ``identical`` flag CI asserts.
+    """
+    from repro.distributed import ShardPlanner, merge_tree
+
+    params = SketchParams(BENCH_K, BENCH_M, BENCH_EPSILON)
+    coordinator = JoinSession(params, seed=BENCH_SEED)
+    values = np.random.default_rng(BENCH_SEED).integers(0, 1 << 16, size=n)
+    planner = ShardPlanner(shards, strategy="hash")
+    splits = planner.split(values)
+    shard_seeds = planner.shard_seeds(BENCH_SEED)
+
+    def run_single():
+        session = JoinSession(params, pairs=coordinator.pairs)
+        session.collect("A", values, seed=BENCH_SEED)
+        return session
+
+    single_seconds = _best_of(run_single, repeats)
+    reference = JoinSession(params, pairs=coordinator.pairs)
+    reference.collect_sharded("A", values, num_shards=shards, seed=BENCH_SEED)
+    single_raw = reference._streams["A"].raw
+
+    def run_shards():
+        times, partials = [], []
+        for shard_values, shard_seed in zip(splits, shard_seeds):
+            shard = coordinator.spawn_shard()
+            start = time.perf_counter()
+            shard.collect("A", shard_values, seed=shard_seed)
+            times.append(time.perf_counter() - start)
+            partials.append(shard.to_partial())
+        return times, partials
+
+    run_shards()  # warmup
+    # Best-of per statistic, independently: one stalled shard in the
+    # best-total repeat must not deflate the capacity number (the same
+    # noise-floor treatment _best_of applies to scalar timings).  The
+    # partials themselves are plan-deterministic, identical every repeat.
+    best_total, best_max, partials = float("inf"), float("inf"), None
+    for _ in range(repeats):
+        times, run_partials = run_shards()
+        best_total = min(best_total, sum(times))
+        best_max = min(best_max, max(times))
+        partials = run_partials
+    # Time the reduction alone: copies are staged untimed and consumed
+    # with copy=False, so merge_seconds is the pure-adds cost aggregators
+    # actually pay, not memcpy of the inputs.
+    merge_seconds = float("inf")
+    for i in range(repeats + 1):  # first pass is the warmup
+        staged = [p.copy() for p in partials]
+        start = time.perf_counter()
+        merge_tree(staged, copy=False)
+        elapsed = time.perf_counter() - start
+        if i > 0:
+            merge_seconds = min(merge_seconds, elapsed)
+
+    merged_session = JoinSession(params, pairs=coordinator.pairs)
+    merged_session.merge(merge_tree(partials))
+    identical = np.array_equal(merged_session._streams["A"].raw, single_raw)
+    payload_bytes = len(json.dumps(partials[0].to_dict()))
+    single_rate = _rate(n, single_seconds)
+    sharded_rate = _rate(n, best_max)
+    return {
+        "n": n,
+        "shards": shards,
+        "single_seconds": single_seconds,
+        "single_clients_per_sec": single_rate,
+        "shard_seconds_total": best_total,
+        "shard_seconds_max": best_max,
+        "sharded_clients_per_sec": sharded_rate,
+        "ingest_speedup": sharded_rate / single_rate if single_rate > 0 else float("inf"),
+        "merge_seconds": merge_seconds,
+        "partial_payload_bytes": payload_bytes,
+        "identical": 1.0 if identical else 0.0,
+    }
+
+
 def _bench_serialize(n: int, repeats: int) -> Dict[str, float]:
     params = SketchParams(BENCH_K, BENCH_M, BENCH_EPSILON)
     session = JoinSession(params, seed=BENCH_SEED)
@@ -483,6 +579,7 @@ def run_suite(quick: bool = False, backends_n: int = None) -> dict:
             "serialize": _bench_serialize(query_n, repeats),
             "sweep": _bench_sweep(sweep_n, sweep_repeats),
             "backends": _bench_backends(backends_n, backends_repeats),
+            "distributed": _bench_distributed(n, repeats),
         },
     }
 
@@ -535,6 +632,19 @@ _SECTION_KEYS: Dict[str, Tuple[str, ...]] = {
         "parallel_workers",
         "parallel_seconds",
         "parallel_identical",
+    ),
+    "distributed": (
+        "n",
+        "shards",
+        "single_seconds",
+        "single_clients_per_sec",
+        "shard_seconds_total",
+        "shard_seconds_max",
+        "sharded_clients_per_sec",
+        "ingest_speedup",
+        "merge_seconds",
+        "partial_payload_bytes",
+        "identical",
     ),
 }
 

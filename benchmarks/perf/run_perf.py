@@ -82,6 +82,16 @@ def main(argv=None) -> int:
         "numba backend rows (numba_available == 1) — guards CI's numba leg "
         "against a broken numba install silently voiding the floor",
     )
+    parser.add_argument(
+        "--min-sharded-ingest-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="with --validate: fail unless the distributed section's "
+        "parallel ingest capacity reaches at least X times the "
+        "single-aggregator throughput and the merged accumulators were "
+        "byte-identical to the single-aggregator run",
+    )
     args = parser.parse_args(argv)
 
     # Flags are mode-specific; a CI edit that drops --validate must fail
@@ -92,6 +102,10 @@ def main(argv=None) -> int:
             ("--min-sweep-speedup", args.min_sweep_speedup is not None),
             ("--min-numba-encode-speedup", args.min_numba_encode_speedup is not None),
             ("--require-numba", args.require_numba),
+            (
+                "--min-sharded-ingest-speedup",
+                args.min_sharded_ingest_speedup is not None,
+            ),
         ):
             if given:
                 parser.error(f"{flag} only applies with --validate")
@@ -152,6 +166,28 @@ def main(argv=None) -> int:
                 print(f"[ok] numba fused-encode at {speedup:.2f}x numpy")
             else:
                 print("[ok] numba rows absent (numba unavailable); floor not applicable")
+        if args.min_sharded_ingest_speedup is not None:
+            distributed = payload["sections"]["distributed"]
+            if distributed["identical"] != 1.0:
+                print(
+                    "[fail] sharded ingest diverged: merged partials were not "
+                    "byte-identical to the single-aggregator run"
+                )
+                return 1
+            if distributed["ingest_speedup"] < args.min_sharded_ingest_speedup:
+                print(
+                    f"[fail] sharded ingest at "
+                    f"{distributed['ingest_speedup']:.2f}x the single "
+                    f"aggregator — below the "
+                    f"{args.min_sharded_ingest_speedup:.2f}x floor"
+                )
+                return 1
+            print(
+                f"[ok] sharded ingest ({distributed['shards']:.0f} shards) at "
+                f"{distributed['ingest_speedup']:.2f}x single-aggregator "
+                f"throughput, merge {distributed['merge_seconds'] * 1e3:.1f}ms, "
+                f"byte-identical"
+            )
         print(f"[ok] {args.validate} matches BENCH_perf schema v{payload['schema_version']}")
         return 0
 
@@ -195,6 +231,16 @@ def main(argv=None) -> int:
         f"[bench] backends (active={backends['active']}, "
         f"numba_available={bool(backends['numba_available'])}): "
         f"fused encode {rows}"
+    )
+    distributed = payload["sections"]["distributed"]
+    print(
+        f"[bench] distributed ingest ({distributed['shards']:.0f} shards, "
+        f"n={distributed['n']:.0f}): single "
+        f"{distributed['single_clients_per_sec']:,.0f} clients/s, sharded "
+        f"capacity {distributed['sharded_clients_per_sec']:,.0f} clients/s "
+        f"({distributed['ingest_speedup']:.2f}x), merge "
+        f"{distributed['merge_seconds'] * 1e3:.1f}ms, identical="
+        f"{bool(distributed['identical'])}"
     )
     print(f"[bench] wrote {args.out}")
     return 0

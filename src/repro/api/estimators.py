@@ -406,6 +406,37 @@ class BaseEstimator(abc.ABC):
             f"override estimate()"
         )
 
+    def estimate_sharded(
+        self,
+        instance: JoinInstance,
+        epsilon: float,
+        *,
+        num_shards: int,
+        seed: RandomState = None,
+        strategy: str = "hash",
+        merge: str = "tree",
+    ) -> EstimateResult:
+        """Sharded-collection estimate: ``num_shards`` aggregators + merge tree.
+
+        Routes through :func:`repro.distributed.estimate_sharded` under
+        this estimator's pinned compute backend.  ``num_shards=1``
+        replays :meth:`estimate` bit for bit; any ``K`` and either merge
+        topology (``"tree"``/``"sequential"``) produce byte-identical
+        results — see :mod:`repro.distributed`.
+        """
+        from ..distributed import estimate_sharded
+
+        with use_backend(self.backend):
+            return estimate_sharded(
+                self,
+                instance,
+                epsilon,
+                num_shards=num_shards,
+                seed=seed,
+                strategy=strategy,
+                merge=merge,
+            )
+
     def report_bits_for(self, domain_size: int, epsilon: float) -> int:
         """Uplink bits one client transmits (cheap, no simulation).
 

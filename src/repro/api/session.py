@@ -212,6 +212,27 @@ class JoinSession:
             self.params, seed=seed, pairs=self._pairs, backend=self.backend
         )
 
+    def shard_fingerprint(self) -> dict:
+        """The merge-compatibility fingerprint of this collection period.
+
+        Everything two shards must share for their accumulators to sum
+        into a valid sketch: shape, budget, the attribute schema and a
+        digest of the published hash pairs.  Used by
+        :meth:`to_partial` / :meth:`merge` to refuse unsafe merges
+        (wrong seed, wrong ``m``, wrong ``epsilon``) at the wire level.
+        """
+        from ..distributed.partial import fingerprint_digest
+
+        return {
+            "k": self.params.k,
+            "m": self.params.m,
+            "privacy budget (epsilon)": self.params.epsilon,
+            "attribute widths": [p.m for p in self._pairs],
+            "hash pairs digest": fingerprint_digest(
+                [p.to_dict() for p in self._pairs]
+            ),
+        }
+
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
@@ -334,17 +355,160 @@ class JoinSession:
     # ------------------------------------------------------------------
     # Sharding
     # ------------------------------------------------------------------
-    def merge(self, other: "JoinSession") -> "JoinSession":
+    def collect_sharded(
+        self,
+        stream: str,
+        values: Union[np.ndarray, Sequence[int]],
+        *,
+        num_shards: int = 1,
+        strategy: str = "hash",
+        seed: RandomState = None,
+        attribute: int = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> "JoinSession":
+        """Fold one cohort as ``num_shards`` deterministic shard cohorts.
+
+        This is the *single-aggregator reference* of sharded collection:
+        the population is partitioned by a
+        :class:`~repro.distributed.ShardPlanner` and each shard's slice
+        is ingested with that shard's derived seed — exactly the
+        randomness the shard's own aggregator would draw.  A distributed
+        run (shard sessions emitting
+        :class:`~repro.distributed.PartialAggregate`\\ s, reduced by
+        :func:`~repro.distributed.merge_tree`) therefore reproduces this
+        session's accumulators byte for byte, for any merge topology.
+
+        ``num_shards=1`` delegates straight to :meth:`collect` — the
+        identity plan — so one-shard collection reproduces the unsharded
+        figures bit for bit (``seed=None`` keeps using the session
+        stream).
+        """
+        from ..distributed.planner import ShardPlanner
+
+        if num_shards == 1:
+            return self.collect(
+                stream, values, attribute=attribute, seed=seed, chunk_size=chunk_size
+            )
+        planner = ShardPlanner(num_shards, strategy=strategy)
+        shard_seeds = planner.shard_seeds(
+            self._rng if seed is None else ensure_rng(seed)
+        )
+        for shard_values, shard_seed in zip(planner.split(values), shard_seeds):
+            self.collect(
+                stream,
+                shard_values,
+                attribute=attribute,
+                seed=shard_seed,
+                chunk_size=chunk_size,
+            )
+        return self
+
+    def to_partial(self) -> "PartialAggregate":
+        """This session's state as a mergeable wire partial.
+
+        The partial carries the pre-transform integer accumulators, the
+        additive accounting and the privacy-ledger charges, fingerprinted
+        by :meth:`shard_fingerprint` — everything another aggregator
+        needs to fold this shard in safely, at a fraction of the
+        :meth:`to_dict` payload (no hash-pair coefficients, just their
+        digest).  Feed it to :meth:`merge`, a
+        :func:`~repro.distributed.merge_tree`, or a
+        :class:`~repro.distributed.ShardCheckpoint`.
+        """
+        from ..distributed.partial import PartialAggregate
+
+        partial = PartialAggregate(
+            "join-session",
+            self.shard_fingerprint(),
+            counters={"offline_seconds": self.offline_seconds},
+            meta={
+                "streams": {
+                    name: {
+                        "kind": "end" if isinstance(state, _EndStream) else "middle",
+                        "attribute": (
+                            state.attribute
+                            if isinstance(state, _EndStream)
+                            else state.left_attribute
+                        ),
+                    }
+                    for name, state in self._streams.items()
+                },
+                "charges": [list(charge) for charge in self.ledger.charges],
+            },
+        )
+        for name, state in self._streams.items():
+            # Snapshot, not alias: the session keeps ingesting after the
+            # partial is emitted, and an in-place scatter-add must never
+            # retroactively mutate an already-shipped payload.
+            partial.add_array(f"stream:{name}:raw", state.raw.copy())
+            partial.counters[f"stream:{name}:num_reports"] = float(state.num_reports)
+            partial.counters[f"stream:{name}:uplink_bits"] = float(state.uplink_bits)
+            partial.counters[f"stream:{name}:cohorts"] = float(state.cohorts)
+        return partial
+
+    def _merge_partial(self, partial: "PartialAggregate") -> "JoinSession":
+        """Fold a shard's :class:`PartialAggregate` into this session."""
+        from ..errors import require_merge_compatible
+
+        mine = self.shard_fingerprint()
+        require_merge_compatible(
+            "join-session partials",
+            method=("join-session", partial.method),
+            **{key: (mine[key], partial.fingerprint.get(key)) for key in mine},
+        )
+        for name, entry in partial.meta.get("streams", {}).items():
+            attribute = int(entry["attribute"])
+            if entry["kind"] == "end":
+                state: _StreamState = self._end_state(name, attribute)
+            else:
+                state = self._middle_state(name, attribute)
+            raw = partial.arrays[f"stream:{name}:raw"]
+            if raw.shape != state.raw.shape:
+                raise IncompatibleSketchError(
+                    f"partial stream {name!r} accumulator shaped {raw.shape}, "
+                    f"expected {state.raw.shape}"
+                )
+            state.raw += raw
+            state.num_reports += int(partial.counters[f"stream:{name}:num_reports"])
+            state.uplink_bits += int(partial.counters[f"stream:{name}:uplink_bits"])
+            state.cohorts += int(partial.counters[f"stream:{name}:cohorts"])
+            state.cached = None
+        # Shard charges describe disjoint cohorts; a group name colliding
+        # with one already in the ledger is renamed so parallel (not
+        # sequential) composition applies — same rule as session merge.
+        # The rename itself probes until unique, so folding partial after
+        # partial (each carrying the same bare stream groups) never lands
+        # two charges in one group.
+        existing = {group for group, _, _ in self.ledger.charges}
+        for group, epsilon, mechanism in partial.meta.get("charges", []):
+            candidate = str(group)
+            suffix = 0
+            while candidate in existing:
+                suffix += 1
+                candidate = f"{group}@partial{suffix}"
+            existing.add(candidate)
+            self.ledger.charges.append((candidate, float(epsilon), str(mechanism)))
+        self.offline_seconds += float(partial.counters.get("offline_seconds", 0.0))
+        return self
+
+    def merge(self, other) -> "JoinSession":
         """Fold another shard's state into this session. Returns self.
 
-        Requires identical :class:`SketchParams` and identical hash pairs
-        for every attribute (the same checks
+        ``other`` is either a sibling :class:`JoinSession` or a
+        :class:`~repro.distributed.PartialAggregate` produced by
+        :meth:`to_partial` (possibly already the reduction of a whole
+        merge tree).  Requires identical :class:`SketchParams` and
+        identical hash pairs for every attribute (the same checks
         :meth:`LDPJoinSketch.check_mergeable` applies to constructed
         sketches); raises :class:`IncompatibleSketchError` otherwise.
         The pre-transform sum is exact, so a merged session is
         indistinguishable — bit for bit — from one that ingested every
         batch itself.
         """
+        from ..distributed.partial import PartialAggregate
+
+        if isinstance(other, PartialAggregate):
+            return self._merge_partial(other)
         if not isinstance(other, JoinSession):
             raise IncompatibleSketchError(
                 f"cannot merge JoinSession with {type(other).__name__}"

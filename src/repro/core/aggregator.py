@@ -26,7 +26,12 @@ from typing import Iterable, Optional
 import numpy as np
 
 from ..accumulate import scatter_add_signed_units
-from ..errors import IncompatibleSketchError, ParameterError, ProtocolError
+from ..errors import (
+    IncompatibleSketchError,
+    ParameterError,
+    ProtocolError,
+    require_merge_compatible,
+)
 from ..hashing import HashPairs
 from ..transform.hadamard import fwht
 from .client import ReportBatch
@@ -77,10 +82,15 @@ class LDPJoinSketchAggregator:
             raise IncompatibleSketchError(
                 f"cannot merge with {type(other).__name__}"
             )
-        if other.params != self.params or other.pairs != self.pairs:
-            raise IncompatibleSketchError(
-                "aggregators must share parameters and hash pairs"
-            )
+        require_merge_compatible(
+            "aggregators",
+            k=(self.params.k, other.params.k),
+            m=(self.params.m, other.params.m),
+            **{
+                "privacy budget (epsilon)": (self.params.epsilon, other.params.epsilon),
+                "hash pairs": (self.pairs, other.pairs),
+            },
+        )
         self._raw += other._raw
         self.num_reports += other.num_reports
         self._cached = None

@@ -32,7 +32,11 @@ from typing import Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..accumulate import scatter_add_signed_units
-from ..errors import IncompatibleSketchError, ParameterError
+from ..errors import (
+    IncompatibleSketchError,
+    ParameterError,
+    require_merge_compatible,
+)
 from ..hashing import HashPairs
 from ..privacy.response import c_epsilon, flip_probability
 from ..rng import RandomState, ensure_rng, spawn
@@ -150,15 +154,16 @@ class LDPMiddleSketch:
             raise IncompatibleSketchError(
                 f"cannot merge LDPMiddleSketch with {type(other).__name__}"
             )
-        if self.left_pairs != other.left_pairs or self.right_pairs != other.right_pairs:
-            raise IncompatibleSketchError(
-                "middle sketches use different hash pairs; merging requires "
-                "shared pairs on both attributes"
-            )
-        if self.epsilon != other.epsilon:
-            raise IncompatibleSketchError(
-                "cannot merge middle sketches built under different privacy budgets"
-            )
+        require_merge_compatible(
+            "middle sketches",
+            **{
+                "hash pairs": (
+                    (self.left_pairs, self.right_pairs),
+                    (other.left_pairs, other.right_pairs),
+                ),
+                "privacy budget (epsilon)": (self.epsilon, other.epsilon),
+            },
+        )
 
     def merge(self, other: "LDPMiddleSketch") -> "LDPMiddleSketch":
         """Add ``other``'s counters into this sketch (post-transform sum —

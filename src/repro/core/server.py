@@ -24,7 +24,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from ..accumulate import scatter_add_signed_units
-from ..errors import IncompatibleSketchError, ParameterError
+from ..errors import IncompatibleSketchError, ParameterError, require_merge_compatible
 from ..hashing import HashPairs
 from ..serialization import decode_array, encode_array
 from ..transform.hadamard import fwht_inplace
@@ -198,14 +198,18 @@ class LDPJoinSketch:
         and shared hash pairs) *plus* identical :class:`SketchParams` —
         sketches built under different privacy budgets carry different
         debiasing scales, so their sum estimates nothing.  Shared by
-        :meth:`merge` and :meth:`repro.api.JoinSession.merge`.
+        :meth:`merge` and :meth:`repro.api.JoinSession.merge`; the
+        parameter comparison goes through the one
+        :func:`repro.errors.require_merge_compatible` gate every merge
+        path uses.
         """
         self.check_compatible(other)
-        if self.params != other.params:
-            raise IncompatibleSketchError(
-                f"cannot merge sketches with mismatched parameters (shape or "
-                f"privacy budget): {self.params} vs {other.params}"
-            )
+        require_merge_compatible(
+            "sketches",
+            k=(self.params.k, other.params.k),
+            m=(self.params.m, other.params.m),
+            **{"privacy budget (epsilon)": (self.params.epsilon, other.params.epsilon)},
+        )
 
     def merge(self, other: "LDPJoinSketch") -> "LDPJoinSketch":
         """Add ``other``'s counters into this sketch. Returns self."""

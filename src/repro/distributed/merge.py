@@ -1,0 +1,70 @@
+"""Merge-tree reduction over partial aggregates.
+
+The reducers here implement the gather half of scatter/gather collection:
+shards emit :class:`~repro.distributed.PartialAggregate`\\ s, the
+coordinator folds them back.  Two topologies are provided —
+
+* :func:`merge_tree`: pairwise balanced reduction, ``ceil(log2 K)``
+  levels.  This is what a real deployment runs (intermediate aggregators
+  merge their children), and what the sweep pool's parent uses;
+* :func:`merge_sequential`: the left fold a single aggregator performs
+  when it ingests every shard itself.
+
+Because partial merges are pure integer adds (and order-preserving
+concatenations) on pre-transform accumulators, **both topologies produce
+byte-identical state** — the core guarantee the distributed property
+suite enforces for every registry method and every shard count.  Both
+preserve left-to-right shard order, so even per-user concat stores come
+out identical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ParameterError
+from .partial import PartialAggregate
+
+__all__ = ["merge_tree", "merge_sequential"]
+
+
+def _prepare(partials: Sequence[PartialAggregate], copy: bool) -> List[PartialAggregate]:
+    if not partials:
+        raise ParameterError("cannot merge an empty list of partials")
+    return [p.copy() for p in partials] if copy else list(partials)
+
+
+def merge_tree(
+    partials: Sequence[PartialAggregate], *, copy: bool = True
+) -> PartialAggregate:
+    """Pairwise tree reduction of ``partials`` (left-to-right, balanced).
+
+    ``[p0, p1, p2, p3, p4]`` reduces as ``((p0+p1) + (p2+p3)) + p4`` —
+    the topology intermediate aggregators produce.  With ``copy=True``
+    (default) the inputs are left untouched; ``copy=False`` reuses the
+    input objects as scratch (faster, consumes them).
+
+    The result is byte-identical to :func:`merge_sequential` over the
+    same list: every merge is an exact add on raw accumulators, so the
+    reduction is associative.
+    """
+    level = _prepare(partials, copy)
+    while len(level) > 1:
+        merged: List[PartialAggregate] = []
+        for i in range(0, len(level) - 1, 2):
+            merged.append(level[i].merge(level[i + 1]))
+        if len(level) % 2:
+            merged.append(level[-1])
+        level = merged
+    return level[0]
+
+
+def merge_sequential(
+    partials: Sequence[PartialAggregate], *, copy: bool = True
+) -> PartialAggregate:
+    """Left fold of ``partials`` — the single-aggregator reference order."""
+    level = _prepare(partials, copy)
+    result = level[0]
+    for partial in level[1:]:
+        result.merge(partial)
+    return result

@@ -25,9 +25,17 @@ part of the pipeline rejected the input:
     A compute backend requested by name (:mod:`repro.backend`) is not
     registered or cannot be imported (e.g. ``"numba"`` without numba
     installed).
+
+The module also hosts :func:`require_merge_compatible` — the one place
+every merge path (sketches, frequency oracles, sessions, partial
+aggregates) validates parameter compatibility, so mismatched
+k/m/epsilon/hash-seed combinations are rejected with uniform messages
+instead of each class hand-rolling a subset of the checks.
 """
 
 from __future__ import annotations
+
+from typing import Any, Mapping
 
 __all__ = [
     "ReproError",
@@ -38,6 +46,7 @@ __all__ = [
     "DataGenerationError",
     "UnknownEstimatorError",
     "BackendUnavailableError",
+    "require_merge_compatible",
 ]
 
 
@@ -74,3 +83,88 @@ class UnknownEstimatorError(ReproError, KeyError):
 
 class BackendUnavailableError(ReproError, RuntimeError):
     """A requested compute backend is unknown or cannot be imported."""
+
+
+def _values_equal(mine: Any, theirs: Any) -> bool:
+    """Equality that also covers ndarrays and containers of ndarrays."""
+    import numpy as np
+
+    if isinstance(mine, np.ndarray) or isinstance(theirs, np.ndarray):
+        return (
+            isinstance(mine, np.ndarray)
+            and isinstance(theirs, np.ndarray)
+            and mine.dtype == theirs.dtype
+            and np.array_equal(mine, theirs)
+        )
+    if isinstance(mine, (list, tuple)) and isinstance(theirs, (list, tuple)):
+        return len(mine) == len(theirs) and all(
+            _values_equal(a, b) for a, b in zip(mine, theirs)
+        )
+    if isinstance(mine, Mapping) and isinstance(theirs, Mapping):
+        return set(mine) == set(theirs) and all(
+            _values_equal(mine[key], theirs[key]) for key in mine
+        )
+    return bool(mine == theirs)
+
+
+def _is_published_state(value: Any) -> bool:
+    """Whether a mismatch message should avoid printing the value.
+
+    Hash pools, hash-pair families and fingerprint digests identify
+    *published* randomness shared by every shard; their reprs are either
+    huge (coefficient arrays) or opaque (hex digests), so the message
+    names the attribute instead of dumping both values.
+    """
+    import numpy as np
+
+    if isinstance(value, np.ndarray):
+        return True
+    if isinstance(value, (list, tuple)):
+        return any(_is_published_state(v) for v in value)
+    # Duck-typed: serialisable hash structures with value equality
+    # (HashPairs, KWiseHash) — to_dict plus a class-defined __eq__.
+    return hasattr(value, "to_dict") and "__eq__" in type(value).__dict__
+
+
+def require_merge_compatible(kind: str, **attributes: Any) -> None:
+    """Raise :class:`IncompatibleSketchError` unless every attribute matches.
+
+    ``attributes`` maps a parameter name to a ``(mine, theirs)`` pair; the
+    first mismatching pair raises.  This is the single merge-compatibility
+    gate shared by :meth:`repro.core.server.LDPJoinSketch.check_mergeable`,
+    :meth:`repro.mechanisms.base.FrequencyOracle.merge`,
+    :meth:`repro.api.JoinSession.merge` and the distributed
+    :class:`~repro.distributed.PartialAggregate` — every path rejects
+    mismatched k/m/epsilon/hash-seed combinations with the same message
+    shape.
+
+    Scalars are compared with ``==``; ndarrays (and containers of them,
+    e.g. an FLH hash pool or a hash-pair family) with
+    :func:`numpy.array_equal`, and their mismatch message says the shards
+    must *share* the published state rather than dumping array reprs.
+
+    >>> require_merge_compatible("sketches", m=(64, 64))
+    >>> require_merge_compatible("sketches", m=(64, 128))
+    Traceback (most recent call last):
+        ...
+    repro.errors.IncompatibleSketchError: cannot merge sketches: m mismatch (64 vs 128)
+    """
+    for name, pair in attributes.items():
+        try:
+            mine, theirs = pair
+        except (TypeError, ValueError):
+            raise ParameterError(
+                f"require_merge_compatible expects (mine, theirs) pairs; "
+                f"got {pair!r} for {name!r}"
+            ) from None
+        if _values_equal(mine, theirs):
+            continue
+        if _is_published_state(mine) or _is_published_state(theirs):
+            raise IncompatibleSketchError(
+                f"cannot merge {kind}: {name} differ; shards of one "
+                f"collection period must share the published {name} "
+                f"(same seed)"
+            )
+        raise IncompatibleSketchError(
+            f"cannot merge {kind}: {name} mismatch ({mine!r} vs {theirs!r})"
+        )

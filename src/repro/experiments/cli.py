@@ -80,9 +80,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="'grouped' shares one hash/sample pass per (dataset, method) "
         "block (faster; common random numbers across epsilons/trials)",
     )
+    sweep.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="run every trial as K shard aggregators + a merge tree "
+        "(workers then ship partials; bit-identical for every K and "
+        "worker count pair with the same seed at K=1)",
+    )
     sweep.add_argument("--k", type=int, default=18, help="sketch depth for sketch methods")
     sweep.add_argument("--m", type=int, default=1024, help="sketch width for sketch methods")
     sweep.add_argument("--out", type=Path, default=None, help="directory for the sweep CSV")
+
+    shard = sub.add_parser(
+        "shard",
+        help="sharded aggregation tools (repro.distributed)",
+        description="Run one estimate through K shard aggregators + a merge "
+        "tree, or merge previously written partial payloads.",
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+    shard_run = shard_sub.add_parser(
+        "run", help="sharded estimate with a merge-invariance check"
+    )
+    shard_run.add_argument("--dataset", default="zipf-1.1", help="dataset registry key")
+    shard_run.add_argument("--method", default="ldp-join-sketch", help="estimator registry name")
+    shard_run.add_argument("--epsilon", type=float, default=4.0)
+    shard_run.add_argument("--shards", type=int, default=8, help="shard count K")
+    shard_run.add_argument(
+        "--strategy", choices=("hash", "range"), default="hash", help="partitioning strategy"
+    )
+    shard_run.add_argument("--seed", type=int, default=2024)
+    shard_run.add_argument("--scale", type=float, default=0.002)
+    shard_run.add_argument("--size", type=int, default=None, help="explicit per-stream length")
+    shard_run.add_argument("--k", type=int, default=18, help="sketch depth for sketch methods")
+    shard_run.add_argument("--m", type=int, default=1024, help="sketch width for sketch methods")
+    shard_run.add_argument(
+        "--partials-dir",
+        type=Path,
+        default=None,
+        help="also write every shard's PartialAggregate payload (JSON) here",
+    )
+    shard_merge = shard_sub.add_parser(
+        "merge", help="tree-merge partial payload files written by 'shard run'"
+    )
+    shard_merge.add_argument("partials", nargs="+", type=Path, help="partial JSON files")
+    shard_merge.add_argument(
+        "--out", type=Path, default=None, help="write the merged partial payload here"
+    )
     return parser
 
 
@@ -106,6 +150,96 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
         print(f"[wrote {path}]")
 
 
+def _run_shard(args: argparse.Namespace) -> int:
+    """The ``shard`` subcommand: sharded runs and partial merging."""
+    import json
+
+    from ..distributed import PartialAggregate, merge_tree
+
+    if args.shard_command == "merge":
+        partials = [
+            PartialAggregate.from_dict(json.loads(path.read_text()))
+            for path in args.partials
+        ]
+        merged = merge_tree(partials)
+        reports = merged.counters.get("num_reports", None)
+        if reports is None:
+            reports = sum(
+                value
+                for key, value in merged.counters.items()
+                if key.endswith("num_reports")
+            )
+        print(
+            f"[shard] merged {len(partials)} partial(s) of method "
+            f"{merged.method!r}: arrays={sorted(merged.arrays)}, "
+            f"num_reports={reports:.0f}"
+        )
+        if args.out is not None:
+            args.out.write_text(json.dumps(merged.to_dict()))
+            print(f"[wrote {args.out}]")
+        return 0
+
+    from ..api import get_estimator
+    from ..data import make_join_instance
+    from ..distributed import estimate_sharded, merge_sequential, prepare_shard_run
+
+    try:
+        estimator = get_estimator(args.method, k=args.k, m=args.m)
+    except TypeError as exc:
+        if "unexpected keyword argument" not in str(exc):
+            raise
+        estimator = get_estimator(args.method)
+    instance = make_join_instance(
+        args.dataset, scale=args.scale, size=args.size, seed=args.seed
+    )
+    shard_kwargs = dict(
+        num_shards=args.shards, seed=args.seed, strategy=args.strategy
+    )
+    run = prepare_shard_run(estimator, instance, args.epsilon, **shard_kwargs)
+    start = time.perf_counter()
+    if run is not None:
+        # One collection serves everything: the partials are
+        # plan-deterministic, so both reduction topologies (and the
+        # optional payload dump) reuse them.
+        partials = run.collect_all()
+        tree = run.finalize(merge_tree(partials))
+        elapsed = time.perf_counter() - start
+        single = run.finalize(merge_sequential(partials))
+    else:
+        # Multi-round protocol (LDPJoinSketch+): the driver owns its
+        # rounds, so each topology is a full run.
+        tree = estimate_sharded(
+            estimator, instance, args.epsilon, merge="tree", **shard_kwargs
+        )
+        elapsed = time.perf_counter() - start
+        single = estimate_sharded(
+            estimator, instance, args.epsilon, merge="sequential", **shard_kwargs
+        )
+    identical = tree.estimate == single.estimate
+    truth = instance.true_join_size
+    print(
+        f"[shard] {estimator.name} on {instance.name}: K={args.shards} "
+        f"({args.strategy}), estimate={tree.estimate:,.1f}, truth={truth:,.0f}"
+    )
+    print(
+        f"[shard] tree-merged == single-aggregator: {identical} "
+        f"({elapsed:.2f}s sharded run)"
+    )
+    if args.partials_dir is not None:
+        if run is None:
+            print(
+                f"[shard] {estimator.name} is a multi-round protocol; "
+                f"partials are internal to its rounds (nothing written)"
+            )
+        else:
+            args.partials_dir.mkdir(parents=True, exist_ok=True)
+            for s, partial in enumerate(partials):
+                path = args.partials_dir / f"partial-{s:03d}.json"
+                path.write_text(json.dumps(partial.to_dict()))
+            print(f"[wrote {args.shards} partials to {args.partials_dir}]")
+    return 0 if identical else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -124,6 +258,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 tag = "LDP" if estimator.private else "non-private"
                 print(f"{name:22s} {estimator.name:16s} [{tag}]")
             return 0
+        if args.command == "shard":
+            return _run_shard(args)
         if args.command == "sweep":
             from .sweep import sweep_table
 
@@ -138,6 +274,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 seed=args.seed,
                 workers=args.workers,
                 trial_axis=args.trial_axis,
+                shards=args.shards,
                 k=args.k,
                 m=args.m,
             )

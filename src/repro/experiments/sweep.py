@@ -30,7 +30,6 @@ route through; :func:`sweep_table` is the ad-hoc entry point
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -83,6 +82,9 @@ class SweepUnit:
     trial_seeds: Tuple[int, ...] = ()
     #: False forces one full estimate per trial (timing-fidelity mode).
     vectorize: bool = True
+    #: > 0 runs every trial as that many shard aggregators + a merge tree
+    #: (:mod:`repro.distributed`); 0 keeps the whole-trial execution.
+    shards: int = 0
 
 
 @dataclass
@@ -135,6 +137,7 @@ def plan_grid(
     size: Optional[int] = None,
     seed: RandomState = None,
     trial_axis: str = "exact",
+    shards: Optional[int] = None,
     instances: Optional[Dict[str, JoinInstance]] = None,
 ) -> SweepPlan:
     """Expand a (dataset × method × epsilon × trial) grid into a plan.
@@ -152,11 +155,25 @@ def plan_grid(
     seed per trial) come from the same master stream, so grouped plans
     are equally deterministic — but they are a *different* experiment
     layout, not a bit-compatible accelerator of the exact mode.
+
+    ``shards=K`` (exact mode only) runs every trial as ``K`` shard
+    aggregators reduced by a merge tree (:mod:`repro.distributed`):
+    worker pools then ship *partials* instead of whole trials, and the
+    parent tree-merges — still bit-identical for every worker count,
+    because shard randomness is fixed by the plan.  ``shards=1`` is the
+    identity plan, bit-identical to an unsharded run.
     """
     if trial_axis not in ("exact", "grouped"):
         raise ParameterError(
             f"trial_axis must be 'exact' or 'grouped', got {trial_axis!r}"
         )
+    if shards is not None:
+        shards = require_positive_int("shards", shards)
+        if trial_axis != "exact":
+            raise ParameterError(
+                "shards applies to the exact trial axis only (grouped units "
+                "share one hash/sample pass and cannot split into partials)"
+            )
     trials = require_positive_int("trials", trials)
     methods = _resolve_methods(methods)
     if not methods:
@@ -199,6 +216,7 @@ def plan_grid(
                             epsilons=(epsilon,),
                             trials=trials,
                             seed=derive_seed(rng),
+                            shards=shards or 0,
                         )
                     )
     return plan
@@ -227,10 +245,53 @@ def _records_from_results(
     ]
 
 
+def _unit_trial_seeds(unit: SweepUnit) -> List[int]:
+    """The unit's per-trial seeds, derived exactly as ``run_trials`` does."""
+    if unit.trial_seeds:
+        return list(unit.trial_seeds)
+    rng = ensure_rng(unit.seed)
+    return [derive_seed(rng) for _ in range(unit.trials)]
+
+
+def _execute_unit_sharded(
+    unit: SweepUnit, estimator: JoinEstimator, instance: JoinInstance
+) -> List[TrialRecord]:
+    """In-process sharded execution: per trial, K partials + a merge tree.
+
+    Produces exactly the records the pool's partial-shipping path
+    assembles — :func:`repro.distributed.estimate_sharded` with
+    ``merge="tree"`` per trial seed.
+    """
+    from ..distributed import estimate_sharded
+
+    if len(unit.epsilons) != 1 or unit.group_seed is not None:
+        # plan_grid never builds these; a hand-built unit must fail loud
+        # rather than silently evaluating only the first epsilon.
+        raise ParameterError(
+            "sharded sweep units are exact-mode single-epsilon units; "
+            f"got epsilons={unit.epsilons} group_seed={unit.group_seed}"
+        )
+    epsilon = unit.epsilons[0]
+    results = [
+        estimate_sharded(
+            estimator,
+            instance,
+            epsilon,
+            num_shards=unit.shards,
+            seed=trial_seed,
+            merge="tree",
+        )
+        for trial_seed in _unit_trial_seeds(unit)
+    ]
+    return _records_from_results(estimator.name, instance, epsilon, results)
+
+
 def execute_unit(
     unit: SweepUnit, estimator: JoinEstimator, instance: JoinInstance
 ) -> List[TrialRecord]:
     """Run one unit; epsilon-major record order for multi-epsilon units."""
+    if unit.shards:
+        return _execute_unit_sharded(unit, estimator, instance)
     if unit.group_seed is not None:
         group = getattr(estimator, "estimate_trial_group", None)
         if group is not None:
@@ -412,6 +473,89 @@ def _execute_remote(unit: SweepUnit, estimator: JoinEstimator, ref, backend=None
     return unit.index, execute_unit(unit, estimator, _instance_from_ref(ref))
 
 
+def _execute_remote_tagged(unit: SweepUnit, estimator: JoinEstimator, ref, backend=None):
+    """Whole-unit worker task, tagged for the mixed shard/unit scheduler."""
+    index, records = _execute_remote(unit, estimator, ref, backend)
+    return ("unit", index, records)
+
+
+#: Per-worker cache of prepared shard runs: one plan (pairs draw +
+#: population split) serves all K of a trial's shard tasks instead of
+#: re-planning per shard.  Bounded; keys are plan-determined.
+_WORKER_SHARD_RUNS: Dict[Tuple, Tuple[JoinInstance, object]] = {}
+_WORKER_SHARD_RUNS_MAX = 4
+
+
+def _estimator_config_key(estimator: JoinEstimator) -> Tuple:
+    """A hashable snapshot of an estimator's configuration.
+
+    Part of the shard-run cache key: two sweeps in one process may use
+    the same method name with different options (k, m, pool size, ...),
+    and a prepared run from the first must never serve the second.
+    """
+    try:
+        attrs = vars(estimator)
+    except TypeError:  # pragma: no cover - exotic estimator without __dict__
+        attrs = {}
+    return tuple(
+        sorted((name, repr(value)) for name, value in attrs.items())
+    )
+
+
+def _prepared_shard_run(
+    unit: SweepUnit, estimator: JoinEstimator, instance: JoinInstance, trial_seed: int
+):
+    from ..distributed import prepare_shard_run
+
+    key = (
+        unit.method,
+        float(unit.epsilons[0]),
+        int(trial_seed),
+        unit.shards,
+        _estimator_config_key(estimator),
+    )
+    entry = _WORKER_SHARD_RUNS.get(key)
+    # The cached entry pins the *instance object* it was planned against:
+    # a later sweep over a same-named dataset with different content (new
+    # scale/size, fresh shared-memory segment) is a different object and
+    # misses, instead of silently reusing a stale population split.
+    if entry is not None and entry[0] is instance:
+        return entry[1]
+    run = prepare_shard_run(
+        estimator,
+        instance,
+        unit.epsilons[0],
+        num_shards=unit.shards,
+        seed=trial_seed,
+    )
+    _WORKER_SHARD_RUNS[key] = (instance, run)
+    while len(_WORKER_SHARD_RUNS) > _WORKER_SHARD_RUNS_MAX:
+        _WORKER_SHARD_RUNS.pop(next(iter(_WORKER_SHARD_RUNS)))
+    return run
+
+
+def _execute_shard_remote(
+    unit: SweepUnit,
+    estimator: JoinEstimator,
+    ref,
+    backend,
+    trial_seed: int,
+    trial_pos: int,
+    shard_index: int,
+):
+    """Shard-granular worker task: emit one trial's shard partial.
+
+    The run is rebuilt deterministically from plan data (trial seed,
+    shard count), so any worker produces the identical partial for
+    ``(unit, trial, shard)`` — the parent tree-merges them in shard
+    order and finalises, replacing whole-trial shipping.
+    """
+    _ensure_worker_backend(backend)
+    instance = _instance_from_ref(ref)
+    run = _prepared_shard_run(unit, estimator, instance, trial_seed)
+    return ("shard", unit.index, trial_pos, shard_index, run.collect(shard_index))
+
+
 #: The parent-side process pool, created lazily and reused across sweeps
 #: (a figure like fig9 calls ``run_trials(workers=N)`` once per grid
 #: point; paying fork startup per call would swamp small units).
@@ -449,15 +593,21 @@ def iter_sweep(
 ) -> Iterator[Tuple[SweepUnit, List[TrialRecord]]]:
     """Execute a plan, yielding ``(unit, records)`` in plan order.
 
-    ``workers=1`` runs in-process.  ``workers > 1`` fans the units out on
+    ``workers=1`` runs in-process.  ``workers > 1`` fans the work out on
     a process pool; each dataset's value arrays are written once to
     shared memory and attached by the workers, and completed units are
-    buffered so the stream still emerges in plan order.  Output is
-    bit-identical across worker counts — every unit's randomness is fixed
-    by the plan.
+    buffered so the stream still emerges in plan order.  Units planned
+    with ``shards=K`` are split to *shard granularity*: workers emit one
+    :class:`~repro.distributed.PartialAggregate` per (trial, shard) and
+    the parent tree-merges each trial's K partials and finalises —
+    replacing whole-trial shipping.  Output is bit-identical across
+    worker counts either way — every unit's (and shard's) randomness is
+    fixed by the plan, not by scheduling.
     """
     workers = require_positive_int("workers", workers)
-    if workers == 1 or len(plan.units) <= 1:
+    if workers == 1 or (
+        len(plan.units) <= 1 and not any(u.shards for u in plan.units)
+    ):
         for unit in plan.units:
             yield unit, execute_unit(
                 unit, plan.estimators[unit.method], plan.instances[unit.dataset]
@@ -465,41 +615,105 @@ def iter_sweep(
         return
     from concurrent.futures import FIRST_COMPLETED, wait
 
+    from ..distributed import merge_tree, pool_shardable
+
     refs = {}
     handles = []
     try:
         for name, instance in plan.instances.items():
             refs[name], shms = _instance_ref(instance)
             handles.extend(shms)
-        ready: List[Tuple[int, List[TrialRecord]]] = []  # heap on unit index
+        results: Dict[int, List[TrialRecord]] = {}
+        shard_state: Dict[int, dict] = {}  # unit index -> in-flight shards
+        specs: List[Tuple] = []
+        for unit in plan.units:
+            estimator = plan.estimators[unit.method]
+            if unit.shards and pool_shardable(estimator):
+                trial_seeds = _unit_trial_seeds(unit)
+                shard_state[unit.index] = {
+                    "trial_seeds": trial_seeds,
+                    "parts": {t: {} for t in range(len(trial_seeds))},
+                    "trial_results": {},
+                }
+                for t, trial_seed in enumerate(trial_seeds):
+                    for s in range(unit.shards):
+                        specs.append(("shard", unit, trial_seed, t, s))
+            else:
+                # Multi-round protocols (LDPJoinSketch+) and
+                # estimation-dominated finalisers (the oracle baselines)
+                # run whole-trial: one task per unit, with execute_unit
+                # honouring unit.shards in-process — identical records,
+                # but the heavy estimation stays in the worker.
+                specs.append(("unit", unit, None, None, None))
         next_index = 0
-        pool = _get_executor(min(workers, len(plan.units)))
+        pool = _get_executor(min(workers, len(specs)))
         # Ship the parent's active backend name so workers re-resolve it
         # after fork/spawn (see _ensure_worker_backend).
         from ..backend import get_backend
 
         backend_name = get_backend().name
-        try:
-            pending = {
-                pool.submit(
-                    _execute_remote,
-                    unit,
-                    plan.estimators[unit.method],
-                    refs[unit.dataset],
-                    backend_name,
+
+        def _finalize_trial(unit: SweepUnit, state: dict, t: int) -> None:
+            estimator = plan.estimators[unit.method]
+            instance = plan.instances[unit.dataset]
+            run = _prepared_shard_run(
+                unit, estimator, instance, state["trial_seeds"][t]
+            )
+            parts = state["parts"].pop(t)
+            merged = merge_tree([parts[s] for s in range(unit.shards)], copy=False)
+            state["trial_results"][t] = run.finalize(merged)
+            if len(state["trial_results"]) == len(state["trial_seeds"]):
+                ordered = [
+                    state["trial_results"][i]
+                    for i in range(len(state["trial_seeds"]))
+                ]
+                results[unit.index] = _records_from_results(
+                    estimator.name, instance, unit.epsilons[0], ordered
                 )
-                for unit in plan.units
-            }
-            while pending or ready:
-                while ready and ready[0][0] == next_index:
-                    index, records = heapq.heappop(ready)
-                    yield plan.units[index], records
+
+        try:
+            pending = set()
+            for kind, unit, trial_seed, t, s in specs:
+                estimator = plan.estimators[unit.method]
+                ref = refs[unit.dataset]
+                if kind == "unit":
+                    pending.add(
+                        pool.submit(
+                            _execute_remote_tagged, unit, estimator, ref, backend_name
+                        )
+                    )
+                else:
+                    pending.add(
+                        pool.submit(
+                            _execute_shard_remote,
+                            unit,
+                            estimator,
+                            ref,
+                            backend_name,
+                            trial_seed,
+                            t,
+                            s,
+                        )
+                    )
+            while next_index < len(plan.units):
+                while next_index < len(plan.units) and next_index in results:
+                    yield plan.units[next_index], results.pop(next_index)
                     next_index += 1
-                if not pending:
-                    continue
+                if next_index >= len(plan.units):
+                    break
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    heapq.heappush(ready, future.result())
+                    payload = future.result()
+                    if payload[0] == "unit":
+                        _, index, records = payload
+                        results[index] = records
+                    else:
+                        _, index, t, s, partial = payload
+                        unit = plan.units[index]
+                        state = shard_state[index]
+                        state["parts"][t][s] = partial
+                        if len(state["parts"][t]) == unit.shards:
+                            _finalize_trial(unit, state, t)
         except Exception:
             # A broken pool (killed worker, pickling failure) must not
             # poison later sweeps — drop the cached executor so the next
@@ -571,6 +785,7 @@ def sweep_table(
     seed: RandomState = None,
     workers: int = 1,
     trial_axis: str = "exact",
+    shards: Optional[int] = None,
     title: str = "Sweep: (dataset x method x epsilon) accuracy grid",
     **method_options,
 ) -> ResultTable:
@@ -587,6 +802,7 @@ def sweep_table(
         size=size,
         seed=seed,
         trial_axis=trial_axis,
+        shards=shards,
     )
     table = ResultTable(
         title,
@@ -604,8 +820,9 @@ def sweep_table(
                 stats["ae"],
                 stats["re"],
             )
+    sharding = f", shards={shards}" if shards else ""
     table.add_note(
-        f"trials={trials}, workers={workers}, trial_axis={trial_axis}; "
+        f"trials={trials}, workers={workers}, trial_axis={trial_axis}{sharding}; "
         f"results are bit-identical for every worker count"
     )
     return table

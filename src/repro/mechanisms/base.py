@@ -23,7 +23,7 @@ from typing import Iterable
 
 import numpy as np
 
-from ..errors import IncompatibleSketchError, ProtocolError
+from ..errors import IncompatibleSketchError, ProtocolError, require_merge_compatible
 from ..rng import RandomState, ensure_rng
 from ..validation import require_domain_values, require_positive_float, require_positive_int
 
@@ -69,24 +69,35 @@ class FrequencyOracle(abc.ABC):
         same configuration merge losslessly — the sharded-collection
         property :class:`repro.api.JoinSession` relies on, extended to
         the baselines.  Raises :class:`IncompatibleSketchError` on any
-        mismatch (type, domain, budget, or mechanism-specific hashes).
-        Returns self.
+        mismatch (type, domain, budget, or mechanism-specific
+        configuration — every oracle's extra requirements are declared
+        via :meth:`_merge_fields` and validated through the shared
+        :func:`repro.errors.require_merge_compatible` gate, so no
+        subclass can forget a check).  Returns self.
         """
         if type(other) is not type(self):
             raise IncompatibleSketchError(
                 f"cannot merge {type(self).__name__} with {type(other).__name__}"
             )
-        if other.domain_size != self.domain_size:
-            raise IncompatibleSketchError(
-                f"domain mismatch: {self.domain_size} vs {other.domain_size}"
-            )
-        if other.epsilon != self.epsilon:
-            raise IncompatibleSketchError(
-                "cannot merge oracles built under different privacy budgets"
-            )
+        fields = {
+            "domain_size": (self.domain_size, other.domain_size),
+            "privacy budget (epsilon)": (self.epsilon, other.epsilon),
+        }
+        fields.update(self._merge_fields(other))
+        require_merge_compatible(f"{type(self).__name__} shards", **fields)
         self._merge(other)
         self.num_reports += other.num_reports
         return self
+
+    def _merge_fields(self, other: "FrequencyOracle") -> dict:
+        """Mechanism-specific ``{name: (mine, theirs)}`` compatibility pairs.
+
+        Subclasses with published randomness (hash pools, hash pairs) or
+        extra shape parameters (``g``, ``pool_size``, ``k``, ``m``) return
+        them here; the base :meth:`merge` validates everything in one
+        place before any state is touched.
+        """
+        return {}
 
     def _merge(self, other: "FrequencyOracle") -> None:
         """Mechanism-specific state merge (``num_reports`` handled by caller)."""

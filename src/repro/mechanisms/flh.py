@@ -25,7 +25,6 @@ import numpy as np
 
 from ..accumulate import scatter_count
 from ..backend import get_backend
-from ..errors import IncompatibleSketchError
 from ..hashing.kwise import MERSENNE_PRIME_31
 from ..privacy.response import grr_perturb, grr_probabilities
 from ..rng import RandomState
@@ -73,14 +72,17 @@ class FLHOracle(FrequencyOracle):
         reports = grr_perturb(hashed, self.g, self.epsilon, rng)
         scatter_count(self._counts, (kappa, reports))
 
+    def _merge_fields(self, other: "FLHOracle") -> dict:
+        return {
+            "g": (self.g, other.g),
+            "pool_size": (self.pool_size, other.pool_size),
+            "hash pool": (
+                (self._pool_a, self._pool_b),
+                (other._pool_a, other._pool_b),
+            ),
+        }
+
     def _merge(self, other: "FLHOracle") -> None:
-        if not (
-            np.array_equal(self._pool_a, other._pool_a)
-            and np.array_equal(self._pool_b, other._pool_b)
-        ):
-            raise IncompatibleSketchError(
-                "FLH shards must share the published hash pool (same oracle seed)"
-            )
         self._counts += other._counts
 
     def _frequencies(self, candidates: np.ndarray) -> np.ndarray:

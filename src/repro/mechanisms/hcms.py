@@ -21,7 +21,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..accumulate import scatter_add_signed_units
-from ..errors import IncompatibleSketchError
 from ..hashing import HashPairs
 from ..privacy.response import c_epsilon, flip_probability
 from ..rng import RandomState, spawn
@@ -70,11 +69,14 @@ class HCMSOracle(FrequencyOracle):
         scatter_add_signed_units(self._raw, (rows, cols), ys)
         self._dirty = True
 
+    def _merge_fields(self, other: "HCMSOracle") -> dict:
+        return {
+            "k": (self.k, other.k),
+            "m": (self.m, other.m),
+            "hash pairs": (self.pairs, other.pairs),
+        }
+
     def _merge(self, other: "HCMSOracle") -> None:
-        if self.pairs != other.pairs:
-            raise IncompatibleSketchError(
-                "HCMS shards must share the published hash pairs (same oracle seed)"
-            )
         self._raw += other._raw
         self._dirty = True
 

@@ -13,7 +13,6 @@ import numpy as np
 
 from ..core.client import encode_reports_into
 from ..core.params import SketchParams
-from ..errors import IncompatibleSketchError
 from ..core.server import LDPJoinSketch
 from ..hashing import HashPairs
 from ..rng import RandomState, spawn
@@ -50,12 +49,14 @@ class LDPJoinSketchOracle(FrequencyOracle):
         encode_reports_into(values, self.params, self.pairs, self._raw, rng)
         self._dirty = True
 
+    def _merge_fields(self, other: "LDPJoinSketchOracle") -> dict:
+        return {
+            "k": (self.params.k, other.params.k),
+            "m": (self.params.m, other.params.m),
+            "hash pairs": (self.pairs, other.pairs),
+        }
+
     def _merge(self, other: "LDPJoinSketchOracle") -> None:
-        if self.pairs != other.pairs:
-            raise IncompatibleSketchError(
-                "LDPJoinSketch shards must share the published hash pairs "
-                "(same oracle seed)"
-            )
         self._raw += other._raw
         self._dirty = True
 

@@ -68,6 +68,9 @@ class OLHOracle(FrequencyOracle):
         self._hash_b.append(b)
         self._reports.append(reports)
 
+    def _merge_fields(self, other: "OLHOracle") -> dict:
+        return {"g": (self.g, other.g)}
+
     def _merge(self, other: "OLHOracle") -> None:
         self._hash_a.extend(other._hash_a)
         self._hash_b.extend(other._hash_b)

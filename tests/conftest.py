@@ -8,11 +8,30 @@ means a code change moved an estimator, not that the dice were unlucky.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core import SketchParams
 from repro.hashing import HashPairs
+
+try:
+    from hypothesis import settings as _hypothesis_settings
+except ImportError:  # pragma: no cover - hypothesis is optional
+    pass
+else:
+    # "ci" pins the property suites for continuous integration: no
+    # wall-clock deadline (shared runners stall unpredictably), a
+    # derandomized example stream (the run is a pure function of the test
+    # code, so CI failures reproduce locally), and no example database
+    # (no state leaking between runs).  The default "dev" profile keeps
+    # hypothesis' randomised exploration for local development.
+    _hypothesis_settings.register_profile(
+        "ci", deadline=None, derandomize=True, database=None
+    )
+    _hypothesis_settings.register_profile("dev", deadline=None)
+    _hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

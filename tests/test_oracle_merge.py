@@ -78,3 +78,58 @@ def test_merge_rejects_unshared_hashes():
         b.collect(values, rng=2)
         with pytest.raises(IncompatibleSketchError, match="share"):
             a.merge(b)
+
+
+class TestCentralizedCompatibilityGate:
+    """Every mismatch class flows through ``require_merge_compatible``:
+    the checks (and messages) are uniform across oracles, not a per-class
+    hand-rolled subset — k, m, g, pool size, epsilon and hash seed are
+    all rejected even when the base domain/budget checks pass."""
+
+    def test_flh_rejects_mismatched_g_and_pool_size(self):
+        a = FLHOracle(DOMAIN, EPSILON, 1, g=4, pool_size=32)
+        with pytest.raises(IncompatibleSketchError, match="g mismatch"):
+            a.merge(FLHOracle(DOMAIN, EPSILON, 1, g=8, pool_size=32))
+        with pytest.raises(IncompatibleSketchError, match="pool_size mismatch"):
+            a.merge(FLHOracle(DOMAIN, EPSILON, 1, g=4, pool_size=64))
+
+    def test_olh_rejects_mismatched_g(self):
+        a = OLHOracle(DOMAIN, EPSILON, 1, g=4)
+        with pytest.raises(IncompatibleSketchError, match="g mismatch"):
+            a.merge(OLHOracle(DOMAIN, EPSILON, 1, g=8))
+
+    def test_hcms_rejects_mismatched_shape(self):
+        a = HCMSOracle(DOMAIN, EPSILON, 1, k=3, m=64)
+        with pytest.raises(IncompatibleSketchError, match="k mismatch"):
+            a.merge(HCMSOracle(DOMAIN, EPSILON, 1, k=4, m=64))
+        with pytest.raises(IncompatibleSketchError, match="m mismatch"):
+            a.merge(HCMSOracle(DOMAIN, EPSILON, 1, k=3, m=32))
+
+    def test_ldpjs_rejects_mismatched_shape(self):
+        a = LDPJoinSketchOracle(DOMAIN, EPSILON, 1, k=3, m=64)
+        with pytest.raises(IncompatibleSketchError, match="k mismatch"):
+            a.merge(LDPJoinSketchOracle(DOMAIN, EPSILON, 1, k=4, m=64))
+        with pytest.raises(IncompatibleSketchError, match="m mismatch"):
+            a.merge(LDPJoinSketchOracle(DOMAIN, EPSILON, 1, k=3, m=32))
+
+    def test_hash_seed_mismatch_names_the_published_state(self):
+        """Seed mismatches surface as 'share the published ...' errors,
+        never as silent state corruption."""
+        a = FLHOracle(DOMAIN, EPSILON, 1, g=4, pool_size=32)
+        b = FLHOracle(DOMAIN, EPSILON, 2, g=4, pool_size=32)
+        with pytest.raises(
+            IncompatibleSketchError, match="share the published hash pool"
+        ):
+            a.merge(b)
+
+    def test_epsilon_mismatch_checked_before_state_is_touched(self):
+        values = zipf_values(500, DOMAIN, 1.2, seed=4)
+        a = FLHOracle(DOMAIN, EPSILON, 1, g=4, pool_size=32)
+        a.collect(values, rng=1)
+        before = a._counts.copy()
+        b = FLHOracle(DOMAIN, 2.0, 1, g=4, pool_size=32)
+        b.collect(values, rng=2)
+        with pytest.raises(IncompatibleSketchError, match="budget"):
+            a.merge(b)
+        np.testing.assert_array_equal(a._counts, before)
+        assert a.num_reports == values.size
