@@ -6,7 +6,6 @@ datasets; on the small/low-skew datasets (facebook, gaussian) the gap
 narrows because LDP noise needs data volume to average out.
 """
 
-import numpy as np
 
 from repro.experiments.figures import fig5_accuracy
 

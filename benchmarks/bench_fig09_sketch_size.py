@@ -6,7 +6,6 @@ roughly flat or degrade slightly — each client feeds only one sampled row,
 so deeper sketches spread the same reports thinner.
 """
 
-import numpy as np
 
 from repro.experiments.figures import fig9_sketch_size
 

@@ -62,7 +62,7 @@ from repro.backend import (
     resolve_backend,
 )
 from repro.core import SketchParams, encode_reports, encode_reports_into
-from repro.core.client import DEFAULT_CHUNK_SIZE, ReportBatch
+from repro.core.client import DEFAULT_CHUNK_SIZE
 from repro.data import make_join_instance
 from repro.experiments.sweep import plan_grid, run_sweep
 from repro.hashing import HashPairs

@@ -15,7 +15,6 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
-from collections import defaultdict
 from pathlib import Path
 
 RESULTS = Path(__file__).resolve().parent / "results"

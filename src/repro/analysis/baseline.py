@@ -1,0 +1,78 @@
+"""Baseline files: tolerated pre-existing diagnostics.
+
+A baseline lets the linter land in a codebase with known debt without
+turning every CI run red: diagnostics matching a baseline entry are
+reported as *baselined* and do not affect the exit code, while any *new*
+diagnostic still fails.  Entries are ``path::code`` keys with an integer
+allowance — line numbers are deliberately excluded so editing unrelated
+lines above a baselined finding does not invalidate it, and the count
+ratchets: if a file goes from 3 tolerated findings to 1, regenerating
+the baseline (``--update-baseline``) locks in the improvement.
+
+This repo ships an **empty** baseline (``tools/lint_baseline.json``):
+every invariant violation the initial sweep found was fixed rather than
+grandfathered.  The mechanism exists for downstream forks and for
+emergency landings, not for routine use.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from .base import Diagnostic
+
+__all__ = ["load_baseline", "save_baseline", "apply_baseline"]
+
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> Counter:
+    """Read a baseline file into a ``path::code -> allowance`` counter."""
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: not a repro-lint baseline (expected version {_VERSION})"
+        )
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"{path}: 'entries' must be an object")
+    counter: Counter = Counter()
+    for key, allowance in entries.items():
+        if not isinstance(allowance, int) or allowance < 1:
+            raise ValueError(f"{path}: allowance for {key!r} must be a positive int")
+        counter[key] = allowance
+    return counter
+
+
+def save_baseline(path: Path, diagnostics: Iterable[Diagnostic]) -> None:
+    """Write the baseline that exactly covers ``diagnostics``."""
+    counts = Counter(diag.baseline_key for diag in diagnostics)
+    payload = {
+        "version": _VERSION,
+        "entries": {key: counts[key] for key in sorted(counts)},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def apply_baseline(
+    diagnostics: Iterable[Diagnostic], baseline: Counter
+) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+    """Split diagnostics into (fresh, baselined).
+
+    Each baseline entry absorbs up to its allowance of matching
+    diagnostics, first-come (diagnostics arrive sorted by position, so
+    the absorbed ones are the earliest in the file).
+    """
+    remaining = Counter(baseline)
+    fresh: List[Diagnostic] = []
+    absorbed: List[Diagnostic] = []
+    for diag in diagnostics:
+        if remaining[diag.baseline_key] > 0:
+            remaining[diag.baseline_key] -= 1
+            absorbed.append(diag)
+        else:
+            fresh.append(diag)
+    return fresh, absorbed

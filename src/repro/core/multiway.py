@@ -363,8 +363,11 @@ class LDPCompassProtocol:
             accum, (reports.replicas, reports.left_cols, reports.right_cols), reports.ys
         )
         scale = self.k * c_epsilon(self.epsilon)
-        raw = finalize_middle_counts(accum.astype(np.float64) * scale)
-        return LDPMiddleSketch(left_pairs, right_pairs, raw, self.epsilon, len(reports))
+        # Finalisation boundary: the int64 accumulator is scaled into the
+        # float table the sketch queries — named so (not ``raw``) because
+        # merge paths must never see a float-cast accumulator (RPR102).
+        table = finalize_middle_counts(accum.astype(np.float64) * scale)
+        return LDPMiddleSketch(left_pairs, right_pairs, table, self.epsilon, len(reports))
 
     # ------------------------------------------------------------------
     # Chain estimation (Eq. 27)

@@ -178,7 +178,9 @@ class PartialAggregate:
             if key in other.fingerprint:
                 fields[key] = (self.fingerprint[key], other.fingerprint[key])
         require_merge_compatible(f"{self.method} partials", **fields)
-        for name in set(self.arrays) & set(other.arrays):
+        # sorted() pins the validation order: which mismatch raises first
+        # must not depend on set iteration order (RPR105).
+        for name in sorted(set(self.arrays) & set(other.arrays)):
             mine, theirs = self.arrays[name], other.arrays[name]
             if self.ops[name] != other.ops.get(name, "sum"):
                 raise IncompatibleSketchError(

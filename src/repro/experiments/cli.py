@@ -9,6 +9,7 @@ Usage::
     repro-experiments sweep --datasets zipf-1.1 movielens \\
         --methods ldp-join-sketch hcms --epsilons 1 4 10 \\
         --trials 5 --workers 4
+    repro-experiments lint --list-rules
 
 ``run`` prints each regenerated table and, with ``--out``, writes one CSV
 per experiment into the output directory; ``--workers N`` fans the
@@ -127,7 +128,35 @@ def build_parser() -> argparse.ArgumentParser:
     shard_merge.add_argument(
         "--out", type=Path, default=None, help="write the merged partial payload here"
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro.analysis invariant linter (RPR101-RPR105)",
+        description="Static checks for the repo's determinism, merge-safety, "
+        "backend-ABI and privacy-budget invariants; arguments are forwarded "
+        "to `python -m repro.analysis` verbatim.",
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro-lint (paths, --format, "
+        "--baseline, --list-rules, ...)",
+    )
     return parser
+
+
+def _forwarded_lint_args(argv: Optional[List[str]]) -> Optional[List[str]]:
+    """The arguments to forward when ``argv`` invokes the ``lint`` command.
+
+    Forwarding happens *before* argparse sees the command line:
+    ``nargs=REMAINDER`` cannot capture a leading option (argparse tries
+    to resolve ``lint --list-rules`` against the outer parser), and the
+    linter owns its own --help.
+    """
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        return argv[1:]
+    return None
 
 
 def _run_one(name: str, args: argparse.Namespace) -> None:
@@ -242,6 +271,11 @@ def _run_shard(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    lint_args = _forwarded_lint_args(argv)
+    if lint_args is not None:
+        from ..analysis import main as lint_main
+
+        return lint_main(lint_args)
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

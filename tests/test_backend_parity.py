@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.backend import backend_available, resolve_backend, use_backend
+from repro.backend import backend_available, resolve_backend
 from repro.core import SketchParams
 from repro.core.client import (
     encode_reports_grouped_into,

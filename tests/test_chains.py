@@ -8,7 +8,6 @@ import pytest
 
 from repro.data import ZipfGenerator
 from repro.experiments.chains import (
-    ChainInstance,
     compass_estimate,
     frequency_chain_estimate,
     ldp_compass_estimate,

@@ -112,3 +112,43 @@ class TestMain:
         )
         assert result.returncode == 0
         assert "fig15" in result.stdout
+
+
+class TestLintSubcommand:
+    """``repro-experiments lint`` forwards to :mod:`repro.analysis`."""
+
+    def test_lint_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "0 diagnostic(s)" in capsys.readouterr().out
+
+    def test_lint_flags_violation(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "RPR101" in capsys.readouterr().out
+
+    def test_lint_forwards_leading_options(self, capsys):
+        # argparse REMAINDER cannot capture a leading --flag; the lint
+        # subcommand is intercepted before parsing so this must work.
+        assert main(["lint", "--list-rules"]) == 0
+        assert "RPR103" in capsys.readouterr().out
+
+    def test_lint_json_format(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        assert main(["lint", str(tmp_path), "--format=json"]) == 1
+        assert '"code": "RPR101"' in capsys.readouterr().out
+
+    def test_lint_appears_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "lint" in capsys.readouterr().out
+
+    def test_lint_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "lint", "--list-rules"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "RPR101" in result.stdout

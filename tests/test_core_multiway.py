@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import LDPCompassProtocol
-from repro.core.multiway import LDPMiddleSketch, MiddleReportBatch
+from repro.core.multiway import MiddleReportBatch
 from repro.errors import IncompatibleSketchError, ParameterError
 from repro.join import exact_multiway_chain_size
 from repro.privacy import c_epsilon

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import SketchParams, run_ldp_join_sketch, run_ldp_join_sketch_plus

@@ -11,7 +11,6 @@ from repro.data import (
     DATASETS,
     EgoNetworkGenerator,
     GaussianGenerator,
-    JoinInstance,
     MovieLensGenerator,
     TPCDSStoreSalesGenerator,
     ZipfGenerator,

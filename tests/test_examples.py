@@ -6,7 +6,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
@@ -62,7 +61,6 @@ class TestExamples:
 
     def test_streaming_collection(self):
         out = run_example("streaming_collection.py")
-        day_lines = [l for l in out.splitlines() if l.strip().startswith(("1 ", "7 "))]
         assert "lossless" in out
         # Seven daily waves reported.
         assert sum(1 for l in out.splitlines() if l.strip() and l.split()[0].isdigit()) == 7

@@ -8,7 +8,6 @@ these tests guarantee the experiment code paths stay runnable.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments import figures

@@ -25,7 +25,7 @@ import pytest
 from repro.core import SketchParams, encode_report, fap_encode_report
 from repro.core.fap import MODE_HIGH, MODE_LOW
 from repro.hashing import HashPairs
-from repro.privacy import keep_probability, max_privacy_ratio, verify_ldp
+from repro.privacy import keep_probability, verify_ldp
 from repro.transform import hadamard_matrix
 
 PARAMS = SketchParams(k=2, m=4, epsilon=1.5)

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import DomainError, ProtocolError
-from repro.join import FrequencyVector, exact_join_size
+from repro.join import exact_join_size
 from repro.mechanisms import (
     FLHOracle,
     HadamardResponseOracle,

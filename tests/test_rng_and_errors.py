@@ -12,6 +12,7 @@ from repro.errors import (
     ParameterError,
     ProtocolError,
     ReproError,
+    require_merge_compatible,
 )
 from repro.rng import derive_seed, ensure_rng, spawn, spawn_many
 
@@ -20,8 +21,21 @@ class TestEnsureRng:
     def test_none_gives_generator(self):
         assert isinstance(ensure_rng(None), np.random.Generator)
 
+    def test_default_argument_is_none(self):
+        assert isinstance(ensure_rng(), np.random.Generator)
+
     def test_int_deterministic(self):
         assert ensure_rng(5).integers(0, 100) == ensure_rng(5).integers(0, 100)
+
+    def test_zero_seed_is_valid(self):
+        assert ensure_rng(0).integers(0, 100) == ensure_rng(0).integers(0, 100)
+
+    def test_numpy_integer_seed(self):
+        for np_seed in (np.int32(5), np.int64(5), np.uint8(5)):
+            assert (
+                ensure_rng(np_seed).integers(0, 100)
+                == ensure_rng(5).integers(0, 100)
+            )
 
     def test_generator_passthrough(self):
         gen = np.random.default_rng(1)
@@ -32,9 +46,83 @@ class TestEnsureRng:
         g1 = ensure_rng(seq)
         assert isinstance(g1, np.random.Generator)
 
-    def test_invalid_seed_type(self):
-        with pytest.raises(TypeError):
-            ensure_rng("seed")
+    def test_seed_sequence_deterministic(self):
+        a = ensure_rng(np.random.SeedSequence(42)).integers(0, 2**31)
+        b = ensure_rng(np.random.SeedSequence(42)).integers(0, 2**31)
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "bad", ["seed", 1.5, [1, 2], (3,), {"seed": 1}, object()],
+        ids=["str", "float", "list", "tuple", "dict", "object"],
+    )
+    def test_invalid_seed_type(self, bad):
+        with pytest.raises(TypeError, match="cannot interpret"):
+            ensure_rng(bad)
+
+    def test_bool_is_accepted_as_int(self):
+        # bool subclasses int; document that True behaves like seed 1.
+        assert ensure_rng(True).integers(0, 100) == ensure_rng(1).integers(0, 100)
+
+
+class TestRequireMergeCompatible:
+    def test_all_matching_passes(self):
+        require_merge_compatible("sketches", m=(64, 64), k=(8, 8), eps=(1.0, 1.0))
+
+    def test_scalar_mismatch_message(self):
+        with pytest.raises(
+            IncompatibleSketchError, match=r"cannot merge sketches: m mismatch \(64 vs 128\)"
+        ):
+            require_merge_compatible("sketches", m=(64, 128))
+
+    def test_kind_appears_in_message(self):
+        with pytest.raises(IncompatibleSketchError, match="cannot merge oracles"):
+            require_merge_compatible("oracles", epsilon=(1.0, 2.0))
+
+    def test_first_mismatch_wins(self):
+        # Attributes are checked in keyword order; the first bad pair raises.
+        with pytest.raises(IncompatibleSketchError, match="k mismatch"):
+            require_merge_compatible("sketches", k=(8, 4), m=(64, 128))
+
+    def test_ndarray_match_and_published_state_message(self):
+        pool = np.arange(6, dtype=np.int64)
+        require_merge_compatible("oracles", pool=(pool, pool.copy()))
+        with pytest.raises(
+            IncompatibleSketchError,
+            match="pool differ; shards of one collection period must share "
+            "the published pool",
+        ):
+            require_merge_compatible("oracles", pool=(pool, pool + 1))
+
+    def test_ndarray_dtype_mismatch_rejected(self):
+        a = np.arange(4, dtype=np.int64)
+        with pytest.raises(IncompatibleSketchError):
+            require_merge_compatible("oracles", pool=(a, a.astype(np.int32)))
+
+    def test_ndarray_vs_scalar_rejected(self):
+        with pytest.raises(IncompatibleSketchError):
+            require_merge_compatible("oracles", pool=(np.arange(4), 4))
+
+    def test_container_of_arrays(self):
+        pairs = [np.arange(3), np.arange(3, 6)]
+        require_merge_compatible("sketches", pairs=(pairs, [p.copy() for p in pairs]))
+        with pytest.raises(IncompatibleSketchError, match="published pairs"):
+            require_merge_compatible(
+                "sketches", pairs=(pairs, [pairs[0], pairs[1] + 1])
+            )
+
+    def test_mapping_values(self):
+        require_merge_compatible("sessions", cfg=({"m": 64, "k": 8}, {"k": 8, "m": 64}))
+        with pytest.raises(IncompatibleSketchError, match="cfg mismatch"):
+            require_merge_compatible("sessions", cfg=({"m": 64}, {"m": 128}))
+
+    def test_sequence_length_mismatch(self):
+        with pytest.raises(IncompatibleSketchError):
+            require_merge_compatible("sketches", shape=((64, 8), (64, 8, 2)))
+
+    @pytest.mark.parametrize("bad", [64, None, (1, 2, 3)], ids=["scalar", "none", "triple"])
+    def test_malformed_pair_is_parameter_error(self, bad):
+        with pytest.raises(ParameterError, match="expects \\(mine, theirs\\) pairs"):
+            require_merge_compatible("sketches", m=bad)
 
 
 class TestSpawning:

@@ -268,7 +268,6 @@ class TestCountMean:
 
 class TestCompass:
     def test_three_way_accuracy(self):
-        rng = np.random.default_rng(48)
         d = 64
         t1 = zipf_values(8_000, d, 1.3, seed=49)
         t2 = (zipf_values(8_000, d, 1.3, seed=50), zipf_values(8_000, d, 1.3, seed=51))

@@ -24,11 +24,10 @@ Hardening convention (audited against flakes):
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core import SketchParams, build_sketch, encode_reports
 from repro.hashing import HashPairs
-from repro.join import FrequencyVector, exact_join_size
+from repro.join import exact_join_size
 
 from .conftest import zipf_values
 
