@@ -57,6 +57,7 @@ from ..core.server import LDPJoinSketch
 from ..errors import IncompatibleSketchError, ParameterError, ProtocolError
 from ..hashing import HashPairs
 from ..privacy.budget import BudgetLedger
+from ..reliability.faults import fault_point
 from ..rng import RandomState, ensure_rng
 from ..serialization import decode_array, encode_array
 from ..transform.hadamard import fwht_inplace
@@ -261,6 +262,7 @@ class JoinSession:
         shave per-chunk dispatch overhead; the estimate distribution is
         identical either way.
         """
+        fault_point("session.ingest", stream=str(stream), attribute=int(attribute))
         start = time.perf_counter()
         state = self._end_state(stream, attribute)
         expected = self.params_for(state.attribute)

@@ -17,11 +17,23 @@ bit of the result.  This package owns that machinery:
   adds, pre-FWHT, backend-agnostic);
 * :class:`ShardCheckpoint` / :func:`ingest_with_checkpoint` — atomic
   flush/resume, so a killed aggregator restarts from its last flushed
-  partial and finishes byte-identical to an uninterrupted run;
+  partial and finishes byte-identical to an uninterrupted run; a
+  *corrupt* checkpoint downgrades to a logged cold start instead of a
+  crash;
 * :func:`estimate_sharded` / :func:`prepare_shard_run` — sharded
   execution of every registry method, with the core guarantee the
   property suite enforces: for any method and any ``K``, the tree-merged
   estimate is byte-identical to the single-aggregator run.
+
+Fault tolerance (:mod:`repro.reliability`) is threaded throughout:
+every shard collect passes the ``shard.collect`` fault point and can be
+retried under a :class:`~repro.reliability.RetryPolicy` with its
+randomness restored per attempt (absorbed faults are byte-invisible);
+``degraded=True`` merges K−f survivors when a shard is lost outright,
+rescaling by the planner's client coverage and recording
+``shards_lost`` / ``coverage`` / ``bound_factor`` in the result; wire
+payloads carry a crc32 content checksum (version 2) so bit flips and
+truncation are rejected with typed errors.
 """
 
 from .checkpoint import ShardCheckpoint, ingest_with_checkpoint
@@ -33,7 +45,14 @@ from .collectors import (
     shardable_single_round,
 )
 from .merge import merge_sequential, merge_tree
-from .partial import PARTIAL_FORMAT, PARTIAL_VERSION, PartialAggregate, fingerprint_digest
+from .partial import (
+    PARTIAL_FORMAT,
+    PARTIAL_MIN_VERSION,
+    PARTIAL_VERSION,
+    PartialAggregate,
+    content_checksum,
+    fingerprint_digest,
+)
 from .planner import SHARD_STRATEGIES, ShardPlanner
 
 __all__ = [
@@ -42,7 +61,9 @@ __all__ = [
     "PartialAggregate",
     "PARTIAL_FORMAT",
     "PARTIAL_VERSION",
+    "PARTIAL_MIN_VERSION",
     "fingerprint_digest",
+    "content_checksum",
     "merge_tree",
     "merge_sequential",
     "ShardCheckpoint",

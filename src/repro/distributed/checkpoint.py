@@ -11,6 +11,20 @@ the plan, the resumed run is byte-identical to an uninterrupted one.
 Atomicity uses the classic temp-file + :func:`os.replace` dance: the
 checkpoint on disk is always a complete, valid payload — a crash during
 a flush leaves the previous checkpoint intact, never a torn file.
+
+A checkpoint that is nevertheless unreadable (torn by a power cut
+mid-``os.replace`` on a non-atomic filesystem, bit-rotted, truncated by
+an operator) raises the typed
+:class:`~repro.errors.CheckpointCorruptError` instead of leaking
+``json.JSONDecodeError`` / ``KeyError``; :func:`ingest_with_checkpoint`
+treats that as a *cold start* — replays the full cohort plan from
+scratch and records the recovery in the partial's meta — so a corrupt
+checkpoint costs time, never correctness.
+
+Fault points (armed by :class:`repro.reliability.FaultPlan`):
+``checkpoint.flush`` (``torn-write`` specs truncate the bytes actually
+written), ``checkpoint.load`` and ``checkpoint.ingest`` (one hit per
+cohort folded).
 """
 
 from __future__ import annotations
@@ -20,7 +34,8 @@ import os
 from pathlib import Path
 from typing import Optional, Sequence, Tuple, Union
 
-from ..errors import ParameterError
+from ..errors import CheckpointCorruptError, ParameterError, PartialIntegrityError
+from ..reliability.faults import fault_point
 from .partial import PartialAggregate
 
 __all__ = ["ShardCheckpoint", "ingest_with_checkpoint"]
@@ -46,15 +61,37 @@ class ShardCheckpoint:
             "cursor": int(cursor),
             "partial": partial.to_dict(),
         }
+        text = json.dumps(payload)
+        spec = fault_point("checkpoint.flush", path=str(self.path), cursor=cursor)
+        if spec is not None and spec.kind == "torn-write":
+            # Model a write torn mid-payload: only half the bytes land.
+            text = text[: max(1, len(text) // 2)]
         tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(json.dumps(payload))
+        tmp.write_text(text)
         os.replace(tmp, self.path)
 
     def load(self) -> Optional[Tuple[PartialAggregate, int]]:
-        """The last flushed ``(partial, cursor)``, or ``None`` if absent."""
+        """The last flushed ``(partial, cursor)``, or ``None`` if absent.
+
+        Raises :class:`~repro.errors.CheckpointCorruptError` on a file
+        that exists but cannot be trusted: invalid JSON (torn write),
+        missing fields, a malformed partial payload, or a partial whose
+        content checksum fails.  A *valid* file of the wrong format or
+        version still raises :class:`~repro.errors.ParameterError` —
+        that is a configuration mistake, not corruption, and cold-start
+        recovery must not paper over it.
+        """
         if not self.path.exists():
             return None
-        payload = json.loads(self.path.read_text())
+        fault_point("checkpoint.load", path=str(self.path))
+        try:
+            payload = json.loads(self.path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise CheckpointCorruptError(self.path, f"invalid JSON ({error})") from error
+        if not isinstance(payload, dict):
+            raise CheckpointCorruptError(
+                self.path, f"expected a JSON object, got {type(payload).__name__}"
+            )
         if payload.get("format") != CHECKPOINT_FORMAT:
             raise ParameterError(
                 f"{self.path} is not a shard checkpoint "
@@ -64,7 +101,18 @@ class ShardCheckpoint:
             raise ParameterError(
                 f"unsupported checkpoint version {payload.get('version')!r}"
             )
-        return PartialAggregate.from_dict(payload["partial"]), int(payload["cursor"])
+        try:
+            partial = PartialAggregate.from_dict(payload["partial"])
+            cursor = int(payload["cursor"])
+        except PartialIntegrityError as error:
+            raise CheckpointCorruptError(self.path, str(error)) from error
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointCorruptError(
+                self.path, f"malformed payload ({type(error).__name__}: {error})"
+            ) from error
+        if cursor < 0:
+            raise CheckpointCorruptError(self.path, f"negative cursor {cursor}")
+        return partial, cursor
 
     def clear(self) -> None:
         """Remove the checkpoint (after its partial reached the tree)."""
@@ -89,13 +137,30 @@ def ingest_with_checkpoint(
     restarts with the same arguments resumes from the last flushed
     cohort and finishes byte-identical to an uninterrupted run.  Returns
     the final partial (which the checkpoint also holds).
+
+    A corrupt checkpoint (:class:`~repro.errors.CheckpointCorruptError`)
+    downgrades to a **cold start**: the full cohort plan replays from
+    cohort 0 — byte-identical to a never-checkpointed run, since the
+    seeds are plan-fixed — and the recovery is recorded in the returned
+    partial's ``meta["checkpoint_recovery"]`` (keyed by checkpoint path
+    so the annotation survives meta's dict-union merge).
     """
     if len(cohorts) != len(cohort_seeds):
         raise ParameterError(
             f"got {len(cohorts)} cohorts but {len(cohort_seeds)} seeds"
         )
     start = 0
-    state = checkpoint.load()
+    state = None
+    try:
+        state = checkpoint.load()
+    except CheckpointCorruptError as error:
+        recovery = {
+            "reason": error.reason,
+            "cold_start": True,
+            "cohorts_replayed": len(cohorts),
+        }
+    else:
+        recovery = None
     if state is not None:
         partial, cursor = state
         if cursor > len(cohorts):
@@ -108,8 +173,14 @@ def ingest_with_checkpoint(
         # Nothing to replay: hand back the flushed state itself.
         return state[0]
     for index in range(start, len(cohorts)):
+        fault_point(
+            "checkpoint.ingest", path=str(checkpoint.path), cohort=index
+        )
         shard_session.collect(
             stream, cohorts[index], attribute=attribute, seed=cohort_seeds[index]
         )
         checkpoint.flush(shard_session.to_partial(), cursor=index + 1)
-    return shard_session.to_partial()
+    result = shard_session.to_partial()
+    if recovery is not None:
+        result.meta["checkpoint_recovery"] = {str(checkpoint.path): recovery}
+    return result

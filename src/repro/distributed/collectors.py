@@ -33,9 +33,12 @@ Each protocol family has one driver:
 
 from __future__ import annotations
 
+import copy
 import math
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -49,9 +52,11 @@ from ..core.fap import MODE_HIGH, MODE_LOW, fap_encode_reports
 from ..core.params import SketchParams
 from ..core.plus import LDPJoinSketchPlus
 from ..core.server import LDPJoinSketch
-from ..errors import ParameterError
+from ..errors import ParameterError, RetryExhaustedError, ShardLostError
 from ..hashing import HashPairs
 from ..privacy.budget import BudgetLedger, PrivacySpec
+from ..reliability.faults import FaultPlan, fault_point, injected
+from ..reliability.retry import DEFAULT_RETRYABLE, RetryPolicy
 from ..rng import RandomState, derive_seed, ensure_rng, spawn
 from ..sketches import FastAGMSSketch
 from ..transform.hadamard import fwht_inplace
@@ -70,15 +75,167 @@ __all__ = [
 #: Valid reducers (``merge=`` argument).
 _MERGERS = {"tree": merge_tree, "sequential": merge_sequential}
 
+#: Failures that mean "this shard's partial is gone" (degradable), as
+#: opposed to configuration errors, which always propagate.
+_SHARD_LOSS_ERRORS = (RetryExhaustedError,) + DEFAULT_RETRYABLE
 
-def _reduce(partials: Sequence[PartialAggregate], merge: str) -> PartialAggregate:
+
+def _reduce(
+    partials: Sequence[Optional[PartialAggregate]],
+    merge: str,
+    *,
+    degraded: bool = False,
+) -> PartialAggregate:
     try:
         reducer = _MERGERS[merge]
     except KeyError:
         raise ParameterError(
             f"merge must be one of {tuple(_MERGERS)}, got {merge!r}"
         ) from None
-    return reducer(partials)
+    return reducer(partials, degraded=degraded)
+
+
+def _as_policy(retries: Union[None, int, RetryPolicy]) -> Optional[RetryPolicy]:
+    """Normalise a ``retries=`` argument (attempt count or policy)."""
+    if retries is None or isinstance(retries, RetryPolicy):
+        return retries
+    return RetryPolicy(int(retries))
+
+
+def _as_plan(fault_plan: Union[None, str, Path, FaultPlan]) -> Optional[FaultPlan]:
+    """Normalise a ``fault_plan=`` argument (plan object or JSON path)."""
+    if fault_plan is None or isinstance(fault_plan, FaultPlan):
+        return fault_plan
+    return FaultPlan.load(fault_plan)
+
+
+def _generator_reset(seed) -> Optional[Callable[[], None]]:
+    """A callback restoring ``seed``'s current stream position, if live.
+
+    Retried collects must replay the original randomness byte-for-byte;
+    plans that hand a shard a *live* generator (the K=1 identity plan,
+    the plus driver's shard streams) snapshot its ``bit_generator.state``
+    before the first attempt and restore it before every re-attempt.
+    Integer seeds need nothing — each attempt rebuilds its own stream.
+    """
+    if not isinstance(seed, np.random.Generator):
+        return None
+    state = copy.deepcopy(seed.bit_generator.state)
+
+    def reset() -> None:
+        seed.bit_generator.state = copy.deepcopy(state)
+
+    return reset
+
+
+def _collect_shard(
+    driver, ctx, method: str, s: int, policy: Optional[RetryPolicy]
+) -> PartialAggregate:
+    """One shard's partial, through the ``shard.collect`` fault point.
+
+    With a policy, the collect is retried under RNG-state restoration so
+    an absorbed fault leaves the partial byte-identical to a fault-free
+    collect.
+    """
+
+    def attempt() -> PartialAggregate:
+        fault_point("shard.collect", shard=s, method=method)
+        return driver.collect(ctx, s)
+
+    if policy is None:
+        return attempt()
+    seeds = getattr(ctx, "shard_seeds", None)
+    reset = _generator_reset(seeds[s]) if seeds is not None else None
+    return policy.call(
+        attempt, operation=f"{method}: collect shard {s}", reset=reset
+    )
+
+
+def _degradation_scale(strategy: str, cov_a: float, cov_b: float) -> float:
+    """Fraction of the join mass the surviving shards cover.
+
+    ``hash`` sharding partitions the *value domain*, and both streams of
+    one shard hold the same value block — the join mass is block-diagonal
+    across shards, so losing a shard removes its value block from both
+    sides at once and the surviving mass is ≈ the covered value fraction
+    (estimated by the mean client coverage).  ``range`` sharding splits
+    *users* independently of value, so each stream thins independently
+    and the surviving mass is the product of the two coverages.
+    """
+    if strategy == "range":
+        return cov_a * cov_b
+    return 0.5 * (cov_a + cov_b)
+
+
+def _shard_sizes(ctx, num_shards: int) -> Tuple[List[int], List[int]]:
+    return (
+        [int(ctx.splits_a[s].size) for s in range(num_shards)],
+        [int(ctx.splits_b[s].size) for s in range(num_shards)],
+    )
+
+
+def _require_surviving_coverage(
+    sizes_a: Sequence[int], sizes_b: Sequence[int], lost: Sequence[int]
+) -> None:
+    """Degrading needs survivors that still hold clients of both streams.
+
+    A hash split over a skewed domain can be degenerate — one shard holds
+    every client of a stream — so losing it leaves nothing to rescale:
+    coverage is zero and a survivors-only finalise would fail on empty
+    accumulators.  Surface that as the same typed loss as losing every
+    shard.
+    """
+    lost_set = set(lost)
+    if len(lost_set) >= len(sizes_a):
+        return  # every shard lost: the merger raises the canonical error
+    for stream, sizes in (("A", sizes_a), ("B", sizes_b)):
+        if sum(sizes) and not any(
+            sizes[s] for s in range(len(sizes)) if s not in lost_set
+        ):
+            raise ShardLostError(
+                f"lost shard(s) {sorted(lost_set)} held every client of "
+                f"stream {stream!r}; surviving coverage is zero",
+                lost=sorted(lost_set),
+            )
+
+
+def _apply_degradation(
+    result: EstimateResult,
+    *,
+    strategy: str,
+    sizes_a: Sequence[int],
+    sizes_b: Sequence[int],
+    lost: Sequence[int],
+) -> EstimateResult:
+    """Rescale a survivors-only estimate and ledger the lost coverage.
+
+    ``result.estimate`` is the join size of the *covered* population —
+    single-round finalisers produce that implicitly (the merged
+    accumulators simply hold fewer reports), the plus driver computes it
+    explicitly over covered group sizes.  The ledgered ``bound_factor``
+    is the factor by which the estimate's error bound widens: the
+    surviving mass was scaled up by ``1/scale``, so absolute error
+    scales with it.
+    """
+    lost_set = set(lost)
+    survivors = [s for s in range(len(sizes_a)) if s not in lost_set]
+    total_a, total_b = sum(sizes_a), sum(sizes_b)
+    cov_a = sum(sizes_a[s] for s in survivors) / total_a if total_a else 0.0
+    cov_b = sum(sizes_b[s] for s in survivors) / total_b if total_b else 0.0
+    scale = _degradation_scale(strategy, cov_a, cov_b)
+    factor = 1.0 / scale if scale > 0.0 else 1.0
+    degraded_info = {
+        "shards_lost": sorted(lost_set),
+        "coverage": {"A": cov_a, "B": cov_b},
+        "strategy": strategy,
+        "rescale": factor,
+        "bound_factor": factor,
+    }
+    return replace(
+        result,
+        estimate=result.estimate * factor,
+        extras={**result.extras, "degraded": degraded_info},
+    )
 
 
 def _two_stream_ledger(epsilon: float, mechanism: str) -> BudgetLedger:
@@ -120,18 +277,32 @@ class ShardRun:
     and execute any subset of its shards.
     """
 
-    def __init__(self, driver, ctx, num_shards: int) -> None:
+    def __init__(self, driver, ctx, num_shards: int, method: str = "") -> None:
         self._driver = driver
         self._ctx = ctx
         self.num_shards = num_shards
+        self.method = method
 
-    def collect(self, shard_index: int) -> PartialAggregate:
-        """The partial of shard ``shard_index`` (plan-fixed randomness)."""
+    def collect(
+        self,
+        shard_index: int,
+        *,
+        retries: Union[None, int, RetryPolicy] = None,
+    ) -> PartialAggregate:
+        """The partial of shard ``shard_index`` (plan-fixed randomness).
+
+        Passes the ``shard.collect`` fault point; ``retries`` (an attempt
+        count or a :class:`~repro.reliability.RetryPolicy`) absorbs
+        transient failures with the randomness restored per attempt, so
+        a retried collect stays byte-identical to a fault-free one.
+        """
         if not 0 <= shard_index < self.num_shards:
             raise ParameterError(
                 f"shard_index must lie in [0, {self.num_shards}), got {shard_index}"
             )
-        return self._driver.collect(self._ctx, shard_index)
+        return _collect_shard(
+            self._driver, self._ctx, self.method, shard_index, _as_policy(retries)
+        )
 
     def collect_all(self) -> List[PartialAggregate]:
         """Every shard's partial, in shard order."""
@@ -471,7 +642,17 @@ class _PlusDriver:
     rounds = 2
 
     def run(
-        self, estimator, instance, epsilon, num_shards, seed, strategy, merge
+        self,
+        estimator,
+        instance,
+        epsilon,
+        num_shards,
+        seed,
+        strategy,
+        merge,
+        *,
+        policy: Optional[RetryPolicy] = None,
+        degraded: bool = False,
     ) -> EstimateResult:
         from ..api.estimators import run_join_sketch_plus
 
@@ -488,19 +669,39 @@ class _PlusDriver:
         if num_shards == 1:
             # Identity plan: the serial two-phase run *is* the single
             # aggregator.
-            return run_join_sketch_plus(
-                instance.values_a,
-                instance.values_b,
-                instance.domain_size,
-                params,
-                sample_rate=estimator.sample_rate,
-                threshold=estimator.threshold,
-                phase1_params=(
-                    phase1 if estimator.phase1_m is not None else None
-                ),
-                paper_faithful_correction=estimator.paper_faithful_correction,
-                seed=seed,
-            )
+            def serial() -> EstimateResult:
+                fault_point(
+                    "shard.collect", shard=0, method="ldp-join-sketch-plus"
+                )
+                return run_join_sketch_plus(
+                    instance.values_a,
+                    instance.values_b,
+                    instance.domain_size,
+                    params,
+                    sample_rate=estimator.sample_rate,
+                    threshold=estimator.threshold,
+                    phase1_params=(
+                        phase1 if estimator.phase1_m is not None else None
+                    ),
+                    paper_faithful_correction=estimator.paper_faithful_correction,
+                    seed=seed,
+                )
+
+            try:
+                if policy is None:
+                    return serial()
+                return policy.call(
+                    serial,
+                    operation="ldp-join-sketch-plus: collect shard 0",
+                    reset=_generator_reset(seed),
+                )
+            except _SHARD_LOSS_ERRORS as error:
+                if degraded:
+                    raise ShardLostError(
+                        "all 1 shard partial(s) lost; nothing to merge",
+                        lost=[0],
+                    ) from error
+                raise
         protocol = LDPJoinSketchPlus(
             params,
             sample_rate=estimator.sample_rate,
@@ -538,14 +739,16 @@ class _PlusDriver:
         fingerprint2 = {**fingerprint, "round": 2}
 
         start = time.perf_counter()
+        lost: Set[int] = set()
+
         # ---------------- Round 1: phase-1 partials -------------------
-        groups: List[Tuple] = []
-        round1: List[PartialAggregate] = []
-        for s in range(num_shards):
+        def round1_shard(s: int) -> Tuple[PartialAggregate, Tuple]:
             rs = shard_rngs[s]
+            fault_point(
+                "shard.collect", shard=s, method="ldp-join-sketch-plus", round=1
+            )
             sample_a, ga1, ga2 = protocol._split_users(splits_a[s], rs, "A")
             sample_b, gb1, gb2 = protocol._split_users(splits_b[s], rs, "B")
-            groups.append((ga1, ga2, gb1, gb2))
             partial = PartialAggregate("ldp-join-sketch-plus", fingerprint1)
             for label, sample in (("SA", sample_a), ("SB", sample_b)):
                 batch = encode_reports(sample, phase1, pairs1, rs)
@@ -557,8 +760,33 @@ class _PlusDriver:
                 ("A1", ga1), ("A2", ga2), ("B1", gb1), ("B2", gb2)
             ):
                 partial.counters[f"{name}:size"] = float(group.size)
-            round1.append(partial)
-        merged1 = _reduce(round1, merge)
+            return partial, (ga1, ga2, gb1, gb2)
+
+        groups: List[Optional[Tuple]] = [None] * num_shards
+        round1: List[Optional[PartialAggregate]] = [None] * num_shards
+        for s in range(num_shards):
+            try:
+                if policy is None:
+                    round1[s], groups[s] = round1_shard(s)
+                else:
+                    round1[s], groups[s] = policy.call(
+                        lambda s=s: round1_shard(s),
+                        operation=f"ldp-join-sketch-plus: round-1 shard {s}",
+                        reset=_generator_reset(shard_rngs[s]),
+                    )
+            except _SHARD_LOSS_ERRORS:
+                # A shard that never produced a phase-1 partial is out of
+                # the protocol entirely: it holds no groups for round 2.
+                if not degraded:
+                    raise
+                lost.add(s)
+        if lost:
+            _require_surviving_coverage(
+                [int(splits_a[s].size) for s in range(num_shards)],
+                [int(splits_b[s].size) for s in range(num_shards)],
+                lost,
+            )
+        merged1 = _reduce(round1, merge, degraded=bool(lost))
 
         # ---------------- Coordinator: FI broadcast -------------------
         def _phase1_sketch(label: str) -> LDPJoinSketch:
@@ -580,20 +808,18 @@ class _PlusDriver:
             sketch_sb, domain, protocol.threshold, method=protocol.fi_method
         )
         frequent_items = np.union1d(fi_a, fi_b)
-        sample_size_a = int(merged1.counters["SA:num_reports"])
-        sample_size_b = int(merged1.counters["SB:num_reports"])
-        high_mass_a = protocol._population_mass(
-            sketch_sa, frequent_items, arr_a.size, sample_size_a
-        )
-        high_mass_b = protocol._population_mass(
-            sketch_sb, frequent_items, arr_b.size, sample_size_b
-        )
+        # The frequent-item set is now *broadcast*: round-2 losses cannot
+        # retract it, but every downstream statistic (sample sizes, high
+        # masses, group sizes) is computed after round 2, over the final
+        # survivor set, so the accounting stays self-consistent.
 
         # ---------------- Round 2: phase-2 FAP partials ---------------
-        round2: List[PartialAggregate] = []
-        for s in range(num_shards):
+        def round2_shard(s: int) -> PartialAggregate:
             rs = shard_rngs[s]
             ga1, ga2, gb1, gb2 = groups[s]
+            fault_point(
+                "shard.collect", shard=s, method="ldp-join-sketch-plus", round=2
+            )
             partial = PartialAggregate("ldp-join-sketch-plus", fingerprint2)
             # Same per-shard encode order as the serial protocol:
             # LA, LB, HA, HB.
@@ -610,8 +836,57 @@ class _PlusDriver:
                 scatter_add_signed_units(raw, (batch.rows, batch.cols), batch.ys)
                 partial.add_array(f"{label}:raw", raw)
                 partial.counters[f"{label}:num_reports"] = float(group.size)
-            round2.append(partial)
-        merged2 = _reduce(round2, merge)
+            return partial
+
+        lost_in_round1 = set(lost)
+        round2: List[Optional[PartialAggregate]] = [None] * num_shards
+        for s in range(num_shards):
+            if s in lost:
+                continue
+            try:
+                if policy is None:
+                    round2[s] = round2_shard(s)
+                else:
+                    round2[s] = policy.call(
+                        lambda s=s: round2_shard(s),
+                        operation=f"ldp-join-sketch-plus: round-2 shard {s}",
+                        reset=_generator_reset(shard_rngs[s]),
+                    )
+            except _SHARD_LOSS_ERRORS:
+                if not degraded:
+                    raise
+                # Its phase-2 groups are gone; drop the shard's phase-1
+                # contribution too, so sample/group accounting describes
+                # one consistent survivor population.
+                lost.add(s)
+                round1[s] = None
+        if lost != lost_in_round1:
+            _require_surviving_coverage(
+                [int(splits_a[s].size) for s in range(num_shards)],
+                [int(splits_b[s].size) for s in range(num_shards)],
+                lost,
+            )
+            merged1 = _reduce(round1, merge, degraded=True)
+            sketch_sa = _phase1_sketch("SA")
+            sketch_sb = _phase1_sketch("SB")
+        merged2 = _reduce(round2, merge, degraded=bool(lost))
+
+        # Covered population: in a fault-free run these equal the full
+        # stream sizes exactly (the splits partition the population).
+        covered_a = int(
+            sum(splits_a[s].size for s in range(num_shards) if s not in lost)
+        )
+        covered_b = int(
+            sum(splits_b[s].size for s in range(num_shards) if s not in lost)
+        )
+        sample_size_a = int(merged1.counters["SA:num_reports"])
+        sample_size_b = int(merged1.counters["SB:num_reports"])
+        high_mass_a = protocol._population_mass(
+            sketch_sa, frequent_items, covered_a, sample_size_a
+        )
+        high_mass_b = protocol._population_mass(
+            sketch_sb, frequent_items, covered_b, sample_size_b
+        )
 
         def _phase2_sketch(label: str) -> LDPJoinSketch:
             counts = merged2.arrays[f"{label}:raw"].astype(np.float64)
@@ -629,21 +904,21 @@ class _PlusDriver:
         low_est = protocol._join_est(
             _phase2_sketch("LA"),
             _phase2_sketch("LB"),
-            nt_mass_a=protocol._group_mass(high_mass_a, size_a1, arr_a.size),
-            nt_mass_b=protocol._group_mass(high_mass_b, size_b1, arr_b.size),
+            nt_mass_a=protocol._group_mass(high_mass_a, size_a1, covered_a),
+            nt_mass_b=protocol._group_mass(high_mass_b, size_b1, covered_b),
         )
         high_est = protocol._join_est(
             _phase2_sketch("HA"),
             _phase2_sketch("HB"),
             nt_mass_a=protocol._group_mass(
-                arr_a.size - high_mass_a, size_a2, arr_a.size
+                covered_a - high_mass_a, size_a2, covered_a
             ),
             nt_mass_b=protocol._group_mass(
-                arr_b.size - high_mass_b, size_b2, arr_b.size
+                covered_b - high_mass_b, size_b2, covered_b
             ),
         )
-        low_scaled = (arr_a.size * arr_b.size) / (size_a1 * size_b1) * low_est
-        high_scaled = (arr_a.size * arr_b.size) / (size_a2 * size_b2) * high_est
+        low_scaled = (covered_a * covered_b) / (size_a1 * size_b1) * low_est
+        high_scaled = (covered_a * covered_b) / (size_a2 * size_b2) * high_est
         offline = time.perf_counter() - start
 
         fi_bits = int(frequent_items.size) * max(
@@ -657,7 +932,7 @@ class _PlusDriver:
         for group_name in ("A-sample", "A1", "A2", "B-sample", "B1", "B2"):
             ledger.charge(group_name, params.epsilon, "LDPJoinSketch+/FAP")
         ledger.assert_within(PrivacySpec(params.epsilon))
-        return EstimateResult(
+        result = EstimateResult(
             estimate=low_scaled + high_scaled,
             offline_seconds=offline,
             uplink_bits=phase1_bits + phase2_bits,
@@ -676,6 +951,15 @@ class _PlusDriver:
                 "num_shards": num_shards,
             },
         )
+        if lost:
+            result = _apply_degradation(
+                result,
+                strategy=strategy,
+                sizes_a=[int(splits_a[s].size) for s in range(num_shards)],
+                sizes_b=[int(splits_b[s].size) for s in range(num_shards)],
+                lost=sorted(lost),
+            )
+        return result
 
 
 # ======================================================================
@@ -747,11 +1031,11 @@ def prepare_shard_run(
     run those through :func:`estimate_sharded`.
     """
     num_shards = require_positive_int("num_shards", num_shards)
-    _, driver = _driver_for(estimator)
+    key, driver = _driver_for(estimator)
     if getattr(driver, "rounds", 1) != 1:
         return None
     ctx = driver.prepare(estimator, instance, epsilon, num_shards, seed, strategy)
-    return ShardRun(driver, ctx, num_shards)
+    return ShardRun(driver, ctx, num_shards, method=key)
 
 
 def estimate_sharded(
@@ -763,6 +1047,9 @@ def estimate_sharded(
     seed: RandomState = None,
     strategy: str = "hash",
     merge: str = "tree",
+    retries: Union[None, int, RetryPolicy] = None,
+    fault_plan: Union[None, str, Path, FaultPlan] = None,
+    degraded: bool = False,
     **options,
 ) -> EstimateResult:
     """Estimate ``instance``'s join size through ``num_shards`` aggregators.
@@ -773,20 +1060,70 @@ def estimate_sharded(
     ``"sequential"`` (the single-aggregator left fold); both produce
     byte-identical results.  ``num_shards=1`` replays the unsharded
     ``estimate(instance, epsilon, seed)`` bit for bit.
+
+    Fault tolerance:
+
+    * ``retries`` — an attempt count or a
+      :class:`~repro.reliability.RetryPolicy`; each shard collect is
+      retried with its randomness restored per attempt, so a run whose
+      faults the budget absorbs is **byte-identical** to a fault-free
+      run (the headline invariant of the chaos suite).
+    * ``fault_plan`` — a :class:`~repro.reliability.FaultPlan` (or the
+      path of one saved as JSON) armed for the duration of this call;
+      the way a reported failure is replayed deterministically.
+    * ``degraded`` — when a shard is still lost after retries, merge the
+      K−f survivors instead of raising: the estimate is rescaled by the
+      planner's known per-shard client coverage and the loss is recorded
+      in ``result.extras["degraded"]`` (``shards_lost``, ``coverage``,
+      ``bound_factor``).  Losing every shard raises
+      :class:`~repro.errors.ShardLostError` regardless.
     """
     estimator = get_estimator(method, **options) if isinstance(method, str) else method
     num_shards = require_positive_int("num_shards", num_shards)
-    _, driver = _driver_for(estimator)
-    if getattr(driver, "rounds", 1) != 1:
-        return driver.run(
-            estimator, instance, epsilon, num_shards, seed, strategy, merge
+    key, driver = _driver_for(estimator)
+    policy = _as_policy(retries)
+    plan = _as_plan(fault_plan)
+    with injected(plan):
+        if getattr(driver, "rounds", 1) != 1:
+            return driver.run(
+                estimator,
+                instance,
+                epsilon,
+                num_shards,
+                seed,
+                strategy,
+                merge,
+                policy=policy,
+                degraded=degraded,
+            )
+        ctx = driver.prepare(
+            estimator, instance, epsilon, num_shards, seed, strategy
         )
-    ctx = driver.prepare(estimator, instance, epsilon, num_shards, seed, strategy)
-    start = time.perf_counter()
-    partials = [driver.collect(ctx, s) for s in range(num_shards)]
-    merged = _reduce(partials, merge)
-    offline = time.perf_counter() - start
-    result = driver.finalize(ctx, merged)
-    if result.offline_seconds == 0.0:
-        result = result.with_costs(offline_seconds=offline)
-    return result
+        start = time.perf_counter()
+        partials: List[Optional[PartialAggregate]] = []
+        lost: List[int] = []
+        for s in range(num_shards):
+            try:
+                partials.append(_collect_shard(driver, ctx, key, s, policy))
+            except _SHARD_LOSS_ERRORS:
+                if not degraded:
+                    raise
+                partials.append(None)
+                lost.append(s)
+        if lost:
+            _require_surviving_coverage(*_shard_sizes(ctx, num_shards), lost)
+        merged = _reduce(partials, merge, degraded=bool(lost))
+        offline = time.perf_counter() - start
+        result = driver.finalize(ctx, merged)
+        if result.offline_seconds == 0.0:
+            result = result.with_costs(offline_seconds=offline)
+        if lost:
+            sizes_a, sizes_b = _shard_sizes(ctx, num_shards)
+            result = _apply_degradation(
+                result,
+                strategy=strategy,
+                sizes_a=sizes_a,
+                sizes_b=sizes_b,
+                lost=lost,
+            )
+        return result

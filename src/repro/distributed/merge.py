@@ -20,22 +20,42 @@ out identical.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from ..errors import ParameterError
+from ..errors import ParameterError, ShardLostError
+from ..reliability.faults import fault_point
 from .partial import PartialAggregate
 
 __all__ = ["merge_tree", "merge_sequential"]
 
 
-def _prepare(partials: Sequence[PartialAggregate], copy: bool) -> List[PartialAggregate]:
+def _prepare(
+    partials: Sequence[Optional[PartialAggregate]], copy: bool, degraded: bool
+) -> List[PartialAggregate]:
     if not partials:
         raise ParameterError("cannot merge an empty list of partials")
-    return [p.copy() for p in partials] if copy else list(partials)
+    lost = [index for index, p in enumerate(partials) if p is None]
+    if lost and not degraded:
+        raise ShardLostError(
+            f"missing partial(s) for shard(s) {lost} "
+            f"(pass degraded=True to merge the survivors)",
+            lost=lost,
+        )
+    survivors = [p for p in partials if p is not None]
+    if not survivors:
+        raise ShardLostError(
+            f"all {len(partials)} shard partial(s) lost; nothing to merge",
+            lost=lost,
+        )
+    fault_point("merge.reduce", count=len(survivors), lost=len(lost))
+    return [p.copy() for p in survivors] if copy else survivors
 
 
 def merge_tree(
-    partials: Sequence[PartialAggregate], *, copy: bool = True
+    partials: Sequence[Optional[PartialAggregate]],
+    *,
+    copy: bool = True,
+    degraded: bool = False,
 ) -> PartialAggregate:
     """Pairwise tree reduction of ``partials`` (left-to-right, balanced).
 
@@ -44,11 +64,21 @@ def merge_tree(
     (default) the inputs are left untouched; ``copy=False`` reuses the
     input objects as scratch (faster, consumes them).
 
+    ``degraded=True`` tolerates lost shards: ``None`` entries (a shard
+    whose partial never arrived, or was quarantined after retries) are
+    dropped and the surviving K−f partials merge as usual — the caller
+    rescales the estimate by the survivors' client coverage
+    (:func:`repro.distributed.estimate_sharded` does this and records
+    ``shards_lost`` in the result ledger).  Without ``degraded``, a
+    ``None`` entry raises :class:`~repro.errors.ShardLostError` naming
+    the missing shard positions; losing *every* shard is an error in
+    both modes.
+
     The result is byte-identical to :func:`merge_sequential` over the
     same list: every merge is an exact add on raw accumulators, so the
     reduction is associative.
     """
-    level = _prepare(partials, copy)
+    level = _prepare(partials, copy, degraded)
     while len(level) > 1:
         merged: List[PartialAggregate] = []
         for i in range(0, len(level) - 1, 2):
@@ -60,10 +90,16 @@ def merge_tree(
 
 
 def merge_sequential(
-    partials: Sequence[PartialAggregate], *, copy: bool = True
+    partials: Sequence[Optional[PartialAggregate]],
+    *,
+    copy: bool = True,
+    degraded: bool = False,
 ) -> PartialAggregate:
-    """Left fold of ``partials`` — the single-aggregator reference order."""
-    level = _prepare(partials, copy)
+    """Left fold of ``partials`` — the single-aggregator reference order.
+
+    ``degraded`` has the same lost-shard semantics as :func:`merge_tree`.
+    """
+    level = _prepare(partials, copy, degraded)
     result = level[0]
     for partial in level[1:]:
         result.merge(partial)

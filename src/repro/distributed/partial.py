@@ -22,24 +22,46 @@ codec, so a partial round-trips through plain JSON (files, queues, RPC)
 with no per-element Python work; :func:`PartialAggregate.from_dict`
 restores the exact dtypes recorded at save time, keeping
 save → load → merge byte-identical to the in-memory merge.
+
+The fingerprint pins *parameters*; payload *bytes* are pinned separately
+by a crc32 content checksum (wire format version 2): a bit-flipped or
+truncated array payload is rejected on load with
+:class:`~repro.errors.PartialIntegrityError` instead of silently
+corrupting the merge tree.  Version-1 payloads (no checksum) still load.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import zlib
 from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
 
-from ..errors import IncompatibleSketchError, ParameterError, require_merge_compatible
+from ..errors import (
+    IncompatibleSketchError,
+    ParameterError,
+    PartialIntegrityError,
+    require_merge_compatible,
+)
 from ..serialization import decode_array, encode_array
 
-__all__ = ["PartialAggregate", "fingerprint_digest", "PARTIAL_FORMAT", "PARTIAL_VERSION"]
+__all__ = [
+    "PartialAggregate",
+    "fingerprint_digest",
+    "content_checksum",
+    "PARTIAL_FORMAT",
+    "PARTIAL_VERSION",
+]
 
 #: Payload marker + version of the wire format.
 PARTIAL_FORMAT = "repro/partial-aggregate"
-PARTIAL_VERSION = 1
+PARTIAL_VERSION = 2
+
+#: Oldest wire version :meth:`PartialAggregate.from_dict` still reads.
+#: Version 1 predates the crc32 content checksum and loads unchecked.
+PARTIAL_MIN_VERSION = 1
 
 #: How an array merges: element-wise integer/float add, or order-preserving
 #: concatenation along axis 0 (per-user stores such as OLH's report lists).
@@ -56,6 +78,26 @@ def fingerprint_digest(payload: Any) -> str:
     """
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("ascii")).hexdigest()[:32]
+
+
+def content_checksum(arrays_payload: Mapping[str, Mapping[str, Any]]) -> int:
+    """crc32 over the serialized array entries of a partial payload.
+
+    Folds every array entry — name, merge op, dtype, packed base64 data —
+    into a single crc32 via its canonical JSON (sorted keys, fixed
+    separators), in sorted name order.  Stored as ``checksum`` in wire
+    version 2 and verified on load: any bit flip or truncation inside the
+    array payload changes the crc and is rejected with a typed error.
+    """
+    crc = 0
+    for name in sorted(arrays_payload):
+        canonical = json.dumps(
+            {"name": name, **arrays_payload[name]},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        crc = zlib.crc32(canonical.encode("utf-8"), crc)
+    return crc & 0xFFFFFFFF
 
 
 class PartialAggregate:
@@ -269,21 +311,24 @@ class PartialAggregate:
 
         Each array entry records its exact dtype alongside the (possibly
         integer-narrowed) packed payload, so :meth:`from_dict` restores
-        bit-identical accumulators.
+        bit-identical accumulators.  ``checksum`` is the crc32 of the
+        array entries (:func:`content_checksum`), verified on load.
         """
+        arrays_payload = {
+            name: {
+                "op": self.ops[name],
+                "dtype": str(arr.dtype),
+                "data": encode_array(arr),
+            }
+            for name, arr in self.arrays.items()
+        }
         return {
             "format": PARTIAL_FORMAT,
             "version": PARTIAL_VERSION,
             "method": self.method,
             "fingerprint": dict(self.fingerprint),
-            "arrays": {
-                name: {
-                    "op": self.ops[name],
-                    "dtype": str(arr.dtype),
-                    "data": encode_array(arr),
-                }
-                for name, arr in self.arrays.items()
-            },
+            "arrays": arrays_payload,
+            "checksum": content_checksum(arrays_payload),
             "counters": dict(self.counters),
             "meta": self._json_meta(),
         }
@@ -299,15 +344,37 @@ class PartialAggregate:
                 else "not a partial-aggregate payload"
             )
         version = payload.get("version")
-        if version != PARTIAL_VERSION:
+        if (
+            not isinstance(version, int)
+            or not PARTIAL_MIN_VERSION <= version <= PARTIAL_VERSION
+        ):
             raise ParameterError(
                 f"unsupported partial-aggregate version {version!r} "
-                f"(this build reads version {PARTIAL_VERSION})"
+                f"(this build reads versions "
+                f"{PARTIAL_MIN_VERSION}..{PARTIAL_VERSION})"
             )
+        arrays_payload = payload.get("arrays", {})
+        if version >= 2:
+            recorded = payload.get("checksum")
+            actual = content_checksum(arrays_payload)
+            if recorded != actual:
+                raise PartialIntegrityError(
+                    f"partial-aggregate payload failed its content checksum "
+                    f"(recorded {recorded!r}, computed {actual}): "
+                    f"bit flip or truncation in the array data"
+                )
         arrays: Dict[str, np.ndarray] = {}
         ops: Dict[str, str] = {}
-        for name, entry in payload.get("arrays", {}).items():
-            arrays[name] = decode_array(entry["data"], np.dtype(entry["dtype"]))
+        for name, entry in arrays_payload.items():
+            try:
+                arrays[name] = decode_array(entry["data"], np.dtype(entry["dtype"]))
+            except ParameterError as error:
+                # decode_array rejects byte-count mismatches (a truncated
+                # base64 body that still crc-matched cannot happen, but a
+                # version-1 payload has no crc to catch it first).
+                raise PartialIntegrityError(
+                    f"partial-aggregate array {name!r} failed to decode: {error}"
+                ) from error
             ops[name] = entry.get("op", "sum")
         return cls(
             payload["method"],

@@ -25,6 +25,29 @@ part of the pipeline rejected the input:
     A compute backend requested by name (:mod:`repro.backend`) is not
     registered or cannot be imported (e.g. ``"numba"`` without numba
     installed).
+``PartialIntegrityError``
+    A serialized :class:`~repro.distributed.PartialAggregate` payload
+    failed its content checksum (bit flip, truncation).  Subclass of
+    :class:`ParameterError`, so older ``except ParameterError`` handlers
+    keep working.
+``CheckpointCorruptError``
+    A shard checkpoint file on disk is unreadable — torn write, garbage
+    bytes, missing fields, or a failed payload checksum.  Recoverable:
+    :func:`repro.distributed.ingest_with_checkpoint` falls back to a
+    cold start when it sees this.
+``InjectedFaultError`` / ``InjectedCrashError``
+    Deterministic faults raised by an armed
+    :class:`repro.reliability.FaultPlan` at a named fault point
+    (:class:`InjectedCrashError` models a worker process dying).
+``RetryExhaustedError``
+    A :class:`repro.reliability.RetryPolicy` ran out of attempts; carries
+    the full attempt ledger.
+``ShardLostError``
+    A sharded run lost shard partials it cannot absorb (every shard
+    failed, or a shard is missing outside degraded mode).
+``SweepWorkerLostError``
+    The sweep pool lost worker tasks past the retry budget; names the
+    grid cells whose results are missing.
 
 The module also hosts :func:`require_merge_compatible` — the one place
 every merge path (sketches, frequency oracles, sessions, partial
@@ -46,6 +69,13 @@ __all__ = [
     "DataGenerationError",
     "UnknownEstimatorError",
     "BackendUnavailableError",
+    "PartialIntegrityError",
+    "CheckpointCorruptError",
+    "InjectedFaultError",
+    "InjectedCrashError",
+    "RetryExhaustedError",
+    "ShardLostError",
+    "SweepWorkerLostError",
     "require_merge_compatible",
 ]
 
@@ -83,6 +113,94 @@ class UnknownEstimatorError(ReproError, KeyError):
 
 class BackendUnavailableError(ReproError, RuntimeError):
     """A requested compute backend is unknown or cannot be imported."""
+
+
+class PartialIntegrityError(ParameterError):
+    """A partial-aggregate payload failed its content checksum."""
+
+
+class CheckpointCorruptError(ReproError, ValueError):
+    """A shard checkpoint on disk is torn, garbled, or fails its checksum.
+
+    ``path`` names the offending file; ``reason`` the failed validation.
+    """
+
+    def __init__(self, path, reason: str) -> None:
+        self.path = path
+        self.reason = str(reason)
+        super().__init__(f"corrupt shard checkpoint {path}: {reason}")
+
+    def __reduce__(self):  # crosses process-pool boundaries intact
+        return (type(self), (self.path, self.reason))
+
+
+class InjectedFaultError(ReproError, RuntimeError):
+    """A deterministic fault fired by an armed FaultPlan.
+
+    ``point`` is the fault-point name, ``context`` the call-site context
+    the firing spec matched (shard id, cursor, attempt, ...).
+    """
+
+    def __init__(self, point: str, context: Mapping[str, Any]) -> None:
+        self.point = str(point)
+        self.context = dict(context)
+        described = ", ".join(f"{k}={v!r}" for k, v in sorted(self.context.items()))
+        super().__init__(f"injected fault at {point!r} ({described or 'no context'})")
+
+    def __reduce__(self):  # crosses process-pool boundaries intact
+        return (type(self), (self.point, self.context))
+
+
+class InjectedCrashError(InjectedFaultError):
+    """An injected fault modelling a worker process dying mid-task."""
+
+
+class RetryExhaustedError(ReproError, RuntimeError):
+    """A RetryPolicy ran out of attempts.
+
+    ``operation`` names the retried work; ``attempts`` is the ledger of
+    :class:`repro.reliability.AttemptRecord` entries, one per failed
+    attempt, in order.  The final error is chained as ``__cause__``.
+    """
+
+    def __init__(self, operation: str, attempts=()) -> None:
+        self.operation = str(operation)
+        self.attempts = tuple(attempts)
+        super().__init__(
+            f"{operation}: retries exhausted after {len(self.attempts)} attempt(s)"
+        )
+
+    def __reduce__(self):  # crosses process-pool boundaries intact
+        return (type(self), (self.operation, self.attempts))
+
+
+class ShardLostError(ReproError, RuntimeError):
+    """A sharded run lost shard partials it cannot degrade around."""
+
+    def __init__(self, message: str, lost=()) -> None:
+        self.lost = tuple(lost)
+        super().__init__(message)
+
+    def __reduce__(self):  # crosses process-pool boundaries intact
+        return (type(self), (self.args[0], self.lost))
+
+
+class SweepWorkerLostError(ReproError, RuntimeError):
+    """The sweep pool lost worker tasks past the retry budget.
+
+    ``cells`` names the grid cells (dataset, method, epsilon, ...) whose
+    results are missing.
+    """
+
+    def __init__(self, message: str, cells=()) -> None:
+        self.message = str(message)
+        self.cells = tuple(cells)
+        super().__init__(
+            message + (f" [lost cells: {', '.join(map(str, cells))}]" if cells else "")
+        )
+
+    def __reduce__(self):  # crosses process-pool boundaries intact
+        return (type(self), (self.message, self.cells))
 
 
 def _values_equal(mine: Any, theirs: Any) -> bool:

@@ -91,6 +91,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--k", type=int, default=18, help="sketch depth for sketch methods")
     sweep.add_argument("--m", type=int, default=1024, help="sketch width for sketch methods")
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="attempt budget per task (absorbs injected faults, worker "
+        "deaths and broken pools without changing a single result bit)",
+    )
+    sweep.add_argument(
+        "--fault-plan",
+        type=Path,
+        default=None,
+        help="arm a deterministic fault schedule (FaultPlan JSON, see "
+        "repro.reliability) for the whole sweep",
+    )
     sweep.add_argument("--out", type=Path, default=None, help="directory for the sweep CSV")
 
     shard = sub.add_parser(
@@ -120,6 +134,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="also write every shard's PartialAggregate payload (JSON) here",
+    )
+    shard_run.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="retry budget per shard collect (repro.reliability.RetryPolicy)",
+    )
+    shard_run.add_argument(
+        "--fault-plan",
+        type=Path,
+        default=None,
+        help="arm a deterministic fault schedule (FaultPlan JSON) for the run",
+    )
+    shard_run.add_argument(
+        "--degraded",
+        action="store_true",
+        help="merge the K-f surviving shards when a shard is lost for "
+        "good, rescaling by client coverage (recorded in the result)",
     )
     shard_merge = shard_sub.add_parser(
         "merge", help="tree-merge partial payload files written by 'shard run'"
@@ -224,7 +256,19 @@ def _run_shard(args: argparse.Namespace) -> int:
     shard_kwargs = dict(
         num_shards=args.shards, seed=args.seed, strategy=args.strategy
     )
-    run = prepare_shard_run(estimator, instance, args.epsilon, **shard_kwargs)
+    reliability_kwargs = {}
+    if args.retries is not None:
+        reliability_kwargs["retries"] = args.retries
+    if args.fault_plan is not None:
+        reliability_kwargs["fault_plan"] = args.fault_plan
+    if args.degraded:
+        reliability_kwargs["degraded"] = True
+    if reliability_kwargs:
+        # Retry/fault/degraded runs go through estimate_sharded, which
+        # owns arming the plan and the per-shard retry wrapping.
+        run = None
+    else:
+        run = prepare_shard_run(estimator, instance, args.epsilon, **shard_kwargs)
     start = time.perf_counter()
     if run is not None:
         # One collection serves everything: the partials are
@@ -235,14 +279,17 @@ def _run_shard(args: argparse.Namespace) -> int:
         elapsed = time.perf_counter() - start
         single = run.finalize(merge_sequential(partials))
     else:
-        # Multi-round protocol (LDPJoinSketch+): the driver owns its
-        # rounds, so each topology is a full run.
+        # Multi-round protocols (LDPJoinSketch+) own their rounds, and
+        # retry/fault/degraded runs own their plan arming — each
+        # topology is a full run.
         tree = estimate_sharded(
-            estimator, instance, args.epsilon, merge="tree", **shard_kwargs
+            estimator, instance, args.epsilon, merge="tree",
+            **shard_kwargs, **reliability_kwargs,
         )
         elapsed = time.perf_counter() - start
         single = estimate_sharded(
-            estimator, instance, args.epsilon, merge="sequential", **shard_kwargs
+            estimator, instance, args.epsilon, merge="sequential",
+            **shard_kwargs, **reliability_kwargs,
         )
     identical = tree.estimate == single.estimate
     truth = instance.true_join_size
@@ -254,11 +301,20 @@ def _run_shard(args: argparse.Namespace) -> int:
         f"[shard] tree-merged == single-aggregator: {identical} "
         f"({elapsed:.2f}s sharded run)"
     )
+    degraded = tree.extras.get("degraded") if hasattr(tree, "extras") else None
+    if degraded:
+        coverage = degraded["coverage"]
+        print(
+            f"[shard] degraded: lost shard(s) {degraded['shards_lost']}, "
+            f"coverage A={coverage['A']:.3f} B={coverage['B']:.3f}, "
+            f"rescale x{degraded['rescale']:.3f}"
+        )
     if args.partials_dir is not None:
         if run is None:
             print(
-                f"[shard] {estimator.name} is a multi-round protocol; "
-                f"partials are internal to its rounds (nothing written)"
+                f"[shard] partials stay internal to this run mode "
+                f"(multi-round protocol, or --retries/--fault-plan/"
+                f"--degraded); nothing written"
             )
         else:
             args.partials_dir.mkdir(parents=True, exist_ok=True)

@@ -26,6 +26,19 @@ trial).  This module turns that loop into an explicit, schedulable plan:
 The engine is what the CLI's ``--workers`` flag and the figure functions
 route through; :func:`sweep_table` is the ad-hoc entry point
 (``python -m repro.experiments sweep ...``).
+
+Fault tolerance (:mod:`repro.reliability`): ``retries=`` / ``fault_plan=``
+thread a :class:`~repro.reliability.RetryPolicy` and a deterministic
+:class:`~repro.reliability.FaultPlan` through both execution paths.
+Workers arm the shipped plan on task entry and pass the ``sweep.unit`` /
+``sweep.shard`` fault points (marked *crashable*, so ``hard_crashes``
+plans produce a genuine ``BrokenProcessPool``); the parent catches broken
+pools and retryable worker errors, restarts the pool, and resubmits the
+failed task specs under the retry budget — raising
+:class:`~repro.errors.SweepWorkerLostError` naming the lost grid cells
+when the budget runs out.  Absorbable schedules leave the output
+bit-identical to a fault-free run, because every task is a pure function
+of plan data.
 """
 
 from __future__ import annotations
@@ -38,7 +51,9 @@ import numpy as np
 from ..api.registry import JoinEstimator, get_estimator
 from ..data.base import JoinInstance
 from ..data.registry import make_join_instance
-from ..errors import ParameterError
+from ..errors import ParameterError, RetryExhaustedError, SweepWorkerLostError
+from ..reliability.faults import FaultPlan, attempt_scope, fault_point, injected
+from ..reliability.retry import DEFAULT_RETRYABLE, RetryPolicy
 from ..rng import RandomState, derive_seed, ensure_rng
 from ..validation import require_positive_int
 from .harness import TrialRecord, run_seeded_trials, run_trials
@@ -467,15 +482,104 @@ def _ensure_worker_backend(name: Optional[str]) -> None:
     _WORKER_BACKEND = name
 
 
-def _execute_remote(unit: SweepUnit, estimator: JoinEstimator, ref, backend=None):
-    """Worker entry point: re-pin the backend, attach the dataset, run."""
+#: The fault-plan payload this worker last armed.  Payload-equality cache
+#: (mirroring ``_WORKER_BACKEND``): re-arming an unchanged plan on every
+#: task would reset its hit counters mid-sweep.
+_WORKER_FAULTS = None
+
+
+def _ensure_worker_faults(payload) -> None:
+    """Arm (or disarm) the parent's fault plan inside a pool worker.
+
+    Fault plans are process-wide state, so like the backend choice they
+    must be re-established in every worker: the parent ships
+    ``plan.to_dict()`` with each task and the worker arms it once.
+    """
+    global _WORKER_FAULTS
+    if payload == _WORKER_FAULTS:
+        return
+    from ..reliability.faults import arm, disarm
+
+    if payload is None:
+        disarm()
+    else:
+        arm(FaultPlan.from_dict(payload))
+    _WORKER_FAULTS = payload
+
+
+def _as_policy(retries) -> Optional[RetryPolicy]:
+    """Normalise a ``retries=`` argument (None / int / policy / payload)."""
+    if retries is None or isinstance(retries, RetryPolicy):
+        return retries
+    if isinstance(retries, dict):
+        return RetryPolicy(**retries)
+    return RetryPolicy(int(retries))
+
+
+def _as_plan(fault_plan) -> Optional[FaultPlan]:
+    """Normalise a ``fault_plan=`` argument (None / plan / JSON file path)."""
+    if fault_plan is None or isinstance(fault_plan, FaultPlan):
+        return fault_plan
+    return FaultPlan.load(fault_plan)
+
+
+def _execute_remote(
+    unit: SweepUnit,
+    estimator: JoinEstimator,
+    ref,
+    backend=None,
+    faults=None,
+    retries=None,
+    attempt: int = 0,
+):
+    """Worker entry point: re-pin the backend, attach the dataset, run.
+
+    ``attempt`` is the parent-side resubmission count — threaded into the
+    ``sweep.unit`` fault point so a crash/error spec with ``times=t``
+    stops firing once the parent has resubmitted the task ``t`` times
+    (the fault-absorption contract, across real process deaths).
+    In-worker retries (``retries``) absorb faults at the inner points
+    without a round trip to the parent.
+    """
     _ensure_worker_backend(backend)
-    return unit.index, execute_unit(unit, estimator, _instance_from_ref(ref))
+    _ensure_worker_faults(faults)
+    fault_point(
+        "sweep.unit",
+        unit=unit.index,
+        dataset=unit.dataset,
+        method=unit.method,
+        attempt=int(attempt),
+        crashable=True,
+    )
+    instance = _instance_from_ref(ref)
+    policy = _as_policy(retries)
+    # The resubmission attempt scopes the whole task: inner fault points
+    # (shard.collect, session.ingest) see it instead of per-worker hit
+    # counters, which would re-fire when a resubmission lands on a fresh
+    # worker.  An in-worker policy nests its own attempt scope inside.
+    with attempt_scope(int(attempt)):
+        if policy is None:
+            return unit.index, execute_unit(unit, estimator, instance)
+        records = policy.call(
+            lambda: execute_unit(unit, estimator, instance),
+            operation=f"sweep unit {unit.index} ({unit.dataset}/{unit.method})",
+        )
+    return unit.index, records
 
 
-def _execute_remote_tagged(unit: SweepUnit, estimator: JoinEstimator, ref, backend=None):
+def _execute_remote_tagged(
+    unit: SweepUnit,
+    estimator: JoinEstimator,
+    ref,
+    backend=None,
+    faults=None,
+    retries=None,
+    attempt: int = 0,
+):
     """Whole-unit worker task, tagged for the mixed shard/unit scheduler."""
-    index, records = _execute_remote(unit, estimator, ref, backend)
+    index, records = _execute_remote(
+        unit, estimator, ref, backend, faults, retries, attempt
+    )
     return ("unit", index, records)
 
 
@@ -542,18 +646,35 @@ def _execute_shard_remote(
     trial_seed: int,
     trial_pos: int,
     shard_index: int,
+    faults=None,
+    retries=None,
+    attempt: int = 0,
 ):
     """Shard-granular worker task: emit one trial's shard partial.
 
     The run is rebuilt deterministically from plan data (trial seed,
     shard count), so any worker produces the identical partial for
     ``(unit, trial, shard)`` — the parent tree-merges them in shard
-    order and finalises, replacing whole-trial shipping.
+    order and finalises, replacing whole-trial shipping.  ``attempt``
+    is the parent-side resubmission count (see :func:`_execute_remote`);
+    ``retries`` additionally retries the collect in-worker, with the
+    shard's RNG snapshot restored per attempt.
     """
     _ensure_worker_backend(backend)
+    _ensure_worker_faults(faults)
+    fault_point(
+        "sweep.shard",
+        unit=unit.index,
+        trial=trial_pos,
+        shard=shard_index,
+        attempt=int(attempt),
+        crashable=True,
+    )
     instance = _instance_from_ref(ref)
-    run = _prepared_shard_run(unit, estimator, instance, trial_seed)
-    return ("shard", unit.index, trial_pos, shard_index, run.collect(shard_index))
+    with attempt_scope(int(attempt)):  # see _execute_remote
+        run = _prepared_shard_run(unit, estimator, instance, trial_seed)
+        partial = run.collect(shard_index, retries=_as_policy(retries))
+    return ("shard", unit.index, trial_pos, shard_index, partial)
 
 
 #: The parent-side process pool, created lazily and reused across sweeps
@@ -588,8 +709,32 @@ def _shutdown_executor() -> None:
 # ----------------------------------------------------------------------
 # Drivers
 # ----------------------------------------------------------------------
+def _execute_unit_guarded(
+    plan: SweepPlan, unit: SweepUnit, policy: Optional[RetryPolicy]
+) -> List[TrialRecord]:
+    """In-process unit execution behind the ``sweep.unit`` fault point."""
+    estimator = plan.estimators[unit.method]
+    instance = plan.instances[unit.dataset]
+
+    def attempt() -> List[TrialRecord]:
+        fault_point(
+            "sweep.unit", unit=unit.index, dataset=unit.dataset, method=unit.method
+        )
+        return execute_unit(unit, estimator, instance)
+
+    if policy is None:
+        return attempt()
+    return policy.call(
+        attempt, operation=f"sweep unit {unit.index} ({unit.dataset}/{unit.method})"
+    )
+
+
 def iter_sweep(
-    plan: SweepPlan, *, workers: int = 1
+    plan: SweepPlan,
+    *,
+    workers: int = 1,
+    retries: Union[None, int, RetryPolicy] = None,
+    fault_plan=None,
 ) -> Iterator[Tuple[SweepUnit, List[TrialRecord]]]:
     """Execute a plan, yielding ``(unit, records)`` in plan order.
 
@@ -603,17 +748,30 @@ def iter_sweep(
     replacing whole-trial shipping.  Output is bit-identical across
     worker counts either way — every unit's (and shard's) randomness is
     fixed by the plan, not by scheduling.
+
+    ``retries`` (an attempt count or :class:`~repro.reliability.RetryPolicy`)
+    bounds how often a failed task is re-run; ``fault_plan`` (a
+    :class:`~repro.reliability.FaultPlan` or a JSON file path) arms a
+    deterministic fault schedule for the whole sweep, in-process and in
+    every worker.  A worker death (``BrokenProcessPool``) restarts the
+    pool and resubmits every in-flight task spec against the retry
+    budget; tasks still failing when it runs out raise
+    :class:`~repro.errors.SweepWorkerLostError` naming the lost grid
+    cells.  Because tasks are pure functions of plan data, any absorbed
+    failure leaves the yielded records bit-identical.
     """
     workers = require_positive_int("workers", workers)
+    policy = _as_policy(retries)
+    faults = _as_plan(fault_plan)
     if workers == 1 or (
         len(plan.units) <= 1 and not any(u.shards for u in plan.units)
     ):
-        for unit in plan.units:
-            yield unit, execute_unit(
-                unit, plan.estimators[unit.method], plan.instances[unit.dataset]
-            )
+        with injected(faults):
+            for unit in plan.units:
+                yield unit, _execute_unit_guarded(plan, unit, policy)
         return
     from concurrent.futures import FIRST_COMPLETED, wait
+    from concurrent.futures.process import BrokenProcessPool
 
     from ..distributed import merge_tree, pool_shardable
 
@@ -652,6 +810,53 @@ def iter_sweep(
         from ..backend import get_backend
 
         backend_name = get_backend().name
+        fault_payload = faults.to_dict() if faults is not None else None
+        retry_payload = policy.to_dict() if policy is not None else None
+        #: Parent-side resubmission budget per task spec.  The same
+        #: max_attempts bounds both tiers: in-worker retries absorb
+        #: raised faults, resubmission absorbs whole worker deaths.
+        max_task_attempts = policy.max_attempts if policy is not None else 1
+        spec_attempts = [0] * len(specs)
+        future_specs: Dict = {}
+
+        def _cell(spec) -> str:
+            kind, unit, _trial_seed, t, s = spec
+            label = f"{unit.dataset}/{unit.method}/eps={unit.epsilons[0]:g}"
+            if kind == "shard":
+                label += f"/trial{t}/shard{s}"
+            return label
+
+        def _submit(spec_i: int):
+            kind, unit, trial_seed, t, s = specs[spec_i]
+            estimator = plan.estimators[unit.method]
+            ref = refs[unit.dataset]
+            if kind == "unit":
+                future = pool.submit(
+                    _execute_remote_tagged,
+                    unit,
+                    estimator,
+                    ref,
+                    backend_name,
+                    fault_payload,
+                    retry_payload,
+                    spec_attempts[spec_i],
+                )
+            else:
+                future = pool.submit(
+                    _execute_shard_remote,
+                    unit,
+                    estimator,
+                    ref,
+                    backend_name,
+                    trial_seed,
+                    t,
+                    s,
+                    fault_payload,
+                    retry_payload,
+                    spec_attempts[spec_i],
+                )
+            future_specs[future] = spec_i
+            return future
 
         def _finalize_trial(unit: SweepUnit, state: dict, t: int) -> None:
             estimator = plan.estimators[unit.method]
@@ -672,29 +877,7 @@ def iter_sweep(
                 )
 
         try:
-            pending = set()
-            for kind, unit, trial_seed, t, s in specs:
-                estimator = plan.estimators[unit.method]
-                ref = refs[unit.dataset]
-                if kind == "unit":
-                    pending.add(
-                        pool.submit(
-                            _execute_remote_tagged, unit, estimator, ref, backend_name
-                        )
-                    )
-                else:
-                    pending.add(
-                        pool.submit(
-                            _execute_shard_remote,
-                            unit,
-                            estimator,
-                            ref,
-                            backend_name,
-                            trial_seed,
-                            t,
-                            s,
-                        )
-                    )
+            pending = {_submit(spec_i) for spec_i in range(len(specs))}
             while next_index < len(plan.units):
                 while next_index < len(plan.units) and next_index in results:
                     yield plan.units[next_index], results.pop(next_index)
@@ -702,8 +885,31 @@ def iter_sweep(
                 if next_index >= len(plan.units):
                     break
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                broken = False
+                resubmit: List[int] = []
+                last_error: Optional[BaseException] = None
                 for future in done:
-                    payload = future.result()
+                    spec_i = future_specs.pop(future)
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool as error:
+                        broken = True
+                        resubmit.append(spec_i)
+                        last_error = error
+                        continue
+                    except RetryExhaustedError as error:
+                        # The worker already burned the whole in-worker
+                        # budget on this task; resubmitting replays the
+                        # same deterministic schedule — terminal.
+                        raise SweepWorkerLostError(
+                            f"sweep task failed past its in-worker retry "
+                            f"budget: {error}",
+                            cells=[_cell(specs[spec_i])],
+                        ) from error
+                    except DEFAULT_RETRYABLE as error:
+                        resubmit.append(spec_i)
+                        last_error = error
+                        continue
                     if payload[0] == "unit":
                         _, index, records = payload
                         results[index] = records
@@ -714,6 +920,31 @@ def iter_sweep(
                         state["parts"][t][s] = partial
                         if len(state["parts"][t]) == unit.shards:
                             _finalize_trial(unit, state, t)
+                if broken:
+                    # A worker death breaks the whole pool: every other
+                    # in-flight future fails with it.  Reclaim their
+                    # specs, restart the pool, resubmit everything.
+                    for future in pending:
+                        resubmit.append(future_specs.pop(future))
+                    pending = set()
+                    _shutdown_executor()
+                    pool = _get_executor(min(workers, max(1, len(resubmit))))
+                if resubmit:
+                    exhausted = sorted(
+                        spec_i
+                        for spec_i in resubmit
+                        if spec_attempts[spec_i] + 1 >= max_task_attempts
+                    )
+                    if exhausted:
+                        raise SweepWorkerLostError(
+                            f"{len(exhausted)} sweep task(s) failed past the "
+                            f"retry budget (attempts={max_task_attempts}; "
+                            f"pass retries= to raise it)",
+                            cells=[_cell(specs[spec_i]) for spec_i in exhausted],
+                        ) from last_error
+                    for spec_i in resubmit:
+                        spec_attempts[spec_i] += 1
+                        pending.add(_submit(spec_i))
         except Exception:
             # A broken pool (killed worker, pickling failure) must not
             # poison later sweeps — drop the cached executor so the next
@@ -729,9 +960,20 @@ def iter_sweep(
                 pass
 
 
-def run_sweep(plan: SweepPlan, *, workers: int = 1) -> List[List[TrialRecord]]:
+def run_sweep(
+    plan: SweepPlan,
+    *,
+    workers: int = 1,
+    retries: Union[None, int, RetryPolicy] = None,
+    fault_plan=None,
+) -> List[List[TrialRecord]]:
     """Execute a plan; one record list per unit, in plan order."""
-    return [records for _, records in iter_sweep(plan, workers=workers)]
+    return [
+        records
+        for _, records in iter_sweep(
+            plan, workers=workers, retries=retries, fault_plan=fault_plan
+        )
+    ]
 
 
 def run_seeded_trials_parallel(
@@ -786,6 +1028,8 @@ def sweep_table(
     workers: int = 1,
     trial_axis: str = "exact",
     shards: Optional[int] = None,
+    retries: Union[None, int, RetryPolicy] = None,
+    fault_plan=None,
     title: str = "Sweep: (dataset x method x epsilon) accuracy grid",
     **method_options,
 ) -> ResultTable:
@@ -808,7 +1052,9 @@ def sweep_table(
         title,
         ["dataset", "method", "epsilon", "truth", "mean_estimate", "ae", "re"],
     )
-    for unit, records in iter_sweep(plan, workers=workers):
+    for unit, records in iter_sweep(
+        plan, workers=workers, retries=retries, fault_plan=fault_plan
+    ):
         for epsilon in unit.epsilons:
             stats = summarize([r for r in records if r.epsilon == epsilon])
             table.add_row(
