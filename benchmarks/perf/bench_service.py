@@ -1,0 +1,265 @@
+"""Load generator for the online aggregation service (``repro.service``).
+
+Drives the real asyncio HTTP server end to end — socket, HTTP/1.1
+parsing, admission control, WAL append + fsync, shard fold — with a
+handful of keep-alive client connections POSTing batched reports, then
+measures query latency against the published snapshot.  The numbers land
+in the ``service`` section of ``BENCH_perf.json`` (schema v5):
+
+* ``ingest_reports_per_sec`` — sustained acknowledged-report throughput
+  over the whole load phase (every report durably in the WAL before its
+  ack), the number CI's ``--min-service-ingest`` floor reads;
+* ``ingest_p50_ms`` / ``ingest_p99_ms`` — per-batch ack latency;
+* ``query_p50_ms`` / ``query_p99_ms`` — ``GET /v1/estimate`` latency
+  against the published snapshot (join-size queries);
+* ``throttled`` — 429 responses absorbed by the generator's retry loop
+  (0 under the default shape: each connection awaits its ack before the
+  next batch, so at most ``connections`` batches are ever in flight).
+
+Standalone usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_service.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.service import (
+    AggregationService,
+    ServerConfig,
+    ServiceConfig,
+    ServiceServer,
+)
+
+__all__ = ["run_service_bench", "main"]
+
+#: Total acknowledged reports of the load phase.
+FULL_REPORTS = 1_000_000
+QUICK_REPORTS = 100_000
+
+#: Reports per ``POST /v1/report`` batch (~12 KiB of JSON).
+BATCH_REPORTS = 2048
+
+#: Concurrent keep-alive client connections.
+CONNECTIONS = 4
+
+#: ``GET /v1/estimate`` samples of the query-latency phase.
+FULL_QUERIES = 1_000
+QUICK_QUERIES = 200
+
+SERVICE_SHARDS = 4
+SERVICE_SEED = 20240101
+
+
+class _Client:
+    """Minimal keep-alive HTTP/1.1 client over asyncio streams."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+
+    async def request(
+        self, method: str, target: str, body: Optional[bytes] = None
+    ) -> Tuple[int, dict, Dict[str, str]]:
+        payload = b"" if body is None else body
+        head = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"Host: {self._host}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        ).encode("ascii")
+        self._writer.write(head + payload)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        status = int(status_line.split()[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length) if length else b""
+        return status, (json.loads(raw) if raw else {}), headers
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+def _build_batches(total_reports: int) -> List[bytes]:
+    """Pre-serialised report bodies, alternating streams A and B."""
+    rng = np.random.default_rng(SERVICE_SEED)
+    batches: List[bytes] = []
+    remaining = total_reports
+    index = 0
+    while remaining > 0:
+        size = min(BATCH_REPORTS, remaining)
+        values = rng.integers(0, 1 << 16, size=size)
+        body = {
+            "tenant": "bench",
+            "stream": "A" if index % 2 == 0 else "B",
+            "values": values.tolist(),
+        }
+        batches.append(json.dumps(body).encode("ascii"))
+        remaining -= size
+        index += 1
+    return batches
+
+
+async def _drive(
+    address: Tuple[str, int],
+    batches: List[bytes],
+    latencies_ms: List[float],
+    counters: Dict[str, int],
+) -> None:
+    """One connection: POST its batch share, retrying 429s after Retry-After."""
+    client = _Client(*address)
+    await client.connect()
+    try:
+        for body in batches:
+            while True:
+                start = time.perf_counter()
+                status, _, headers = await client.request(
+                    "POST", "/v1/report", body
+                )
+                elapsed_ms = (time.perf_counter() - start) * 1e3
+                if status == 429:
+                    counters["throttled"] += 1
+                    await asyncio.sleep(float(headers.get("retry-after", "1")))
+                    continue
+                if status != 200:
+                    raise RuntimeError(f"ingest rejected with HTTP {status}")
+                latencies_ms.append(elapsed_ms)
+                break
+    finally:
+        await client.close()
+
+
+async def _run(total_reports: int, queries: int, data_dir: Path) -> dict:
+    service = AggregationService(
+        ServiceConfig(
+            data_dir=data_dir,
+            num_shards=SERVICE_SHARDS,
+            seed=SERVICE_SEED,
+        )
+    )
+    server = ServiceServer(
+        service,
+        ServerConfig(
+            port=0,
+            queue_limit=256,
+            tenant_queue_limit=256,
+            # Keep the watchdog out of the timed window: publishes are
+            # measured explicitly below, not triggered mid-load.
+            publish_threshold=1_000_000,
+        ),
+    )
+    address = await server.start()
+    try:
+        batches = _build_batches(total_reports)
+        shares: List[List[bytes]] = [[] for _ in range(CONNECTIONS)]
+        for index, body in enumerate(batches):
+            shares[index % CONNECTIONS].append(body)
+
+        ingest_ms: List[float] = []
+        counters = {"throttled": 0}
+        load_start = time.perf_counter()
+        await asyncio.gather(
+            *(_drive(address, share, ingest_ms, counters) for share in shares)
+        )
+        ingest_seconds = time.perf_counter() - load_start
+
+        client = _Client(*address)
+        await client.connect()
+        try:
+            publish_start = time.perf_counter()
+            status, snapshot, _ = await client.request("POST", "/v1/publish")
+            publish_seconds = time.perf_counter() - publish_start
+            if status != 200:
+                raise RuntimeError(f"publish failed with HTTP {status}")
+            target = "/v1/estimate?tenant=bench&kind=join&streams=A,B"
+            query_ms: List[float] = []
+            for _ in range(queries):
+                start = time.perf_counter()
+                status, _, _ = await client.request("GET", target)
+                query_ms.append((time.perf_counter() - start) * 1e3)
+                if status != 200:
+                    raise RuntimeError(f"query failed with HTTP {status}")
+        finally:
+            await client.close()
+        wal_bytes = (data_dir / "wal.log").stat().st_size
+    finally:
+        await server.shutdown()
+
+    ingest = np.asarray(ingest_ms)
+    query = np.asarray(query_ms)
+    return {
+        "n": total_reports,
+        "batch_reports": BATCH_REPORTS,
+        "batches": len(batches),
+        "connections": CONNECTIONS,
+        "shards": SERVICE_SHARDS,
+        "throttled": counters["throttled"],
+        "ingest_seconds": ingest_seconds,
+        "ingest_reports_per_sec": (
+            total_reports / ingest_seconds if ingest_seconds > 0 else float("inf")
+        ),
+        "ingest_p50_ms": float(np.percentile(ingest, 50)),
+        "ingest_p99_ms": float(np.percentile(ingest, 99)),
+        "publish_seconds": publish_seconds,
+        "snapshot_wal_records": snapshot.get("wal_records", 0),
+        "queries": len(query_ms),
+        "query_p50_ms": float(np.percentile(query, 50)),
+        "query_p99_ms": float(np.percentile(query, 99)),
+        "wal_bytes": wal_bytes,
+    }
+
+
+def run_service_bench(quick: bool = False) -> dict:
+    """Run the load generator against a fresh service; returns the section."""
+    total_reports = QUICK_REPORTS if quick else FULL_REPORTS
+    queries = QUICK_QUERIES if quick else FULL_QUERIES
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        return asyncio.run(_run(total_reports, queries, Path(tmp)))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small-n smoke mode")
+    args = parser.parse_args(argv)
+    section = run_service_bench(quick=args.quick)
+    print(json.dumps(section, indent=2, sort_keys=True))
+    print(
+        f"[bench] service ingest {section['ingest_reports_per_sec']:,.0f} "
+        f"reports/s over {section['connections']} connections "
+        f"(ack p50 {section['ingest_p50_ms']:.2f}ms, "
+        f"p99 {section['ingest_p99_ms']:.2f}ms); query p50 "
+        f"{section['query_p50_ms']:.2f}ms, p99 {section['query_p99_ms']:.2f}ms"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

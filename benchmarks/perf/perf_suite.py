@@ -37,6 +37,14 @@ every PR has a perf baseline to beat:
   concurrently in production), ``merge_seconds`` is the tree-merge cost
   of folding the K partials back, and ``identical`` certifies the merged
   accumulators are byte-identical to the single-aggregator run.
+* ``service`` (schema v5) — the online aggregation service
+  (:mod:`repro.service`) under load: a handful of keep-alive HTTP
+  connections POST batched reports through the real asyncio server
+  (socket → admission control → WAL append + fsync → shard fold),
+  recording sustained acknowledged-report throughput, per-batch ack
+  latency and ``GET /v1/estimate`` p50/p99 against the published
+  snapshot.  CI's ``--min-service-ingest`` floor reads
+  ``ingest_reports_per_sec``.
 
 :func:`run_suite` returns a JSON-compatible payload;
 :func:`validate_payload` is the schema check CI runs against the emitted
@@ -69,7 +77,7 @@ from repro.hashing import HashPairs
 from repro.hashing.kwise import MERSENNE_PRIME_31
 from repro.rng import derive_seed, ensure_rng
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Shard count of the ``distributed`` section (one tree of depth 3).
 DISTRIBUTED_SHARDS = 8
@@ -546,6 +554,18 @@ def _decode_for_bench(raw_entry) -> np.ndarray:
     return decode_array(raw_entry, np.int64)
 
 
+def _bench_service(quick: bool) -> dict:
+    """The online-service load generator (lives in :mod:`bench_service`).
+
+    Imported lazily so the suite module stays importable without the
+    benchmarks directory on ``sys.path`` being a hard requirement at
+    import time (``run_perf.py`` inserts it before calling us).
+    """
+    from bench_service import run_service_bench
+
+    return run_service_bench(quick=quick)
+
+
 # ----------------------------------------------------------------------
 # Runner + schema
 # ----------------------------------------------------------------------
@@ -580,6 +600,7 @@ def run_suite(quick: bool = False, backends_n: int = None) -> dict:
             "sweep": _bench_sweep(sweep_n, sweep_repeats),
             "backends": _bench_backends(backends_n, backends_repeats),
             "distributed": _bench_distributed(n, repeats),
+            "service": _bench_service(quick),
         },
     }
 
@@ -645,6 +666,24 @@ _SECTION_KEYS: Dict[str, Tuple[str, ...]] = {
         "merge_seconds",
         "partial_payload_bytes",
         "identical",
+    ),
+    "service": (
+        "n",
+        "batch_reports",
+        "batches",
+        "connections",
+        "shards",
+        "throttled",
+        "ingest_seconds",
+        "ingest_reports_per_sec",
+        "ingest_p50_ms",
+        "ingest_p99_ms",
+        "publish_seconds",
+        "snapshot_wal_records",
+        "queries",
+        "query_p50_ms",
+        "query_p99_ms",
+        "wal_bytes",
     ),
 }
 

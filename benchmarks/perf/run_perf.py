@@ -92,6 +92,15 @@ def main(argv=None) -> int:
         "single-aggregator throughput and the merged accumulators were "
         "byte-identical to the single-aggregator run",
     )
+    parser.add_argument(
+        "--min-service-ingest",
+        type=float,
+        default=None,
+        metavar="X",
+        help="with --validate: fail unless the service section sustained at "
+        "least X acknowledged reports/sec through the online HTTP server "
+        "(every report WAL-durable before its ack)",
+    )
     args = parser.parse_args(argv)
 
     # Flags are mode-specific; a CI edit that drops --validate must fail
@@ -106,6 +115,7 @@ def main(argv=None) -> int:
                 "--min-sharded-ingest-speedup",
                 args.min_sharded_ingest_speedup is not None,
             ),
+            ("--min-service-ingest", args.min_service_ingest is not None),
         ):
             if given:
                 parser.error(f"{flag} only applies with --validate")
@@ -188,6 +198,23 @@ def main(argv=None) -> int:
                 f"throughput, merge {distributed['merge_seconds'] * 1e3:.1f}ms, "
                 f"byte-identical"
             )
+        if args.min_service_ingest is not None:
+            service = payload["sections"]["service"]
+            if service["ingest_reports_per_sec"] < args.min_service_ingest:
+                print(
+                    f"[fail] service ingest at "
+                    f"{service['ingest_reports_per_sec']:,.0f} reports/s — "
+                    f"below the {args.min_service_ingest:,.0f}/s floor"
+                )
+                return 1
+            print(
+                f"[ok] service ingest at "
+                f"{service['ingest_reports_per_sec']:,.0f} reports/s "
+                f"(ack p50 {service['ingest_p50_ms']:.2f}ms / p99 "
+                f"{service['ingest_p99_ms']:.2f}ms; query p50 "
+                f"{service['query_p50_ms']:.2f}ms / p99 "
+                f"{service['query_p99_ms']:.2f}ms)"
+            )
         print(f"[ok] {args.validate} matches BENCH_perf schema v{payload['schema_version']}")
         return 0
 
@@ -241,6 +268,15 @@ def main(argv=None) -> int:
         f"({distributed['ingest_speedup']:.2f}x), merge "
         f"{distributed['merge_seconds'] * 1e3:.1f}ms, identical="
         f"{bool(distributed['identical'])}"
+    )
+    service = payload["sections"]["service"]
+    print(
+        f"[bench] service (n={service['n']:.0f}, "
+        f"{service['connections']:.0f} connections): ingest "
+        f"{service['ingest_reports_per_sec']:,.0f} reports/s "
+        f"(ack p50 {service['ingest_p50_ms']:.2f}ms / p99 "
+        f"{service['ingest_p99_ms']:.2f}ms), query p50 "
+        f"{service['query_p50_ms']:.2f}ms / p99 {service['query_p99_ms']:.2f}ms"
     )
     print(f"[bench] wrote {args.out}")
     return 0

@@ -36,6 +36,8 @@ PACKAGES = [
     "repro.join",
     "repro.mechanisms",
     "repro.privacy",
+    "repro.reliability",
+    "repro.service",
     "repro.sketches",
     "repro.transform",
 ]

@@ -15,6 +15,10 @@ RPR104   Privacy accounting: ``exp(epsilon)`` is computed only inside
          ``mechanisms/`` / ``privacy/`` where the budget ledger sees it.
 RPR105   Determinism smells in hot/experiment paths: unordered set
          iteration, ``dict.popitem``, wall-clock-derived seeds.
+RPR106   Async service paths stay non-blocking: no ``time.sleep``, sync
+         file I/O, or blocking HTTP clients inside ``service/`` async
+         functions, and no wall-clock-seeded logic anywhere in
+         ``service/``.
 =======  ==============================================================
 
 The rules are deliberately heuristic (static analysis of a dynamic
@@ -44,6 +48,7 @@ __all__ = [
     "BackendBypassRule",
     "PrivacyBudgetBypassRule",
     "NondeterminismSmellRule",
+    "ServiceBlockingCallRule",
 ]
 
 # Accumulator naming convention on merge-critical paths (core/,
@@ -544,3 +549,140 @@ class NondeterminismSmellRule(Rule):
                 node.right, _depth + 1
             )
         return False
+
+
+@register_rule
+class ServiceBlockingCallRule(Rule):
+    code = "RPR106"
+    name = "blocking-call-in-async-service-path"
+    rationale = (
+        "The online service's event loop owns every connection: one "
+        "blocking call (time.sleep, sync file I/O, a synchronous HTTP "
+        "client) inside an async function stalls all of them, defeating "
+        "the bounded-latency contract; real blocking work belongs in sync "
+        "helpers dispatched via run_in_executor.  Wall-clock-seeded logic "
+        "anywhere in service/ breaks the byte-identical-recovery invariant."
+    )
+
+    #: Dotted calls that block the loop wherever they appear.
+    _BLOCKING_CALLS = {
+        "time.sleep",
+        "os.fsync",
+        "os.fdatasync",
+        "os.replace",
+        "os.rename",
+    }
+
+    #: Attribute calls that are sync file I/O no matter the receiver
+    #: (Path methods and raw handles share these names).
+    _BLOCKING_ATTRS = {
+        "read_text",
+        "write_text",
+        "read_bytes",
+        "write_bytes",
+        "fsync",
+    }
+
+    #: Import roots of synchronous HTTP clients — banned from service/
+    #: entirely (even sync helpers run on the single service executor
+    #: thread, where a stuck remote call wedges every fold behind it).
+    _BLOCKING_CLIENT_ROOTS = {"requests"}
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.in_repro_package or not ctx.in_package("service"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in self._BLOCKING_CLIENT_ROOTS:
+                        yield ctx.diagnostic(
+                            node,
+                            self.code,
+                            f"synchronous HTTP client {alias.name!r} imported in "
+                            "service/; use asyncio streams (or move the call "
+                            "out of the service tier)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if node.level == 0 and module.split(".")[0] in self._BLOCKING_CLIENT_ROOTS:
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"synchronous HTTP client {module!r} imported in "
+                        "service/; use asyncio streams (or move the call out "
+                        "of the service tier)",
+                    )
+            elif isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(ctx, node)
+            elif isinstance(node, ast.Assign):
+                bound = [
+                    n
+                    for t in node.targets
+                    for n in target_names(t)
+                    if _SEED_NAME_RE.search(n)
+                ]
+                if bound and NondeterminismSmellRule._wall_clock_in(node.value):
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"wall clock bound to {bound[0]!r} in service/; the "
+                        "byte-identical-recovery invariant needs seeds derived "
+                        "from configuration + WAL sequence, never the clock",
+                    )
+
+    def _check_async_body(
+        self, ctx: FileContext, func: ast.AsyncFunctionDef
+    ) -> Iterator[Diagnostic]:
+        for node in self._async_scope(func):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in self._BLOCKING_CALLS:
+                hint = (
+                    "use asyncio.sleep"
+                    if name == "time.sleep"
+                    else "move it into a sync helper run via run_in_executor"
+                )
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"blocking call {name}() inside async {func.name!r} stalls "
+                    f"the event loop; {hint}",
+                )
+            elif name is not None and (
+                name == "open" or name.split(".")[0] in self._BLOCKING_CLIENT_ROOTS
+            ):
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"blocking call {name}() inside async {func.name!r} stalls "
+                    "the event loop; move it into a sync helper run via "
+                    "run_in_executor",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._BLOCKING_ATTRS
+            ):
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"sync file I/O .{node.func.attr}() inside async "
+                    f"{func.name!r} stalls the event loop; move it into a sync "
+                    "helper run via run_in_executor",
+                )
+
+    @staticmethod
+    def _async_scope(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """The statements that run *on the event loop* in ``func``.
+
+        Nested sync defs and lambdas are skipped — they are the
+        executor-target helpers the rule is steering work into — and
+        nested async defs get their own visit from the outer walk.
+        """
+        stack: list = list(func.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))

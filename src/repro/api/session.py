@@ -405,7 +405,7 @@ class JoinSession:
             )
         return self
 
-    def to_partial(self) -> "PartialAggregate":
+    def to_partial(self, *, include_timing: bool = True) -> "PartialAggregate":
         """This session's state as a mergeable wire partial.
 
         The partial carries the pre-transform integer accumulators, the
@@ -416,13 +416,21 @@ class JoinSession:
         digest).  Feed it to :meth:`merge`, a
         :func:`~repro.distributed.merge_tree`, or a
         :class:`~repro.distributed.ShardCheckpoint`.
+
+        ``include_timing=False`` drops the wall-clock ``offline_seconds``
+        counter — the one field of a partial that varies between
+        otherwise identical runs.  Callers that need *byte*-identical
+        payloads (the online service publishing canonical snapshots)
+        exclude it; accounting flows keep the default.
         """
         from ..distributed.partial import PartialAggregate
 
         partial = PartialAggregate(
             "join-session",
             self.shard_fingerprint(),
-            counters={"offline_seconds": self.offline_seconds},
+            counters=(
+                {"offline_seconds": self.offline_seconds} if include_timing else {}
+            ),
             meta={
                 "streams": {
                     name: {

@@ -46,10 +46,17 @@ CHECKPOINT_VERSION = 1
 
 
 class ShardCheckpoint:
-    """Atomic flush/load of one shard aggregator's partial state."""
+    """Atomic flush/load of one shard aggregator's partial state.
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    ``fsync=True`` syncs the temp file before the rename, upgrading the
+    guarantee from process-crash safety to power-loss safety — the
+    online service turns it on because its checkpoints are part of the
+    acknowledgement story; batch sweeps keep the cheap default.
+    """
+
+    def __init__(self, path: Union[str, Path], *, fsync: bool = False) -> None:
         self.path = Path(path)
+        self.fsync = bool(fsync)
 
     def flush(self, partial: PartialAggregate, *, cursor: int) -> None:
         """Write ``partial`` + ``cursor`` atomically (temp + rename)."""
@@ -67,7 +74,11 @@ class ShardCheckpoint:
             # Model a write torn mid-payload: only half the bytes land.
             text = text[: max(1, len(text) // 2)]
         tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(text)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            if self.fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
         os.replace(tmp, self.path)
 
     def load(self) -> Optional[Tuple[PartialAggregate, int]]:

@@ -161,6 +161,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None, help="write the merged partial payload here"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the crash-safe online aggregation service (repro.service)",
+        description="Start the asyncio HTTP collector: durable WAL ingest, "
+        "bounded backpressure, checkpointed shards, published snapshots; "
+        "arguments are forwarded to `python -m repro.service` verbatim.",
+    )
+    serve.add_argument(
+        "serve_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.service (--data-dir, --port, "
+        "--shards, --fault-plan, ...)",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="run the repro.analysis invariant linter (RPR101-RPR105)",
@@ -177,16 +191,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _forwarded_lint_args(argv: Optional[List[str]]) -> Optional[List[str]]:
-    """The arguments to forward when ``argv`` invokes the ``lint`` command.
+def _forwarded_args(argv: Optional[List[str]], command: str) -> Optional[List[str]]:
+    """The arguments to forward when ``argv`` invokes ``command``.
 
     Forwarding happens *before* argparse sees the command line:
     ``nargs=REMAINDER`` cannot capture a leading option (argparse tries
     to resolve ``lint --list-rules`` against the outer parser), and the
-    linter owns its own --help.
+    forwarded tool owns its own --help.
     """
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] == "lint":
+    if argv and argv[0] == command:
         return argv[1:]
     return None
 
@@ -327,11 +341,16 @@ def _run_shard(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    lint_args = _forwarded_lint_args(argv)
+    lint_args = _forwarded_args(argv, "lint")
     if lint_args is not None:
         from ..analysis import main as lint_main
 
         return lint_main(lint_args)
+    serve_args = _forwarded_args(argv, "serve")
+    if serve_args is not None:
+        from ..service.__main__ import main as serve_main
+
+        return serve_main(serve_args)
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

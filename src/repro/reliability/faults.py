@@ -135,14 +135,68 @@ class FaultSpec:
             "delay": self.delay,
         }
 
+    #: The complete field set of a serialized spec — anything else in a
+    #: hand-edited plan is a typo, not a forward-compatible extension.
+    _FIELDS = frozenset({"point", "kind", "times", "match", "delay"})
+
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "FaultSpec":
+        """Rebuild a spec, rejecting malformed payloads with typed errors.
+
+        Hand-edited plan JSON is a supported workflow (``--fault-plan``),
+        so every field is validated explicitly: unknown fields, unknown
+        kinds, non-mapping match filters and non-numeric times/delay all
+        raise :class:`~repro.errors.ParameterError` instead of leaking
+        whatever ``int()``/``dict()`` happens to throw.
+        """
+        if not isinstance(payload, Mapping):
+            raise ParameterError(
+                f"fault spec must be a mapping, got {type(payload).__name__}"
+            )
+        unknown = sorted(set(payload) - cls._FIELDS)
+        if unknown:
+            raise ParameterError(
+                f"fault spec has unknown field(s) {unknown}; expected a subset "
+                f"of {sorted(cls._FIELDS)}"
+            )
+        point = payload.get("point")
+        if not isinstance(point, str) or not point:
+            raise ParameterError(
+                f"fault spec 'point' must be a non-empty string, got {point!r}"
+            )
+        kind = payload.get("kind", "error")
+        if not isinstance(kind, str):
+            raise ParameterError(
+                f"fault spec 'kind' must be one of {FAULT_KINDS}, got {kind!r}"
+            )
+        times = payload.get("times", 1)
+        if isinstance(times, bool) or not isinstance(times, int):
+            raise ParameterError(
+                f"fault spec 'times' must be a positive int, got {times!r}"
+            )
+        match = payload.get("match", {})
+        if not isinstance(match, Mapping):
+            raise ParameterError(
+                f"fault spec 'match' must be a mapping of context fields, got "
+                f"{type(match).__name__} ({match!r})"
+            )
+        for key in match:
+            if not isinstance(key, str):
+                raise ParameterError(
+                    f"fault spec 'match' keys must be strings (context field "
+                    f"names), got {key!r}"
+                )
+        delay = payload.get("delay", 0.0)
+        if isinstance(delay, bool) or not isinstance(delay, (int, float)):
+            raise ParameterError(
+                f"fault spec 'delay' must be a number of seconds, got {delay!r}"
+            )
         return cls(
-            point=str(payload["point"]),
-            kind=str(payload.get("kind", "error")),
-            times=int(payload.get("times", 1)),
-            match=dict(payload.get("match", {})),
-            delay=float(payload.get("delay", 0.0)),
+            point=point,
+            kind=kind,  # unknown kinds rejected by __post_init__
+            times=times,
+            match=dict(match),
+            delay=float(delay),
         )
 
 
@@ -291,10 +345,21 @@ class FaultPlan:
             raise ParameterError(
                 f"unsupported fault-plan version {payload.get('version')!r}"
             )
+        specs = payload.get("specs", [])
+        if isinstance(specs, (str, bytes)) or not isinstance(specs, Sequence):
+            raise ParameterError(
+                f"fault-plan 'specs' must be a list of spec mappings, got "
+                f"{type(specs).__name__}"
+            )
+        seed = payload.get("seed")
+        if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+            raise ParameterError(
+                f"fault-plan 'seed' must be an int or null, got {seed!r}"
+            )
         return cls(
-            [FaultSpec.from_dict(entry) for entry in payload.get("specs", [])],
+            [FaultSpec.from_dict(entry) for entry in specs],
             name=str(payload.get("name", "fault-plan")),
-            seed=payload.get("seed"),
+            seed=seed,
             hard_crashes=bool(payload.get("hard_crashes", False)),
         )
 
@@ -305,7 +370,25 @@ class FaultPlan:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "FaultPlan":
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        """Load a plan file, with every failure mode a typed error.
+
+        Invalid JSON and malformed payloads (unknown kinds, bad match
+        filters, stray fields — common outcomes of hand-editing a plan)
+        raise :class:`~repro.errors.ParameterError` naming the file, so
+        ``--fault-plan typo.json`` fails with a diagnosis instead of a
+        traceback from whatever coercion broke first.
+        """
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ParameterError(
+                f"fault plan {path} is not valid JSON: {error}"
+            ) from error
+        try:
+            return cls.from_dict(payload)
+        except ParameterError as error:
+            raise ParameterError(f"fault plan {path}: {error}") from error
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -1,0 +1,35 @@
+"""Crash-safe online aggregation service over the distributed layer.
+
+The package turns the batch pieces — mergeable
+:class:`~repro.distributed.PartialAggregate`\\ s, atomic
+:class:`~repro.distributed.ShardCheckpoint`\\ s, the PR 7 fault/retry
+machinery — into a long-running HTTP collector:
+
+* :mod:`repro.service.wal` — crc32-framed append-only WAL, the
+  durability boundary every acknowledgement sits behind.
+* :mod:`repro.service.core` — the synchronous, deterministic engine:
+  WAL-sequenced folds into per-shard sessions, checkpoint cadence,
+  canonical published snapshots, crash recovery.
+* :mod:`repro.service.server` — the asyncio HTTP front-end: bounded
+  queues, per-tenant admission, 429 + Retry-After backpressure, request
+  deadlines, ``/healthz`` / ``/readyz``, graceful SIGTERM drain.
+
+Run one with ``repro-experiments serve`` or ``python -m repro.service``.
+"""
+
+from .core import AggregationService, ServiceConfig, Snapshot, batch_seed
+from .server import ServerConfig, ServiceServer, run_server
+from .wal import FSYNC_POLICIES, WalTear, WriteAheadLog
+
+__all__ = [
+    "AggregationService",
+    "ServiceConfig",
+    "Snapshot",
+    "batch_seed",
+    "ServerConfig",
+    "ServiceServer",
+    "run_server",
+    "WriteAheadLog",
+    "WalTear",
+    "FSYNC_POLICIES",
+]

@@ -1,0 +1,505 @@
+"""Deterministic engine of the online aggregation service.
+
+:class:`AggregationService` is the crash-safe, *synchronous* core the
+asyncio front-end (:mod:`repro.service.server`) wraps: it owns the WAL,
+the per-shard :class:`~repro.api.JoinSession` aggregators, their
+:class:`~repro.distributed.ShardCheckpoint`\\ s, and the published
+snapshot queries are answered from.  Everything here is a pure function
+of the report stream — no wall clock, no global RNG — which is what
+makes the headline invariant testable: kill the process at any instant,
+restart, and the next published snapshot is byte-identical to a run that
+never crashed.
+
+The determinism chain, link by link:
+
+1.  A batch is acknowledged only after its record is in the WAL; the
+    record's *sequence number* is its replay position.
+2.  The batch's client-simulation randomness is
+    ``batch_seed(service_seed, sequence)`` — a sha256 derivation, so a
+    replayed fold draws exactly the bits the dying process drew.
+3.  The batch's shard is ``sequence % num_shards``; streams are
+    namespaced ``tenant/stream`` on hash pairs shared by every shard, so
+    shard accumulators are exact integer partial sums.
+4.  Checkpoints persist ``(partial, cursor)`` where the cursor is the
+    count of WAL records folded; recovery merges the checkpoint and
+    re-folds only records at or past the cursor.  A corrupt checkpoint
+    downgrades to a cold start of that shard — the WAL replays the lot.
+5.  :meth:`AggregationService.publish` merges shard partials (timing
+    counters excluded) into one canonical-JSON payload; the snapshot
+    *is* those bytes, the digest their sha256.  Sorted-key JSON makes
+    the bytes independent of dict insertion histories.
+
+Fault points threaded for the chaos suite: ``service.ingest`` (before
+any fold mutation — retry-safe), ``service.wal.append`` (inside
+:class:`~repro.service.wal.WriteAheadLog`), ``service.merge`` and
+``service.snapshot`` (inside :meth:`publish`, which is pure and hence
+retryable), ``service.query`` (before answering — also pure).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..api.session import JoinSession
+from ..core.params import SketchParams
+from ..distributed.checkpoint import ShardCheckpoint
+from ..errors import (
+    CheckpointCorruptError,
+    ParameterError,
+    ProtocolError,
+)
+from ..reliability.faults import fault_point
+from ..reliability.retry import RetryPolicy
+from .wal import FSYNC_POLICIES, WalTear, WriteAheadLog
+
+__all__ = [
+    "AggregationService",
+    "ServiceConfig",
+    "Snapshot",
+    "batch_seed",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+]
+
+#: Marker + version of the published snapshot payload.
+SNAPSHOT_FORMAT = "repro/service-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+def batch_seed(service_seed: int, sequence: int) -> int:
+    """The client-simulation seed of WAL record ``sequence``.
+
+    A pure sha256 derivation of ``(service_seed, sequence)`` — no state,
+    no wall clock — so replaying a WAL record after a crash draws
+    exactly the randomness the original fold drew.  This is the link
+    that turns "replay the WAL" into "byte-identical accumulators".
+    """
+    material = f"repro-service:{int(service_seed)}:{int(sequence)}".encode("ascii")
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "little")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything the service derives its behaviour from.
+
+    The config is part of the determinism contract: two services started
+    with the same config over the same report stream publish the same
+    bytes.  ``data_dir`` holds the WAL (``wal.log``) and one checkpoint
+    per shard (``shard-N.ckpt``).
+    """
+
+    data_dir: Union[str, Path]
+    k: int = 16
+    m: int = 1024
+    epsilon: float = 4.0
+    num_shards: int = 4
+    seed: int = 0
+    checkpoint_interval: int = 32  #: WAL records between checkpoint flushes
+    wal_fsync: str = "always"
+    retries: int = 3  #: attempt budget of every retried internal operation
+    max_batch_reports: int = 65536  #: admission cap on one batch's size
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ParameterError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.checkpoint_interval < 1:
+            raise ParameterError(
+                f"checkpoint_interval must be >= 1, got {self.checkpoint_interval}"
+            )
+        if self.wal_fsync not in FSYNC_POLICIES:
+            raise ParameterError(
+                f"wal_fsync must be one of {FSYNC_POLICIES}, got {self.wal_fsync!r}"
+            )
+        if self.retries < 1:
+            raise ParameterError(f"retries must be >= 1, got {self.retries}")
+        if self.max_batch_reports < 1:
+            raise ParameterError(
+                f"max_batch_reports must be >= 1, got {self.max_batch_reports}"
+            )
+
+    @property
+    def params(self) -> SketchParams:
+        return SketchParams(self.k, self.m, self.epsilon)
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One published snapshot: canonical bytes plus their identity.
+
+    ``payload_bytes`` is the canonical JSON (sorted keys, compact
+    separators) of the merged, timing-free partial; ``digest`` its
+    sha256.  Byte-identical recovery means byte-identical
+    ``payload_bytes`` — the chaos suite compares exactly these.
+    """
+
+    digest: str
+    wal_records: int  #: WAL records folded into this snapshot
+    payload_bytes: bytes
+    session: JoinSession = field(repr=False, compare=False)
+
+    def info(self) -> dict:
+        """JSON-compatible identity (no payload) for status endpoints."""
+        return {
+            "digest": self.digest,
+            "wal_records": self.wal_records,
+            "payload_size": len(self.payload_bytes),
+            "streams": list(self.session.streams()),
+        }
+
+
+class AggregationService:
+    """Crash-safe aggregation over WAL-durable LDP report batches.
+
+    Lifecycle: construct, :meth:`start` (recovers WAL + checkpoints),
+    then any interleaving of :meth:`ingest`, :meth:`publish` and the
+    query methods; :meth:`close` flushes and releases files.  All
+    methods are synchronous and single-threaded by design — the asyncio
+    server serialises ingest through one worker coroutine, which is what
+    assigns WAL sequence numbers a total order.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.data_dir = Path(config.data_dir)
+        self.wal = WriteAheadLog(self.data_dir / "wal.log", fsync=config.wal_fsync)
+        # One coordinator owns the published hash pairs; every shard is
+        # spawned from it so integer accumulators sum exactly.
+        self._coordinator = JoinSession(config.params, seed=config.seed)
+        self._shards: List[JoinSession] = [
+            self._coordinator.spawn_shard() for _ in range(config.num_shards)
+        ]
+        self._checkpoints = [
+            ShardCheckpoint(self.data_dir / f"shard-{index}.ckpt", fsync=True)
+            for index in range(config.num_shards)
+        ]
+        self._retry = RetryPolicy(config.retries, seed=config.seed)
+        self._folded = 0  # WAL records folded into shard sessions
+        self._snapshot: Optional[Snapshot] = None
+        self._started = False
+        self.recovery: Optional[dict] = None
+        self.tenants: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> dict:
+        """Recover WAL + checkpoints; returns the recovery summary.
+
+        Safe on a cold directory (starts empty) and after any crash:
+        torn WAL tails are truncated, corrupt shard checkpoints downgrade
+        to cold starts, and every intact WAL record at or past a shard's
+        checkpoint cursor is re-folded with its original derived seed.
+        """
+        records, tear = self.wal.recover()
+        cold_starts: List[dict] = []
+        cursors: List[int] = []
+        for index, checkpoint in enumerate(self._checkpoints):
+            cursor = 0
+            try:
+                state = checkpoint.load()
+            except CheckpointCorruptError as error:
+                cold_starts.append({"shard": index, "reason": error.reason})
+                state = None
+            if state is not None:
+                partial, cursor = state
+                # A checkpoint ahead of the WAL can only happen under
+                # fsync policies weaker than the checkpoint's; the WAL is
+                # the acknowledgement boundary, so it wins: drop the
+                # checkpoint and re-fold from the log.
+                if cursor > len(records):
+                    cold_starts.append(
+                        {
+                            "shard": index,
+                            "reason": (
+                                f"checkpoint cursor {cursor} ahead of the "
+                                f"{len(records)}-record WAL"
+                            ),
+                        }
+                    )
+                    cursor = 0
+                else:
+                    self._shards[index].merge(partial)
+            cursors.append(cursor)
+        replayed = 0
+        for sequence, record in enumerate(records):
+            self._count_tenant(record)
+            shard_index = sequence % self.config.num_shards
+            if sequence < cursors[shard_index]:
+                continue  # already inside this shard's checkpoint
+            self._fold(record, sequence)
+            replayed += 1
+        self._folded = len(records)
+        self._started = True
+        self.recovery = {
+            "wal_records": len(records),
+            "replayed": replayed,
+            "torn_tail": None if tear is None else tear.to_dict(),
+            "cold_starts": cold_starts,
+        }
+        return self.recovery
+
+    def flush(self) -> None:
+        """Durability barrier: fsync the WAL, checkpoint every shard."""
+        self._require_started()
+        self.wal.sync()
+        for shard, checkpoint in zip(self._shards, self._checkpoints):
+            checkpoint.flush(shard.to_partial(), cursor=self._folded)
+
+    def close(self) -> None:
+        """Flush state and release the WAL handle (idempotent)."""
+        if self._started:
+            self.flush()
+        self.wal.close()
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise ProtocolError(
+                "service not started; call start() to recover WAL + checkpoints"
+            )
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        tenant: str,
+        stream: str,
+        values: Sequence[int],
+        *,
+        attribute: int = 0,
+    ) -> dict:
+        """Durably ingest one report batch; returns the acknowledgement.
+
+        The batch is validated, appended to the WAL (the acknowledgement
+        boundary — once :meth:`~repro.service.wal.WriteAheadLog.append`
+        returns, a crash cannot lose it), then folded into its shard
+        under the retry policy.  The fold's ``service.ingest`` fault
+        point fires *before* any mutation, so an absorbed fault re-runs
+        the fold cleanly.
+        """
+        self._require_started()
+        record = self._validate_batch(tenant, stream, values, attribute)
+        sequence = self.wal.append(record)
+        self._folded = sequence + 1
+        self._count_tenant(record)
+        self._retry.call(
+            lambda: self._fold(record, sequence),
+            operation=f"service.ingest[{sequence}]",
+        )
+        if (sequence + 1) % self.config.checkpoint_interval == 0:
+            self.flush()
+        return {
+            "sequence": sequence,
+            "shard": sequence % self.config.num_shards,
+            "reports": len(record["values"]),
+        }
+
+    def _validate_batch(
+        self, tenant: str, stream: str, values: Sequence[int], attribute: int
+    ) -> dict:
+        if not tenant or not isinstance(tenant, str):
+            raise ParameterError(f"tenant must be a non-empty string, got {tenant!r}")
+        if "/" in tenant:
+            raise ParameterError(
+                f"tenant must not contain '/' (reserved for stream "
+                f"namespacing), got {tenant!r}"
+            )
+        if not stream or not isinstance(stream, str):
+            raise ParameterError(f"stream must be a non-empty string, got {stream!r}")
+        self._coordinator.params_for(int(attribute))  # bounds check
+        try:
+            array = np.asarray(values, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError) as error:
+            raise ParameterError(f"batch values must be integers: {error}") from error
+        if array.ndim != 1 or array.size == 0:
+            raise ParameterError(
+                f"batch values must be a non-empty 1-D sequence, got shape "
+                f"{array.shape}"
+            )
+        if array.size > self.config.max_batch_reports:
+            raise ParameterError(
+                f"batch holds {array.size} reports, over the "
+                f"{self.config.max_batch_reports}-report admission cap; split it"
+            )
+        return {
+            "tenant": tenant,
+            "stream": stream,
+            "attribute": int(attribute),
+            "values": array.tolist(),
+        }
+
+    def _fold(self, record: Mapping[str, Any], sequence: int) -> None:
+        """Fold one WAL record into its shard (pure given the record)."""
+        shard_index = sequence % self.config.num_shards
+        fault_point(
+            "service.ingest",
+            sequence=int(sequence),
+            shard=shard_index,
+            tenant=str(record["tenant"]),
+        )
+        self._shards[shard_index].collect(
+            f"{record['tenant']}/{record['stream']}",
+            np.asarray(record["values"], dtype=np.int64),
+            attribute=int(record["attribute"]),
+            seed=batch_seed(self.config.seed, sequence),
+        )
+
+    def _count_tenant(self, record: Mapping[str, Any]) -> None:
+        stats = self.tenants.setdefault(
+            str(record["tenant"]), {"batches": 0, "reports": 0}
+        )
+        stats["batches"] += 1
+        stats["reports"] += len(record["values"])
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(self) -> dict:
+        """Merge shard state into a new published snapshot.
+
+        Pure over the shard sessions — building the merged session
+        allocates fresh state, so injected faults at ``service.merge`` /
+        ``service.snapshot`` are absorbed by a clean re-run.  The
+        snapshot payload is canonical JSON with timing counters excluded
+        (wall-clock accounting is real but not part of the published
+        identity), which is what makes crash recovery *byte*-identical
+        rather than merely value-identical.
+        """
+        self._require_started()
+        snapshot = self._retry.call(self._build_snapshot, operation="service.publish")
+        self._snapshot = snapshot
+        return snapshot.info()
+
+    def _build_snapshot(self) -> Snapshot:
+        fault_point("service.merge", shards=self.config.num_shards)
+        merged = JoinSession(self.config.params, pairs=self._coordinator.pairs)
+        for shard in self._shards:
+            merged.merge(shard.to_partial(include_timing=False))
+        fault_point("service.snapshot", wal_records=self._folded)
+        payload = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "wal_records": self._folded,
+            "partial": merged.to_partial(include_timing=False).to_dict(),
+        }
+        payload_bytes = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return Snapshot(
+            digest=hashlib.sha256(payload_bytes).hexdigest(),
+            wal_records=self._folded,
+            payload_bytes=payload_bytes,
+            session=merged,
+        )
+
+    @property
+    def snapshot(self) -> Optional[Snapshot]:
+        """The latest published snapshot, or ``None`` before the first."""
+        return self._snapshot
+
+    def pending_records(self) -> int:
+        """WAL records folded since the last published snapshot."""
+        published = 0 if self._snapshot is None else self._snapshot.wal_records
+        return self._folded - published
+
+    # ------------------------------------------------------------------
+    # Queries (answered from the published snapshot)
+    # ------------------------------------------------------------------
+    def _published_session(self) -> JoinSession:
+        if self._snapshot is None:
+            raise ProtocolError(
+                "no snapshot published yet; POST /v1/publish (or wait for the "
+                "publisher) before querying"
+            )
+        return self._snapshot.session
+
+    @staticmethod
+    def _qualify(tenant: str, stream: str) -> str:
+        return f"{tenant}/{stream}"
+
+    def estimate(self, tenant: str, stream_a: str, stream_b: str) -> dict:
+        """Eq. (5) join-size estimate between two of a tenant's streams."""
+        session = self._published_session()
+
+        def run() -> dict:
+            fault_point("service.query", kind="estimate", tenant=str(tenant))
+            result = session.estimate(
+                self._qualify(tenant, stream_a), self._qualify(tenant, stream_b)
+            )
+            return {
+                "estimate": float(result.estimate),
+                "num_reports": int(result.extras["num_reports"]),
+                "streams": [stream_a, stream_b],
+                "snapshot_digest": self._snapshot.digest,
+            }
+
+        return self._retry.call(run, operation="service.query.estimate")
+
+    def estimate_chain(self, tenant: str, streams: Sequence[str]) -> dict:
+        """Eq. (27) chain-join estimate over a tenant's streams."""
+        session = self._published_session()
+
+        def run() -> dict:
+            fault_point("service.query", kind="chain", tenant=str(tenant))
+            result = session.estimate_chain(
+                [self._qualify(tenant, name) for name in streams]
+            )
+            return {
+                "estimate": float(result.estimate),
+                "num_reports": int(result.extras["num_reports"]),
+                "streams": list(streams),
+                "snapshot_digest": self._snapshot.digest,
+            }
+
+        return self._retry.call(run, operation="service.query.chain")
+
+    def frequencies(
+        self,
+        tenant: str,
+        stream: str,
+        values: Sequence[int],
+        *,
+        method: str = "mean",
+    ) -> dict:
+        """Theorem 7 frequency estimates against one published stream."""
+        session = self._published_session()
+
+        def run() -> dict:
+            fault_point("service.query", kind="frequencies", tenant=str(tenant))
+            estimates = session.frequencies(
+                self._qualify(tenant, stream),
+                np.asarray(values, dtype=np.int64),
+                method=method,
+            )
+            return {
+                "frequencies": [float(v) for v in estimates],
+                "values": [int(v) for v in values],
+                "stream": stream,
+                "snapshot_digest": self._snapshot.digest,
+            }
+
+        return self._retry.call(run, operation="service.query.frequencies")
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """JSON-compatible operational summary for status endpoints."""
+        return {
+            "started": self._started,
+            "wal_records": self._folded,
+            "wal_bytes": self.wal.size_bytes(),
+            "num_shards": self.config.num_shards,
+            "pending_records": self.pending_records() if self._started else 0,
+            "snapshot": None if self._snapshot is None else self._snapshot.info(),
+            "tenants": {name: dict(stats) for name, stats in self.tenants.items()},
+            "recovery": self.recovery,
+        }

@@ -1,0 +1,273 @@
+"""Append-only write-ahead log: the service's durability boundary.
+
+Every report batch the service *acknowledges* is first appended here —
+one crc32-framed record per batch — so a ``kill -9`` at any instant
+loses at most work the client was never told succeeded.  On restart the
+log replays in order; per-batch randomness is derived from the record's
+*sequence number* (see :func:`repro.service.core.batch_seed`), so the
+replayed fold is byte-identical to the fold the dying process performed.
+
+Frame format (little-endian)::
+
+    +----+----------+----------+------------------+
+    | RW | len: u32 | crc: u32 | payload (len B)  |
+    +----+----------+----------+------------------+
+
+``payload`` is the canonical JSON of the record (sorted keys, fixed
+separators); ``crc`` is the crc32 of the payload bytes.  A crash mid
+``write`` leaves a *torn tail*: a final frame whose magic, length, crc
+or byte count does not check out.  :meth:`WriteAheadLog.recover` reads
+every intact frame, stops cleanly at the first damaged one, and (by
+default) truncates the file back to the last intact frame boundary so
+subsequent appends continue from a clean edge.  Torn bytes are counted
+and reported — a tear can only hold a record that was never
+acknowledged, so dropping it is correct, but it must never be silent.
+
+Durability knob (``fsync=``):
+
+``"always"``
+    ``os.fsync`` after every append — an acknowledged batch survives
+    power loss, not just process death.  The default.
+``"batch"``
+    Data is flushed to the OS on every append (survives ``kill -9``)
+    but fsynced only at :meth:`WriteAheadLog.sync` barriers — the
+    service calls one before each checkpoint flush.
+``"never"``
+    No fsync at all; survives process death only.  For tests and
+    benchmarks chasing the no-durability ceiling.
+
+Fault points: ``service.wal.append`` fires before the frame is written.
+``torn-write`` / ``corrupt`` specs damage the frame bytes (truncate /
+flip one payload byte) and then raise
+:class:`~repro.errors.InjectedCrashError`: a torn or corrupt frame can
+only exist because the writer died mid-write, so the injection models
+the whole event — damage on disk, process gone — and the chaos suite
+restarts from the damaged file exactly as production would.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, List, Mapping, Optional, Tuple, Union
+
+from ..errors import InjectedCrashError, ParameterError
+from ..reliability.faults import fault_point
+
+__all__ = ["WriteAheadLog", "WalTear", "FSYNC_POLICIES"]
+
+#: Two magic bytes opening every frame.
+_MAGIC = b"RW"
+
+#: Frame header layout after the magic: payload length, payload crc32.
+_HEADER = struct.Struct("<II")
+
+#: Supported fsync policies, strictest first.
+FSYNC_POLICIES = ("always", "batch", "never")
+
+#: Refuse to read frames claiming more than this many payload bytes —
+#: a corrupt length field must not trigger a gigabyte allocation.
+_MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class WalTear:
+    """One damaged tail: where the log stopped replaying and why."""
+
+    offset: int  #: byte offset of the first damaged frame
+    dropped_bytes: int  #: bytes past the offset that were discarded
+    reason: str  #: human-readable damage description
+
+    def to_dict(self) -> dict:
+        return {
+            "offset": self.offset,
+            "dropped_bytes": self.dropped_bytes,
+            "reason": self.reason,
+        }
+
+
+class WriteAheadLog:
+    """Crc32-framed append-only record log with torn-tail recovery.
+
+    Construction does not touch the file; call :meth:`recover` (which
+    creates it when absent) before the first :meth:`append` so the
+    in-memory sequence counter agrees with the bytes on disk.
+    """
+
+    def __init__(self, path: Union[str, Path], *, fsync: str = "always") -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ParameterError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        self.path = Path(path)
+        self.fsync = fsync
+        self._file = None
+        self._sequence = 0  # records currently in the file
+        self._recovered = False
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _scan(self, data: bytes) -> Tuple[List[dict], int, Optional[WalTear]]:
+        """Parse ``data`` into records; stop at the first damaged frame."""
+        records: List[dict] = []
+        offset = 0
+        total = len(data)
+        while offset < total:
+            head = offset
+            if total - offset < len(_MAGIC) + _HEADER.size:
+                return records, head, WalTear(
+                    head, total - head, "truncated frame header"
+                )
+            if data[offset : offset + 2] != _MAGIC:
+                return records, head, WalTear(head, total - head, "bad frame magic")
+            offset += 2
+            length, crc = _HEADER.unpack_from(data, offset)
+            offset += _HEADER.size
+            if length > _MAX_FRAME_BYTES:
+                return records, head, WalTear(
+                    head, total - head, f"implausible frame length {length}"
+                )
+            if total - offset < length:
+                return records, head, WalTear(
+                    head,
+                    total - head,
+                    f"truncated payload ({total - offset} of {length} bytes)",
+                )
+            payload = data[offset : offset + length]
+            offset += length
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                return records, head, WalTear(
+                    head, total - head, "payload crc32 mismatch"
+                )
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                return records, head, WalTear(
+                    head, total - head, f"payload not valid JSON ({error})"
+                )
+            records.append(record)
+        return records, offset, None
+
+    def recover(self, *, truncate: bool = True) -> Tuple[List[dict], Optional[WalTear]]:
+        """Replay every intact record; optionally trim a damaged tail.
+
+        Returns ``(records, tear)`` where ``tear`` is ``None`` for a
+        clean log.  With ``truncate=True`` (default) the file is cut
+        back to the last intact frame so :meth:`append` continues from a
+        clean boundary; a tear holds at most never-acknowledged data, so
+        trimming is safe.  Also (re)initialises the sequence counter —
+        call this once before the first append.
+        """
+        self.close()
+        if self.path.exists():
+            data = self.path.read_bytes()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            data = b""
+        records, good_offset, tear = self._scan(data)
+        if tear is not None and truncate:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_offset)
+                fh.flush()
+                os.fsync(fh.fileno())
+        self._sequence = len(records)
+        self._recovered = True
+        return records, tear
+
+    def replay(self) -> Iterator[Tuple[int, dict]]:
+        """``(sequence, record)`` pairs of every intact frame on disk."""
+        if self.path.exists():
+            records, _, _ = self._scan(self.path.read_bytes())
+            yield from enumerate(records)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _handle(self):
+        if self._file is None:
+            if not self._recovered:
+                raise ParameterError(
+                    f"WAL {self.path} used before recover(); call recover() so "
+                    f"the sequence counter matches the bytes on disk"
+                )
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "ab")
+        return self._file
+
+    def append(self, record: Mapping[str, Any]) -> int:
+        """Durably append one record; returns its sequence number.
+
+        The returned sequence is the record's replay position (0-based)
+        — the same number :func:`repro.service.core.batch_seed` derives
+        the batch randomness from, which is what makes replay
+        byte-identical.
+        """
+        payload = json.dumps(
+            dict(record), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        frame = (
+            _MAGIC
+            + _HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+            + payload
+        )
+        sequence = self._sequence
+        spec = fault_point(
+            "service.wal.append", sequence=sequence, bytes=len(frame)
+        )
+        fh = self._handle()
+        if spec is not None and spec.kind in ("torn-write", "corrupt"):
+            if spec.kind == "torn-write":
+                damaged = frame[: max(1, len(frame) // 2)]
+            else:
+                flip = len(_MAGIC) + _HEADER.size  # first payload byte
+                damaged = frame[:flip] + bytes([frame[flip] ^ 0xFF]) + frame[flip + 1 :]
+            fh.write(damaged)
+            fh.flush()
+            os.fsync(fh.fileno())
+            # A torn/corrupt frame only exists because the writer died
+            # mid-write; model the whole event so the chaos suite
+            # restarts from the damaged file exactly as production would.
+            raise InjectedCrashError(
+                "service.wal.append", {"sequence": sequence, "kind": spec.kind}
+            )
+        fh.write(frame)
+        fh.flush()
+        if self.fsync == "always":
+            os.fsync(fh.fileno())
+        self._sequence += 1
+        return sequence
+
+    def sync(self) -> None:
+        """Durability barrier: fsync pending bytes (``batch`` policy)."""
+        if self._file is not None and self.fsync != "never":
+            os.fsync(self._file.fileno())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Records appended (valid only after :meth:`recover`)."""
+        return self._sequence
+
+    def size_bytes(self) -> int:
+        """Current on-disk size of the log."""
+        return self.path.stat().st_size if self.path.exists() else 0
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            if self.fsync != "never":
+                os.fsync(self._file.fileno())
+            self._file.close()
+            self._file = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WriteAheadLog(path={str(self.path)!r}, fsync={self.fsync!r}, "
+            f"records={self._sequence})"
+        )

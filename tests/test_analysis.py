@@ -149,6 +149,32 @@ BAD_FIXTURES = [
         "import time\nrun(seed=time.time_ns())\n",
         1,
     ),
+    ("RPR106", "repro/service/x1.py", "import requests\n", 1),
+    ("RPR106", "repro/service/x2.py", "from requests import get\n", 1),
+    (
+        "RPR106",
+        "repro/service/x3.py",
+        "import time\nasync def handle():\n    time.sleep(1)\n",
+        1,
+    ),
+    (
+        "RPR106",
+        "repro/service/x4.py",
+        "async def handle(path):\n    path.write_text('x')\n",
+        1,
+    ),
+    (
+        "RPR106",
+        "repro/service/x5.py",
+        "async def handle():\n    with open('f') as fh:\n        pass\n",
+        1,
+    ),
+    (
+        "RPR106",
+        "repro/service/x6.py",
+        "import time\nseed = int(time.time())\n",
+        1,
+    ),
 ]
 
 GOOD_FIXTURES = [
@@ -180,6 +206,27 @@ GOOD_FIXTURES = [
     ("RPR105", "repro/experiments/gn.py", "for item in sorted(set(items)):\n    work(item)\n"),
     ("RPR105", "repro/api/go.py", "for item in set(items):\n    work(item)\n"),
     ("RPR105", "repro/core/gp.py", "import time\nelapsed = time.time() - start\n"),
+    # RPR106: async-safe sleep, sync helpers (the executor runs those),
+    # blocking work behind run_in_executor, and non-service packages.
+    (
+        "RPR106",
+        "repro/service/gq.py",
+        "import asyncio\nasync def handle():\n    await asyncio.sleep(0)\n",
+    ),
+    (
+        "RPR106",
+        "repro/service/gr.py",
+        "import os\ndef barrier(fh):\n    os.fsync(fh.fileno())\n",
+    ),
+    (
+        "RPR106",
+        "repro/service/gs.py",
+        "async def handle(loop, executor):\n"
+        "    def work(path):\n"
+        "        return path.read_bytes()\n"
+        "    await loop.run_in_executor(executor, work, p)\n",
+    ),
+    ("RPR106", "repro/experiments/gt.py", "import requests\n"),
 ]
 
 

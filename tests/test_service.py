@@ -1,0 +1,741 @@
+"""Tests for :mod:`repro.service` — WAL, engine, HTTP front-end, CLI.
+
+The contract under test is the service's headline invariant: every
+acknowledged batch is WAL-durable, and restarting from any crash point
+republishes a snapshot *byte-identical* to a run that never crashed.
+The chaos-schedule half of that claim lives in
+``test_service_chaos.py``; this file covers the deterministic layers —
+frame parsing and torn-tail recovery, checkpoint interplay, batch
+validation, snapshot canonicalisation, the asyncio server's admission
+control and lifecycle, and the ``serve`` CLI wiring.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.api import JoinSession
+from repro.core import SketchParams
+from repro.distributed import PartialAggregate
+from repro.errors import (
+    InjectedCrashError,
+    ParameterError,
+    PartialIntegrityError,
+    ProtocolError,
+)
+from repro.reliability import FaultPlan, FaultSpec
+from repro.reliability.faults import injected
+from repro.service import (
+    AggregationService,
+    FSYNC_POLICIES,
+    ServerConfig,
+    ServiceConfig,
+    ServiceServer,
+    WriteAheadLog,
+)
+from repro.service.core import SNAPSHOT_FORMAT, SNAPSHOT_VERSION, batch_seed
+
+TENANT = "acme"
+
+
+def make_batches(num_batches: int = 10, reports: int = 40, seed: int = 3):
+    """A deterministic workload: alternating streams A and B."""
+    rng = np.random.default_rng(seed)
+    return [
+        (TENANT, "A" if i % 2 == 0 else "B", rng.integers(0, 64, size=reports))
+        for i in range(num_batches)
+    ]
+
+
+def make_config(data_dir, **overrides) -> ServiceConfig:
+    base = dict(
+        data_dir=data_dir,
+        k=3,
+        m=32,
+        epsilon=2.0,
+        num_shards=3,
+        seed=11,
+        checkpoint_interval=4,
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+def run_to_digest(data_dir, batches, **overrides) -> str:
+    """Fault-free reference run: ingest everything, publish, digest."""
+    service = AggregationService(make_config(data_dir, **overrides))
+    service.start()
+    for tenant, stream, values in batches:
+        service.ingest(tenant, stream, values)
+    service.publish()
+    digest = service.snapshot.digest
+    service.close()
+    return digest
+
+
+# ---------------------------------------------------------------------------
+# Write-ahead log
+# ---------------------------------------------------------------------------
+class TestWriteAheadLog:
+    def test_append_replay_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        records, tear = wal.recover()
+        assert records == [] and tear is None
+        payloads = [{"n": i, "values": [i, i + 1]} for i in range(3)]
+        for i, record in enumerate(payloads):
+            assert wal.append(record) == i
+        assert len(wal) == 3
+        assert list(wal.replay()) == list(enumerate(payloads))
+        wal.close()
+        reopened = WriteAheadLog(tmp_path / "wal.log")
+        records, tear = reopened.recover()
+        assert records == payloads and tear is None
+        assert reopened.append({"n": 3}) == 3
+
+    def test_append_before_recover_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        with pytest.raises(ParameterError, match="recover"):
+            wal.append({"n": 0})
+
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ParameterError, match="fsync"):
+            WriteAheadLog(tmp_path / "wal.log", fsync="sometimes")
+        assert set(FSYNC_POLICIES) == {"always", "batch", "never"}
+
+    def _filled_wal(self, path, n=4) -> list:
+        wal = WriteAheadLog(path)
+        wal.recover()
+        records = [{"n": i} for i in range(n)]
+        for record in records:
+            wal.append(record)
+        wal.close()
+        return records
+
+    def test_torn_tail_truncated(self, tmp_path):
+        path = tmp_path / "wal.log"
+        records = self._filled_wal(path)
+        clean_size = path.stat().st_size
+        # A frame that claims 100 payload bytes but only wrote 10: the
+        # classic power-cut tear.
+        with open(path, "ab") as fh:
+            fh.write(b"RW" + struct.pack("<II", 100, 0) + b"0123456789")
+        wal = WriteAheadLog(path)
+        recovered, tear = wal.recover()
+        assert recovered == records
+        assert tear is not None and "truncated payload" in tear.reason
+        assert tear.offset == clean_size
+        assert path.stat().st_size == clean_size  # tail trimmed
+        assert wal.append({"n": len(records)}) == len(records)
+
+    def test_crc_mismatch_stops_replay(self, tmp_path):
+        path = tmp_path / "wal.log"
+        records = self._filled_wal(path)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip the last payload byte of the last frame
+        path.write_bytes(bytes(data))
+        recovered, tear = WriteAheadLog(path).recover()
+        assert recovered == records[:-1]
+        assert tear is not None and "crc32" in tear.reason
+
+    def test_bad_magic_stops_replay(self, tmp_path):
+        path = tmp_path / "wal.log"
+        records = self._filled_wal(path)
+        with open(path, "ab") as fh:
+            fh.write(b"XX" + struct.pack("<II", 2, 0) + b"{}")
+        recovered, tear = WriteAheadLog(path).recover()
+        assert recovered == records
+        assert tear is not None and "magic" in tear.reason
+
+    def test_implausible_length_guard(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._filled_wal(path, n=1)
+        with open(path, "ab") as fh:
+            fh.write(b"RW" + struct.pack("<II", 0xFFFFFFF0, 0))
+        recovered, tear = WriteAheadLog(path).recover()
+        assert len(recovered) == 1
+        assert tear is not None and "implausible" in tear.reason
+
+    def test_recover_without_truncate_preserves_bytes(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._filled_wal(path)
+        with open(path, "ab") as fh:
+            fh.write(b"garbage")
+        damaged_size = path.stat().st_size
+        _, tear = WriteAheadLog(path).recover(truncate=False)
+        assert tear is not None
+        assert path.stat().st_size == damaged_size
+
+    @pytest.mark.parametrize("kind", ["torn-write", "corrupt"])
+    def test_injected_write_damage_is_recoverable(self, tmp_path, kind):
+        """torn-write/corrupt specs damage the frame then kill the writer."""
+        path = tmp_path / "wal.log"
+        records = self._filled_wal(path)
+        wal = WriteAheadLog(path)
+        wal.recover()
+        plan = FaultPlan(
+            [FaultSpec(point="service.wal.append", kind=kind, times=1)]
+        )
+        with injected(plan):
+            with pytest.raises(InjectedCrashError):
+                wal.append({"n": 99})
+        wal.close()
+        # The restart path: damage is on disk, recovery trims it away and
+        # the record was never acknowledged, so dropping it is correct.
+        recovered, tear = WriteAheadLog(path).recover()
+        assert recovered == records
+        assert tear is not None
+
+
+# ---------------------------------------------------------------------------
+# Engine: config, ingest, recovery, snapshots
+# ---------------------------------------------------------------------------
+class TestServiceConfig:
+    @pytest.mark.parametrize(
+        "overrides,message",
+        [
+            (dict(num_shards=0), "num_shards"),
+            (dict(checkpoint_interval=0), "checkpoint_interval"),
+            (dict(wal_fsync="maybe"), "wal_fsync"),
+            (dict(retries=0), "retries"),
+            (dict(max_batch_reports=0), "max_batch_reports"),
+        ],
+    )
+    def test_invalid_config_rejected(self, tmp_path, overrides, message):
+        with pytest.raises(ParameterError, match=message):
+            make_config(tmp_path, **overrides)
+
+    def test_batch_seed_is_deterministic_and_distinct(self):
+        assert batch_seed(11, 0) == batch_seed(11, 0)
+        seeds = {batch_seed(11, sequence) for sequence in range(64)}
+        assert len(seeds) == 64
+        assert batch_seed(11, 0) != batch_seed(12, 0)
+
+
+class TestAggregationService:
+    def test_ingest_acknowledgement(self, tmp_path):
+        service = AggregationService(make_config(tmp_path))
+        service.start()
+        ack = service.ingest(TENANT, "A", [1, 2, 3])
+        assert ack == {"sequence": 0, "shard": 0, "reports": 3}
+        ack = service.ingest(TENANT, "B", [4, 5])
+        assert ack == {"sequence": 1, "shard": 1, "reports": 2}
+        assert service.pending_records() == 2
+        status = service.status()
+        assert status["wal_records"] == 2
+        assert status["tenants"][TENANT] == {"batches": 2, "reports": 5}
+        service.close()
+
+    def test_ingest_requires_start(self, tmp_path):
+        service = AggregationService(make_config(tmp_path))
+        with pytest.raises(ProtocolError, match="start"):
+            service.ingest(TENANT, "A", [1])
+
+    @pytest.mark.parametrize(
+        "tenant,stream,values,message",
+        [
+            ("", "A", [1], "tenant"),
+            ("a/b", "A", [1], "reserved"),
+            (TENANT, "", [1], "stream"),
+            (TENANT, "A", [], "non-empty"),
+            (TENANT, "A", [[1, 2]], "1-D"),
+            (TENANT, "A", ["x"], "integers"),
+        ],
+    )
+    def test_batch_validation(self, tmp_path, tenant, stream, values, message):
+        service = AggregationService(make_config(tmp_path))
+        service.start()
+        with pytest.raises(ParameterError, match=message):
+            service.ingest(tenant, stream, values)
+        assert len(service.wal) == 0  # rejected batches never hit the WAL
+        service.close()
+
+    def test_batch_admission_cap(self, tmp_path):
+        service = AggregationService(make_config(tmp_path, max_batch_reports=8))
+        service.start()
+        with pytest.raises(ParameterError, match="admission cap"):
+            service.ingest(TENANT, "A", list(range(9)))
+        service.close()
+
+    def test_queries_need_a_snapshot(self, tmp_path):
+        service = AggregationService(make_config(tmp_path))
+        service.start()
+        service.ingest(TENANT, "A", [1, 2])
+        with pytest.raises(ProtocolError, match="publish"):
+            service.estimate(TENANT, "A", "B")
+        service.close()
+
+    def test_snapshot_payload_is_canonical(self, tmp_path):
+        service = AggregationService(make_config(tmp_path))
+        service.start()
+        for tenant, stream, values in make_batches(4):
+            service.ingest(tenant, stream, values)
+        info = service.publish()
+        snapshot = service.snapshot
+        assert info["digest"] == snapshot.digest
+        payload = json.loads(snapshot.payload_bytes)
+        assert payload["format"] == SNAPSHOT_FORMAT
+        assert payload["version"] == SNAPSHOT_VERSION
+        assert payload["wal_records"] == 4
+        # Re-publishing unchanged state reproduces the exact bytes.
+        first = snapshot.payload_bytes
+        service.publish()
+        assert service.snapshot.payload_bytes == first
+        service.close()
+
+    def test_queries_match_direct_session(self, tmp_path):
+        batches = make_batches(6)
+        service = AggregationService(make_config(tmp_path))
+        service.start()
+        for tenant, stream, values in batches:
+            service.ingest(tenant, stream, values)
+        service.publish()
+
+        direct = JoinSession(SketchParams(3, 32, 2.0), seed=11)
+        for sequence, (tenant, stream, values) in enumerate(batches):
+            direct.collect(
+                f"{tenant}/{stream}", values, seed=batch_seed(11, sequence)
+            )
+        expected = direct.estimate(f"{TENANT}/A", f"{TENANT}/B")
+        answer = service.estimate(TENANT, "A", "B")
+        assert answer["estimate"] == pytest.approx(float(expected.estimate))
+        assert answer["snapshot_digest"] == service.snapshot.digest
+        freqs = service.frequencies(TENANT, "A", [1, 2, 3])
+        assert len(freqs["frequencies"]) == 3
+        chain = service.estimate_chain(TENANT, ["A", "B"])
+        assert chain["estimate"] == pytest.approx(answer["estimate"])
+        service.close()
+
+    def test_crash_recovery_is_byte_identical(self, tmp_path):
+        batches = make_batches(10)
+        reference = run_to_digest(tmp_path / "ref", batches)
+
+        # Crash: ingest 7 of 10 batches, then abandon the instance with
+        # no flush/close — the WAL is the only durable acknowledgement.
+        crashed = AggregationService(make_config(tmp_path / "crash"))
+        crashed.start()
+        for tenant, stream, values in batches[:7]:
+            crashed.ingest(tenant, stream, values)
+        crashed.wal.close()  # release the handle; state is NOT flushed
+
+        restarted = AggregationService(make_config(tmp_path / "crash"))
+        recovery = restarted.start()
+        assert recovery["wal_records"] == 7
+        # checkpoint_interval=4: the flush at sequence 3 covers records
+        # 0..3, so exactly records 4..6 replay.
+        assert recovery["replayed"] == 3
+        assert recovery["torn_tail"] is None
+        for tenant, stream, values in batches[7:]:
+            restarted.ingest(tenant, stream, values)
+        restarted.publish()
+        assert restarted.snapshot.digest == reference
+        restarted.close()
+
+    def test_corrupt_checkpoint_downgrades_to_cold_start(self, tmp_path):
+        batches = make_batches(10)
+        reference = run_to_digest(tmp_path / "ref", batches)
+
+        crashed = AggregationService(make_config(tmp_path / "crash"))
+        crashed.start()
+        for tenant, stream, values in batches[:8]:
+            crashed.ingest(tenant, stream, values)
+        crashed.wal.close()
+        (tmp_path / "crash" / "shard-1.ckpt").write_text("{ not json")
+
+        restarted = AggregationService(make_config(tmp_path / "crash"))
+        recovery = restarted.start()
+        assert [entry["shard"] for entry in recovery["cold_starts"]] == [1]
+        for tenant, stream, values in batches[8:]:
+            restarted.ingest(tenant, stream, values)
+        restarted.publish()
+        assert restarted.snapshot.digest == reference
+        restarted.close()
+
+    def test_checkpoint_ahead_of_wal_is_cold_started(self, tmp_path):
+        """A checkpoint past the WAL (lost log bytes) must not double-count."""
+        data_dir = tmp_path / "svc"
+        service = AggregationService(make_config(data_dir))
+        service.start()
+        for tenant, stream, values in make_batches(8):
+            service.ingest(tenant, stream, values)
+        service.close()  # flushes checkpoints at cursor=8
+        (data_dir / "wal.log").unlink()  # the WAL vanishes entirely
+
+        restarted = AggregationService(make_config(data_dir))
+        recovery = restarted.start()
+        assert recovery["wal_records"] == 0
+        assert len(recovery["cold_starts"]) == 3
+        for entry in recovery["cold_starts"]:
+            assert "ahead of the 0-record WAL" in entry["reason"]
+        restarted.publish()
+        # Cold-started from an empty log: the snapshot holds no streams.
+        assert restarted.snapshot.info()["streams"] == []
+        restarted.close()
+
+    def test_torn_wal_record_recovery(self, tmp_path):
+        """A torn final record is trimmed; the intact prefix replays."""
+        batches = make_batches(6)
+        reference = run_to_digest(tmp_path / "ref", batches)
+
+        crashed = AggregationService(make_config(tmp_path / "crash"))
+        crashed.start()
+        for tenant, stream, values in batches[:5]:
+            crashed.ingest(tenant, stream, values)
+        crashed.wal.close()
+        # The 6th record tears mid-write: header promises more bytes than
+        # the process lived to append.
+        payload = json.dumps({"torn": True}).encode()
+        with open(tmp_path / "crash" / "wal.log", "ab") as fh:
+            frame = (
+                b"RW"
+                + struct.pack("<II", len(payload), zlib.crc32(payload))
+                + payload
+            )
+            fh.write(frame[: len(frame) // 2])
+
+        restarted = AggregationService(make_config(tmp_path / "crash"))
+        recovery = restarted.start()
+        assert recovery["wal_records"] == 5
+        assert recovery["torn_tail"] is not None
+        assert recovery["torn_tail"]["dropped_bytes"] > 0
+        # The torn batch was never acknowledged; the client re-sends it
+        # (and the 6th batch gets the same sequence the tear occupied).
+        for tenant, stream, values in batches[5:]:
+            restarted.ingest(tenant, stream, values)
+        restarted.publish()
+        assert restarted.snapshot.digest == reference
+        restarted.close()
+
+
+# ---------------------------------------------------------------------------
+# Partial-aggregate wire-version boundary (the snapshot payload's format)
+# ---------------------------------------------------------------------------
+class TestPartialWireVersionBoundary:
+    def _payload(self) -> dict:
+        session = JoinSession(SketchParams(3, 32, 2.0), seed=5)
+        session.collect("A", np.arange(50) % 7, seed=9)
+        return session.to_partial(include_timing=False).to_dict()
+
+    def test_v1_payload_still_loads(self):
+        payload = self._payload()
+        reference = PartialAggregate.from_dict(json.loads(json.dumps(payload)))
+        payload["version"] = 1
+        del payload["checksum"]  # v1 predates the content checksum
+        loaded = PartialAggregate.from_dict(payload)
+        assert loaded == reference
+
+    def test_future_version_rejected_with_documented_message(self):
+        payload = self._payload()
+        payload["version"] = 3
+        with pytest.raises(
+            ParameterError,
+            match=r"unsupported partial-aggregate version 3 \(this build "
+            r"reads versions 1\.\.2\)",
+        ):
+            PartialAggregate.from_dict(payload)
+
+    def test_v1_truncated_array_is_still_typed(self):
+        """Without a crc, a v1 payload relies on the byte-count gate."""
+        payload = self._payload()
+        payload["version"] = 1
+        del payload["checksum"]
+        name = sorted(payload["arrays"])[0]
+        entry = payload["arrays"][name]["data"]
+        keep = max(4, (len(entry["data"]) // 2) // 4 * 4)  # valid b64 padding
+        entry["data"] = entry["data"][:keep]
+        with pytest.raises(PartialIntegrityError):
+            PartialAggregate.from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# HTTP front-end
+# ---------------------------------------------------------------------------
+async def _request(host, port, method, target, body=None, timeout=10.0):
+    """One HTTP/1.1 request over a fresh connection."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = b"" if body is None else json.dumps(body).encode()
+        head = (
+            f"{method} {target} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+        ).encode()
+        writer.write(head + payload)
+        await writer.drain()
+        status_line = await asyncio.wait_for(reader.readline(), timeout)
+        status = int(status_line.split()[1])
+        headers = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if line in (b"\r\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        raw = await asyncio.wait_for(
+            reader.readexactly(int(headers.get("content-length", "0"))), timeout
+        )
+        return status, (json.loads(raw) if raw else {}), headers
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class TestServiceServer:
+    def _server(self, tmp_path, **overrides):
+        service = AggregationService(make_config(tmp_path / "data"))
+        defaults = dict(port=0, watchdog_interval=0.05)
+        defaults.update(overrides)
+        return ServiceServer(service, ServerConfig(**defaults))
+
+    def test_config_validation(self):
+        with pytest.raises(ParameterError):
+            ServerConfig(queue_limit=0)
+        with pytest.raises(ParameterError):
+            ServerConfig(request_timeout=0)
+        with pytest.raises(ParameterError):
+            ServerConfig(publish_threshold=0)
+        with pytest.raises(ParameterError):
+            ServerConfig(watchdog_interval=0)
+
+    def test_http_round_trip(self, tmp_path):
+        async def scenario():
+            server = self._server(tmp_path)
+            host, port = await server.start()
+            try:
+                status, body, _ = await _request(host, port, "GET", "/healthz")
+                assert (status, body["status"]) == (200, "ok")
+                status, body, _ = await _request(host, port, "GET", "/readyz")
+                assert (status, body["status"]) == (200, "ready")
+
+                batch = {"tenant": TENANT, "stream": "A", "values": [1, 2, 3]}
+                status, ack, _ = await _request(
+                    host, port, "POST", "/v1/report", batch
+                )
+                assert status == 200 and ack["sequence"] == 0
+                batch["stream"] = "B"
+                status, ack, _ = await _request(
+                    host, port, "POST", "/v1/report", batch
+                )
+                assert status == 200 and ack["sequence"] == 1
+
+                status, info, _ = await _request(host, port, "POST", "/v1/publish")
+                assert status == 200 and info["wal_records"] == 2
+                status, answer, _ = await _request(
+                    host,
+                    port,
+                    "GET",
+                    f"/v1/estimate?tenant={TENANT}&kind=join&streams=A,B",
+                )
+                assert status == 200 and "estimate" in answer
+                assert answer["snapshot_digest"] == info["digest"]
+
+                status, body, _ = await _request(
+                    host,
+                    port,
+                    "GET",
+                    f"/v1/estimate?tenant={TENANT}&kind=frequencies"
+                    "&streams=A&values=1,2",
+                )
+                assert status == 200 and len(body["frequencies"]) == 2
+
+                status, body, _ = await _request(host, port, "GET", "/v1/status")
+                assert status == 200 and body["wal_records"] == 2
+                assert body["ready"] is True
+            finally:
+                await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_http_error_mapping(self, tmp_path):
+        async def scenario():
+            server = self._server(tmp_path, max_body_bytes=256)
+            host, port = await server.start()
+            try:
+                # 404 unknown path, 405 wrong method.
+                status, _, _ = await _request(host, port, "GET", "/nope")
+                assert status == 404
+                status, _, _ = await _request(host, port, "GET", "/v1/report")
+                assert status == 405
+                # 400: not JSON, missing fields, invalid batch.
+                reader_status, body, _ = await _request(
+                    host, port, "POST", "/v1/report", {"tenant": TENANT}
+                )
+                assert reader_status == 400 and "stream" in body["error"]
+                status, body, _ = await _request(
+                    host,
+                    port,
+                    "POST",
+                    "/v1/report",
+                    {"tenant": TENANT, "stream": "A", "values": []},
+                )
+                assert status == 400
+                # 400: bad estimate queries.
+                status, _, _ = await _request(host, port, "GET", "/v1/estimate")
+                assert status == 400
+                status, _, _ = await _request(
+                    host,
+                    port,
+                    "GET",
+                    f"/v1/estimate?tenant={TENANT}&kind=warp&streams=A,B",
+                )
+                assert status == 400
+                # 413: body over the configured cap.
+                status, _, _ = await _request(
+                    host,
+                    port,
+                    "POST",
+                    "/v1/report",
+                    {"tenant": TENANT, "stream": "A", "values": list(range(500))},
+                )
+                assert status == 413
+            finally:
+                await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_backpressure_answers_429_with_retry_after(self, tmp_path):
+        """A slow fold fills the per-tenant allowance; overflow gets 429."""
+
+        async def scenario():
+            service = AggregationService(make_config(tmp_path / "data"))
+            server = ServiceServer(
+                service,
+                ServerConfig(
+                    port=0,
+                    queue_limit=4,
+                    tenant_queue_limit=1,
+                    watchdog_interval=0.05,
+                ),
+            )
+            host, port = await server.start()
+            try:
+                # Stall the single service thread so the first batch stays
+                # "pending" long enough for the second to be over-limit.
+                plan = FaultPlan(
+                    [
+                        FaultSpec(
+                            point="service.ingest",
+                            kind="latency",
+                            times=1,
+                            delay=0.5,
+                        )
+                    ]
+                )
+                with injected(plan):
+                    batch = {"tenant": TENANT, "stream": "A", "values": [1]}
+                    first = asyncio.ensure_future(
+                        _request(host, port, "POST", "/v1/report", batch)
+                    )
+                    await asyncio.sleep(0.15)  # first batch is now folding
+                    status, body, headers = await _request(
+                        host, port, "POST", "/v1/report", batch
+                    )
+                    assert status == 429, body
+                    assert int(headers["retry-after"]) >= 1
+                    status, ack, _ = await first
+                    assert status == 200 and ack["sequence"] == 0
+            finally:
+                await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_watchdog_publishes_at_threshold(self, tmp_path):
+        async def scenario():
+            server = self._server(tmp_path, publish_threshold=2)
+            host, port = await server.start()
+            try:
+                boot = server.service.snapshot.wal_records
+                assert boot == 0
+                batch = {"tenant": TENANT, "stream": "A", "values": [1, 2]}
+                for _ in range(2):
+                    status, _, _ = await _request(
+                        host, port, "POST", "/v1/report", batch
+                    )
+                    assert status == 200
+                for _ in range(100):
+                    if server.service.snapshot.wal_records >= 2:
+                        break
+                    await asyncio.sleep(0.05)
+                assert server.service.snapshot.wal_records == 2
+            finally:
+                await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_graceful_shutdown_publishes_final_snapshot(self, tmp_path):
+        async def scenario():
+            server = self._server(tmp_path)
+            host, port = await server.start()
+            batch = {"tenant": TENANT, "stream": "A", "values": [5, 6, 7]}
+            status, _, _ = await _request(host, port, "POST", "/v1/report", batch)
+            assert status == 200
+            await server.shutdown()
+            await server.serve_until_closed()  # resolves after shutdown
+            assert server.service.snapshot.wal_records == 1
+
+        asyncio.run(scenario())
+        # The shutdown flushed durable state: a fresh engine recovers it.
+        reopened = AggregationService(make_config(tmp_path / "data"))
+        recovery = reopened.start()
+        assert recovery["wal_records"] == 1
+        assert recovery["replayed"] == 0  # checkpoints covered everything
+        reopened.close()
+
+
+# ---------------------------------------------------------------------------
+# CLI wiring
+# ---------------------------------------------------------------------------
+class TestServeCli:
+    def test_parser_flags(self, tmp_path):
+        from repro.service.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "--data-dir",
+                str(tmp_path),
+                "--port",
+                "8123",
+                "--shards",
+                "5",
+                "--wal-fsync",
+                "batch",
+                "--publish-threshold",
+                "16",
+            ]
+        )
+        assert args.port == 8123
+        assert args.shards == 5
+        assert args.wal_fsync == "batch"
+        assert args.publish_threshold == 16
+        assert args.fault_plan is None
+
+    def test_data_dir_is_required(self, capsys):
+        from repro.service.__main__ import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_invalid_fault_plan_fails_before_serving(self, tmp_path):
+        from repro.service.__main__ import main as serve_main
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text("{ not json")
+        with pytest.raises(ParameterError, match="not valid JSON"):
+            serve_main(
+                ["--data-dir", str(tmp_path / "data"), "--fault-plan", str(plan_path)]
+            )
+
+    def test_experiments_cli_forwards_serve(self):
+        """`repro-experiments serve ...` hands its argv to the service CLI."""
+        from repro.experiments.cli import _forwarded_args
+
+        argv = ["serve", "--data-dir", "/tmp/x", "--port", "0"]
+        assert _forwarded_args(argv, "serve") == argv[1:]
+        assert _forwarded_args(["run", "--help"], "serve") is None
