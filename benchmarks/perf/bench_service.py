@@ -4,7 +4,7 @@ Drives the real asyncio HTTP server end to end — socket, HTTP/1.1
 parsing, admission control, WAL append + fsync, shard fold — with a
 handful of keep-alive client connections POSTing batched reports, then
 measures query latency against the published snapshot.  The numbers land
-in the ``service`` section of ``BENCH_perf.json`` (schema v5):
+in the ``service`` section of ``BENCH_perf.json`` (schema v6):
 
 * ``ingest_reports_per_sec`` — sustained acknowledged-report throughput
   over the whole load phase (every report durably in the WAL before its
@@ -14,7 +14,13 @@ in the ``service`` section of ``BENCH_perf.json`` (schema v5):
   against the published snapshot (join-size queries);
 * ``throttled`` — 429 responses absorbed by the generator's retry loop
   (0 under the default shape: each connection awaits its ack before the
-  next batch, so at most ``connections`` batches are ever in flight).
+  next batch, so at most ``connections`` batches are ever in flight);
+* ``quorum_ingest_reports_per_sec`` (schema v6) — the same acknowledged
+  throughput through a primary/standby pair in ``ack_mode=quorum``:
+  every ack now additionally waits for the standby to apply the shipped
+  WAL frame over HTTP, so this is the replicated durability price.  CI's
+  ``--min-quorum-ingest`` floor reads it; ``quorum_digest_match``
+  certifies the two nodes published byte-identical snapshots at the end.
 
 Standalone usage::
 
@@ -35,6 +41,8 @@ import numpy as np
 
 from repro.service import (
     AggregationService,
+    HttpReplica,
+    ReplicatedService,
     ServerConfig,
     ServiceConfig,
     ServiceServer,
@@ -45,6 +53,12 @@ __all__ = ["run_service_bench", "main"]
 #: Total acknowledged reports of the load phase.
 FULL_REPORTS = 1_000_000
 QUICK_REPORTS = 100_000
+
+#: Total acknowledged reports of the replicated (quorum-ack) phase.  Each
+#: ack pays a synchronous HTTP ship to the standby, so the leg is sized
+#: down to keep the suite's wall-clock bounded without losing the rate.
+FULL_REPLICATED = 250_000
+QUICK_REPLICATED = 50_000
 
 #: Reports per ``POST /v1/report`` batch (~12 KiB of JSON).
 BATCH_REPORTS = 2048
@@ -237,12 +251,106 @@ async def _run(total_reports: int, queries: int, data_dir: Path) -> dict:
     }
 
 
+async def _run_replicated(total_reports: int, data_dir: Path) -> dict:
+    """Quorum-ack load: primary + one HTTP standby, acks held for both.
+
+    The standby runs as a second real HTTP server; the primary ships each
+    appended WAL frame to it (``POST /v1/replicate``) before
+    acknowledging, so every measured ack covers two fsyncs and one
+    loopback round-trip — the replicated durability price the README
+    quotes.  At the end both nodes publish and the digests must match.
+    """
+    standby = ReplicatedService(
+        ServiceConfig(
+            data_dir=data_dir / "standby",
+            num_shards=SERVICE_SHARDS,
+            seed=SERVICE_SEED,
+        ),
+        role="standby",
+    )
+    standby_server = ServiceServer(
+        standby,
+        ServerConfig(port=0, queue_limit=256, publish_threshold=1_000_000),
+    )
+    standby_address = await standby_server.start()
+    primary_server = None
+    try:
+        primary = ReplicatedService(
+            ServiceConfig(
+                data_dir=data_dir / "primary",
+                num_shards=SERVICE_SHARDS,
+                seed=SERVICE_SEED,
+            ),
+            role="primary",
+            replicas=[HttpReplica(*standby_address)],
+            ack_mode="quorum",
+        )
+        primary_server = ServiceServer(
+            primary,
+            ServerConfig(
+                port=0,
+                queue_limit=256,
+                tenant_queue_limit=256,
+                publish_threshold=1_000_000,
+            ),
+        )
+        address = await primary_server.start()
+
+        batches = _build_batches(total_reports)
+        shares: List[List[bytes]] = [[] for _ in range(CONNECTIONS)]
+        for index, body in enumerate(batches):
+            shares[index % CONNECTIONS].append(body)
+        ingest_ms: List[float] = []
+        counters = {"throttled": 0}
+        load_start = time.perf_counter()
+        await asyncio.gather(
+            *(_drive(address, share, ingest_ms, counters) for share in shares)
+        )
+        ingest_seconds = time.perf_counter() - load_start
+
+        digests = []
+        for node in (address, standby_address):
+            client = _Client(*node)
+            await client.connect()
+            try:
+                status, snapshot, _ = await client.request("POST", "/v1/publish")
+                if status != 200:
+                    raise RuntimeError(f"publish failed with HTTP {status}")
+                digests.append(snapshot.get("digest"))
+            finally:
+                await client.close()
+    finally:
+        if primary_server is not None:
+            await primary_server.shutdown()
+        await standby_server.shutdown()
+
+    ingest = np.asarray(ingest_ms)
+    return {
+        "quorum_n": total_reports,
+        "quorum_replicas": 1,
+        "quorum_throttled": counters["throttled"],
+        "quorum_seconds": ingest_seconds,
+        "quorum_ingest_reports_per_sec": (
+            total_reports / ingest_seconds if ingest_seconds > 0 else float("inf")
+        ),
+        "quorum_ingest_p50_ms": float(np.percentile(ingest, 50)),
+        "quorum_ingest_p99_ms": float(np.percentile(ingest, 99)),
+        "quorum_digest_match": (
+            1.0 if digests[0] is not None and digests[0] == digests[1] else 0.0
+        ),
+    }
+
+
 def run_service_bench(quick: bool = False) -> dict:
     """Run the load generator against a fresh service; returns the section."""
     total_reports = QUICK_REPORTS if quick else FULL_REPORTS
     queries = QUICK_QUERIES if quick else FULL_QUERIES
+    replicated_reports = QUICK_REPLICATED if quick else FULL_REPLICATED
     with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
-        return asyncio.run(_run(total_reports, queries, Path(tmp)))
+        section = asyncio.run(_run(total_reports, queries, Path(tmp)))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-replicated-") as tmp:
+        section.update(asyncio.run(_run_replicated(replicated_reports, Path(tmp))))
+    return section
 
 
 def main(argv=None) -> int:
@@ -257,6 +365,14 @@ def main(argv=None) -> int:
         f"(ack p50 {section['ingest_p50_ms']:.2f}ms, "
         f"p99 {section['ingest_p99_ms']:.2f}ms); query p50 "
         f"{section['query_p50_ms']:.2f}ms, p99 {section['query_p99_ms']:.2f}ms"
+    )
+    print(
+        f"[bench] quorum-ack ingest "
+        f"{section['quorum_ingest_reports_per_sec']:,.0f} reports/s with "
+        f"{section['quorum_replicas']} standby (ack p50 "
+        f"{section['quorum_ingest_p50_ms']:.2f}ms, p99 "
+        f"{section['quorum_ingest_p99_ms']:.2f}ms), digest match="
+        f"{bool(section['quorum_digest_match'])}"
     )
     return 0
 

@@ -44,7 +44,12 @@ every PR has a perf baseline to beat:
   recording sustained acknowledged-report throughput, per-batch ack
   latency and ``GET /v1/estimate`` p50/p99 against the published
   snapshot.  CI's ``--min-service-ingest`` floor reads
-  ``ingest_reports_per_sec``.
+  ``ingest_reports_per_sec``.  Schema v6 adds the replicated leg: the
+  same load shape through a primary/standby pair in quorum-ack mode
+  (each ack held for the standby's ``POST /v1/replicate`` apply), with
+  ``quorum_ingest_reports_per_sec`` read by ``--min-quorum-ingest`` and
+  ``quorum_digest_match`` certifying both nodes published byte-identical
+  snapshots.
 
 :func:`run_suite` returns a JSON-compatible payload;
 :func:`validate_payload` is the schema check CI runs against the emitted
@@ -77,7 +82,7 @@ from repro.hashing import HashPairs
 from repro.hashing.kwise import MERSENNE_PRIME_31
 from repro.rng import derive_seed, ensure_rng
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Shard count of the ``distributed`` section (one tree of depth 3).
 DISTRIBUTED_SHARDS = 8
@@ -684,6 +689,14 @@ _SECTION_KEYS: Dict[str, Tuple[str, ...]] = {
         "query_p50_ms",
         "query_p99_ms",
         "wal_bytes",
+        "quorum_n",
+        "quorum_replicas",
+        "quorum_throttled",
+        "quorum_seconds",
+        "quorum_ingest_reports_per_sec",
+        "quorum_ingest_p50_ms",
+        "quorum_ingest_p99_ms",
+        "quorum_digest_match",
     ),
 }
 

@@ -101,6 +101,16 @@ def main(argv=None) -> int:
         "least X acknowledged reports/sec through the online HTTP server "
         "(every report WAL-durable before its ack)",
     )
+    parser.add_argument(
+        "--min-quorum-ingest",
+        type=float,
+        default=None,
+        metavar="X",
+        help="with --validate: fail unless the replicated (quorum-ack) leg "
+        "sustained at least X acknowledged reports/sec — each ack held for "
+        "the standby's WAL apply — and both nodes published byte-identical "
+        "snapshots",
+    )
     args = parser.parse_args(argv)
 
     # Flags are mode-specific; a CI edit that drops --validate must fail
@@ -116,6 +126,7 @@ def main(argv=None) -> int:
                 args.min_sharded_ingest_speedup is not None,
             ),
             ("--min-service-ingest", args.min_service_ingest is not None),
+            ("--min-quorum-ingest", args.min_quorum_ingest is not None),
         ):
             if given:
                 parser.error(f"{flag} only applies with --validate")
@@ -215,6 +226,29 @@ def main(argv=None) -> int:
                 f"{service['query_p50_ms']:.2f}ms / p99 "
                 f"{service['query_p99_ms']:.2f}ms)"
             )
+        if args.min_quorum_ingest is not None:
+            service = payload["sections"]["service"]
+            if service["quorum_digest_match"] != 1.0:
+                print(
+                    "[fail] replicated leg diverged: primary and standby "
+                    "published different snapshot digests"
+                )
+                return 1
+            if service["quorum_ingest_reports_per_sec"] < args.min_quorum_ingest:
+                print(
+                    f"[fail] quorum-ack ingest at "
+                    f"{service['quorum_ingest_reports_per_sec']:,.0f} reports/s "
+                    f"— below the {args.min_quorum_ingest:,.0f}/s floor"
+                )
+                return 1
+            print(
+                f"[ok] quorum-ack ingest at "
+                f"{service['quorum_ingest_reports_per_sec']:,.0f} reports/s "
+                f"with {service['quorum_replicas']:.0f} standby (ack p50 "
+                f"{service['quorum_ingest_p50_ms']:.2f}ms / p99 "
+                f"{service['quorum_ingest_p99_ms']:.2f}ms), byte-identical "
+                f"snapshots"
+            )
         print(f"[ok] {args.validate} matches BENCH_perf schema v{payload['schema_version']}")
         return 0
 
@@ -277,6 +311,13 @@ def main(argv=None) -> int:
         f"(ack p50 {service['ingest_p50_ms']:.2f}ms / p99 "
         f"{service['ingest_p99_ms']:.2f}ms), query p50 "
         f"{service['query_p50_ms']:.2f}ms / p99 {service['query_p99_ms']:.2f}ms"
+    )
+    print(
+        f"[bench] quorum-ack ingest (1 standby, n={service['quorum_n']:.0f}): "
+        f"{service['quorum_ingest_reports_per_sec']:,.0f} reports/s "
+        f"(ack p50 {service['quorum_ingest_p50_ms']:.2f}ms / p99 "
+        f"{service['quorum_ingest_p99_ms']:.2f}ms), digest match="
+        f"{bool(service['quorum_digest_match'])}"
     )
     print(f"[bench] wrote {args.out}")
     return 0

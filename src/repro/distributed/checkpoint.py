@@ -48,13 +48,18 @@ CHECKPOINT_VERSION = 1
 class ShardCheckpoint:
     """Atomic flush/load of one shard aggregator's partial state.
 
-    ``fsync=True`` syncs the temp file before the rename, upgrading the
-    guarantee from process-crash safety to power-loss safety — the
-    online service turns it on because its checkpoints are part of the
-    acknowledgement story; batch sweeps keep the cheap default.
+    Every flush fsyncs the temp file *before* the rename and the
+    directory *after* it.  Skipping the file fsync would let the classic
+    rename-before-data crash surface the new name with empty or torn
+    contents — the previous checkpoint gone, its replacement garbage —
+    which is precisely what the atomic dance promises cannot happen;
+    skipping the directory fsync would let a power cut forget the rename
+    itself.  ``fsync=False`` is accepted for backward compatibility but
+    no longer weakens the guarantee: atomicity that evaporates on the
+    first real crash is not atomicity.
     """
 
-    def __init__(self, path: Union[str, Path], *, fsync: bool = False) -> None:
+    def __init__(self, path: Union[str, Path], *, fsync: bool = True) -> None:
         self.path = Path(path)
         self.fsync = bool(fsync)
 
@@ -76,10 +81,14 @@ class ShardCheckpoint:
         tmp = self.path.with_name(self.path.name + ".tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
             fh.write(text)
-            if self.fsync:
-                fh.flush()
-                os.fsync(fh.fileno())
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, self.path)
+        fd = os.open(self.path.parent, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def load(self) -> Optional[Tuple[PartialAggregate, int]]:
         """The last flushed ``(partial, cursor)``, or ``None`` if absent.

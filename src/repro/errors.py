@@ -45,6 +45,22 @@ part of the pipeline rejected the input:
 ``ShardLostError``
     A sharded run lost shard partials it cannot absorb (every shard
     failed, or a shard is missing outside degraded mode).
+``ReplicationError``
+    Base of the replication-protocol rejections below; maps to HTTP 409
+    in the service front-end.
+``FencedEpochError``
+    A node presented a fencing epoch older than the receiver's — the
+    signature of a zombie primary writing after a failover.  Carries
+    both epochs so the zombie can fence itself.
+``NotPrimaryError``
+    A client sent a write to a standby (or a fenced ex-primary); carries
+    the node's role so clients can re-target.
+``ReplicaGapError``
+    A standby refused an out-of-order replication frame; carries the
+    sequence it expects next so the primary can re-ship the gap.
+``ReplicationQuorumError``
+    A quorum-ack replication round could not reach enough standbys;
+    the batch is WAL-durable locally but under-replicated — retryable.
 ``SweepWorkerLostError``
     The sweep pool lost worker tasks past the retry budget; names the
     grid cells whose results are missing.
@@ -76,6 +92,11 @@ __all__ = [
     "RetryExhaustedError",
     "ShardLostError",
     "SweepWorkerLostError",
+    "ReplicationError",
+    "FencedEpochError",
+    "NotPrimaryError",
+    "ReplicaGapError",
+    "ReplicationQuorumError",
     "require_merge_compatible",
 ]
 
@@ -201,6 +222,90 @@ class SweepWorkerLostError(ReproError, RuntimeError):
 
     def __reduce__(self):  # crosses process-pool boundaries intact
         return (type(self), (self.message, self.cells))
+
+
+class ReplicationError(ReproError, RuntimeError):
+    """Base of the replication-protocol rejections (HTTP 409 family)."""
+
+
+class FencedEpochError(ReplicationError):
+    """A write arrived under a fencing epoch older than the receiver's.
+
+    This is split-brain prevention firing: after a failover the promoted
+    node's epoch exceeds the old primary's, so the zombie's shipments are
+    rejected with this error — and on seeing it the zombie fences itself.
+    ``observed`` is the stale epoch presented, ``required`` the
+    receiver's current epoch.
+    """
+
+    def __init__(self, observed: int, required: int) -> None:
+        self.observed = int(observed)
+        self.required = int(required)
+        super().__init__(
+            f"fencing epoch {self.observed} is stale (current epoch is "
+            f"{self.required}); this node has been superseded"
+        )
+
+    def __reduce__(self):  # crosses process-pool boundaries intact
+        return (type(self), (self.observed, self.required))
+
+
+class NotPrimaryError(ReplicationError):
+    """A client write reached a node that must not accept writes."""
+
+    def __init__(self, role: str, reason: str = "") -> None:
+        self.role = str(role)
+        self.reason = str(reason)
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"node is {role}, not an accepting primary{detail}"
+        )
+
+    def __reduce__(self):  # crosses process-pool boundaries intact
+        return (type(self), (self.role, self.reason))
+
+
+class ReplicaGapError(ReplicationError):
+    """A standby refused a replication frame it cannot order.
+
+    ``expected`` is the WAL sequence the standby needs next; ``got`` the
+    sequence the primary shipped.  The primary heals the gap by
+    re-shipping from ``expected``.
+    """
+
+    def __init__(self, expected: int, got: int) -> None:
+        self.expected = int(expected)
+        self.got = int(got)
+        super().__init__(
+            f"replication gap: standby expects sequence {self.expected}, "
+            f"got {self.got}"
+        )
+
+    def __reduce__(self):  # crosses process-pool boundaries intact
+        return (type(self), (self.expected, self.got))
+
+
+class ReplicationQuorumError(ReplicationError):
+    """A quorum-ack replication round fell short of its ack target.
+
+    The batch *is* WAL-durable on the primary — the failure is about
+    replication breadth, not data loss — so the error is retryable:
+    a duplicate submission re-drives shipping without re-folding.
+    ``acked`` standbys confirmed out of ``total``; ``needed`` is the
+    quorum target.
+    """
+
+    def __init__(self, acked: int, needed: int, total: int) -> None:
+        self.acked = int(acked)
+        self.needed = int(needed)
+        self.total = int(total)
+        super().__init__(
+            f"replication quorum not reached: {self.acked}/{self.total} "
+            f"standby ack(s), need {self.needed}"
+        )
+
+    def __reduce__(self):  # crosses process-pool boundaries intact
+        return (type(self), (self.acked, self.needed, self.total))
 
 
 def _values_equal(mine: Any, theirs: Any) -> bool:

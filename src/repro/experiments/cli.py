@@ -175,6 +175,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards, --fault-plan, ...)",
     )
 
+    failover = sub.add_parser(
+        "failover",
+        help="operator actions against a replicated service group",
+        description="Inspect and drive failover of a primary/standby "
+        "group: 'status' shows every endpoint's role, fencing epoch, WAL "
+        "sequence and snapshot digest (the digest-parity check of the "
+        "runbook); 'promote' bumps the fencing epoch on one endpoint, "
+        "making it primary and fencing the old one.",
+    )
+    failover.add_argument(
+        "failover_command", choices=("status", "promote"), help="action"
+    )
+    failover.add_argument(
+        "--endpoint",
+        action="append",
+        required=True,
+        metavar="HOST:PORT",
+        help="a group member (repeatable, order = promote indexing)",
+    )
+    failover.add_argument(
+        "--target",
+        type=int,
+        default=0,
+        help="index (into --endpoint order) of the node to promote",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="run the repro.analysis invariant linter (RPR101-RPR105)",
@@ -339,6 +365,37 @@ def _run_shard(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _run_failover(args: argparse.Namespace) -> int:
+    """The ``failover`` subcommand: group status and promotion."""
+    import json
+
+    from ..errors import ReproError
+    from ..service.client import ResilientClient
+
+    client = ResilientClient(args.endpoint, client_id="repro-failover")
+    if args.failover_command == "promote":
+        info = client.promote(args.target)
+        print(json.dumps(info, sort_keys=True))
+        return 0
+    exit_code = 0
+    for index, endpoint in enumerate(client._endpoints):
+        try:
+            status, body = client._request(endpoint, "GET", "/v1/status")
+        except (ConnectionError, ReproError) as error:
+            print(f"[{index}] {endpoint.name}: unreachable ({error})")
+            exit_code = 1
+            continue
+        snapshot = body.get("snapshot") or {}
+        print(
+            f"[{index}] {endpoint.name}: role={body.get('role')} "
+            f"epoch={body.get('fencing_epoch')} "
+            f"wal_sequence={body.get('wal_sequence')} "
+            f"last_checkpoint={body.get('last_checkpoint_sequence')} "
+            f"digest={snapshot.get('digest', '-')}"
+        )
+    return exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     lint_args = _forwarded_args(argv, "lint")
@@ -369,6 +426,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 0
         if args.command == "shard":
             return _run_shard(args)
+        if args.command == "failover":
+            return _run_failover(args)
         if args.command == "sweep":
             from .sweep import sweep_table
 

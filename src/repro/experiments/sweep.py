@@ -827,11 +827,12 @@ def iter_sweep(
             return label
 
         def _submit(spec_i: int):
+            nonlocal pool
             kind, unit, trial_seed, t, s = specs[spec_i]
             estimator = plan.estimators[unit.method]
             ref = refs[unit.dataset]
             if kind == "unit":
-                future = pool.submit(
+                task = (
                     _execute_remote_tagged,
                     unit,
                     estimator,
@@ -842,7 +843,7 @@ def iter_sweep(
                     spec_attempts[spec_i],
                 )
             else:
-                future = pool.submit(
+                task = (
                     _execute_shard_remote,
                     unit,
                     estimator,
@@ -855,6 +856,20 @@ def iter_sweep(
                     retry_payload,
                     spec_attempts[spec_i],
                 )
+            try:
+                future = pool.submit(*task)
+            except BrokenProcessPool:
+                # A fast worker death can break the pool while submits
+                # are still in flight, making submit itself raise —
+                # restart and re-place this spec on the fresh pool.  No
+                # attempt is burned: the spec never ran, and the crashed
+                # spec that broke the pool is charged when its own
+                # future surfaces the breakage.  In-flight futures of
+                # the dead pool fail the same way and go through the
+                # ordinary resubmission path.
+                _shutdown_executor()
+                pool = _get_executor(min(workers, len(specs)))
+                future = pool.submit(*task)
             future_specs[future] = spec_i
             return future
 

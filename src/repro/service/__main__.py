@@ -14,7 +14,8 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .core import AggregationService, ServiceConfig
+from .core import ServiceConfig
+from .replication import ACK_MODES, ROLES, HttpReplica, ReplicatedService
 from .server import ServerConfig, run_server
 from .wal import FSYNC_POLICIES
 
@@ -76,6 +77,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="pending records that trigger a watchdog publish",
     )
     parser.add_argument(
+        "--role",
+        choices=ROLES,
+        default="primary",
+        help="replication role: primary accepts writes and ships WAL "
+        "frames; standby applies frames until promoted (POST /v1/promote)",
+    )
+    parser.add_argument(
+        "--replica",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="a standby to replicate to (repeatable; primary only)",
+    )
+    parser.add_argument(
+        "--ack-mode",
+        choices=ACK_MODES,
+        default="quorum",
+        help="quorum holds each ack for a standby majority; async ships "
+        "best-effort",
+    )
+    parser.add_argument(
+        "--dedup-retention",
+        type=int,
+        default=4096,
+        help="idempotency-ledger entries kept (exactly-once horizon)",
+    )
+    parser.add_argument(
         "--fault-plan",
         type=Path,
         default=None,
@@ -92,7 +120,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..reliability.faults import FaultPlan, arm
 
         arm(FaultPlan.load(args.fault_plan))
-    service = AggregationService(
+    replicas = []
+    for address in args.replica or []:
+        host, sep, port = str(address).rpartition(":")
+        if not sep or not host:
+            raise SystemExit(f"--replica must be HOST:PORT, got {address!r}")
+        replicas.append(HttpReplica(host, int(port)))
+    service = ReplicatedService(
         ServiceConfig(
             data_dir=args.data_dir,
             k=args.k,
@@ -103,7 +137,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             checkpoint_interval=args.checkpoint_interval,
             wal_fsync=args.wal_fsync,
             retries=args.retries,
-        )
+            dedup_retention=args.dedup_retention,
+        ),
+        role=args.role,
+        replicas=replicas,
+        ack_mode=args.ack_mode,
     )
     config = ServerConfig(
         host=args.host,

@@ -40,9 +40,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -70,6 +72,8 @@ __all__ = [
 #: Marker + version of the published snapshot payload.
 SNAPSHOT_FORMAT = "repro/service-snapshot"
 SNAPSHOT_VERSION = 1
+
+logger = logging.getLogger("repro.service")
 
 
 def batch_seed(service_seed: int, sequence: int) -> int:
@@ -104,6 +108,7 @@ class ServiceConfig:
     wal_fsync: str = "always"
     retries: int = 3  #: attempt budget of every retried internal operation
     max_batch_reports: int = 65536  #: admission cap on one batch's size
+    dedup_retention: int = 4096  #: idempotency-ledger entries kept per service
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -123,6 +128,10 @@ class ServiceConfig:
         if self.max_batch_reports < 1:
             raise ParameterError(
                 f"max_batch_reports must be >= 1, got {self.max_batch_reports}"
+            )
+        if self.dedup_retention < 1:
+            raise ParameterError(
+                f"dedup_retention must be >= 1, got {self.dedup_retention}"
             )
 
     @property
@@ -182,10 +191,18 @@ class AggregationService:
         ]
         self._retry = RetryPolicy(config.retries, seed=config.seed)
         self._folded = 0  # WAL records folded into shard sessions
+        self._last_checkpoint = 0  # cursor of the newest complete flush
         self._snapshot: Optional[Snapshot] = None
         self._started = False
         self.recovery: Optional[dict] = None
         self.tenants: Dict[str, Dict[str, int]] = {}
+        # Exactly-once ingest: (tenant, idempotency_key) -> original ack.
+        # Entries ride inside WAL records ("idem" field), so the ledger is
+        # WAL-durable for free — start() rebuilds it during replay.
+        self._dedup: "OrderedDict[Tuple[str, str], dict]" = OrderedDict()
+        # Replayable record history, in sequence order; replication ships
+        # (and re-ships, on standby gaps) frames straight from this list.
+        self._records: List[dict] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -199,6 +216,16 @@ class AggregationService:
         checkpoint cursor is re-folded with its original derived seed.
         """
         records, tear = self.wal.recover()
+        if tear is not None:
+            # Typed downgrade: a torn tail is an expected crash artefact,
+            # not corruption of acknowledged data — but operators (and the
+            # chaos harness) must be able to see *why* bytes were dropped.
+            logger.warning(
+                "wal tear recovered: reason=%r offset=%d dropped_bytes=%d",
+                tear.reason,
+                tear.offset,
+                tear.dropped_bytes,
+            )
         cold_starts: List[dict] = []
         cursors: List[int] = []
         for index, checkpoint in enumerate(self._checkpoints):
@@ -231,12 +258,15 @@ class AggregationService:
         replayed = 0
         for sequence, record in enumerate(records):
             self._count_tenant(record)
+            self._records.append(dict(record))
+            self._remember_ack(record, sequence)
             shard_index = sequence % self.config.num_shards
             if sequence < cursors[shard_index]:
                 continue  # already inside this shard's checkpoint
             self._fold(record, sequence)
             replayed += 1
         self._folded = len(records)
+        self._last_checkpoint = min(cursors) if cursors else 0
         self._started = True
         self.recovery = {
             "wal_records": len(records),
@@ -252,6 +282,7 @@ class AggregationService:
         self.wal.sync()
         for shard, checkpoint in zip(self._shards, self._checkpoints):
             checkpoint.flush(shard.to_partial(), cursor=self._folded)
+        self._last_checkpoint = self._folded
 
     def close(self) -> None:
         """Flush state and release the WAL handle (idempotent)."""
@@ -275,6 +306,7 @@ class AggregationService:
         values: Sequence[int],
         *,
         attribute: int = 0,
+        idempotency_key: Optional[str] = None,
     ) -> dict:
         """Durably ingest one report batch; returns the acknowledgement.
 
@@ -284,23 +316,48 @@ class AggregationService:
         under the retry policy.  The fold's ``service.ingest`` fault
         point fires *before* any mutation, so an absorbed fault re-runs
         the fold cleanly.
+
+        ``idempotency_key`` makes retries exactly-once: the key travels
+        inside the WAL record, so the dedup ledger survives crashes with
+        the data it protects, and a duplicate ``(tenant, key)`` returns
+        a copy of the original acknowledgement (marked
+        ``"deduplicated": True``) instead of re-folding the batch.
+        Retention is bounded (:attr:`ServiceConfig.dedup_retention`
+        newest keys); clients must not recycle keys beyond that horizon.
         """
         self._require_started()
+        self._check_writable()
+        if idempotency_key is not None:
+            if not isinstance(idempotency_key, str) or not idempotency_key:
+                raise ParameterError(
+                    f"idempotency_key must be a non-empty string, got "
+                    f"{idempotency_key!r}"
+                )
+            original = self._dedup.get((tenant, idempotency_key))
+            if original is not None:
+                # The batch already landed; a retry must still leave the
+                # cluster converged, so re-drive replication before
+                # re-acking (no-op when every standby already has it).
+                self._replication_repair()
+                ack = dict(original)
+                ack["deduplicated"] = True
+                return ack
         record = self._validate_batch(tenant, stream, values, attribute)
+        if idempotency_key is not None:
+            record["idem"] = idempotency_key
         sequence = self.wal.append(record)
         self._folded = sequence + 1
         self._count_tenant(record)
+        self._records.append(record)
+        ack = self._remember_ack(record, sequence)
         self._retry.call(
             lambda: self._fold(record, sequence),
             operation=f"service.ingest[{sequence}]",
         )
+        self._after_append(record, sequence)
         if (sequence + 1) % self.config.checkpoint_interval == 0:
             self.flush()
-        return {
-            "sequence": sequence,
-            "shard": sequence % self.config.num_shards,
-            "reports": len(record["values"]),
-        }
+        return dict(ack)
 
     def _validate_batch(
         self, tenant: str, stream: str, values: Sequence[int], attribute: int
@@ -358,6 +415,49 @@ class AggregationService:
         )
         stats["batches"] += 1
         stats["reports"] += len(record["values"])
+
+    def _remember_ack(self, record: Mapping[str, Any], sequence: int) -> dict:
+        """Compute record ``sequence``'s ack; ledger it if idempotent.
+
+        The ack is a pure function of ``(record, sequence)``, which is
+        why replaying the WAL rebuilds the exact ledger the dying
+        process held — duplicates get the same bytes either side of a
+        crash.  Retention is a FIFO bound on *entries*, so one hot
+        tenant cannot evict nothing while a cold tenant's keys expire.
+        """
+        ack = {
+            "sequence": int(sequence),
+            "shard": int(sequence) % self.config.num_shards,
+            "reports": len(record["values"]),
+        }
+        key = record.get("idem")
+        if key is not None:
+            self._dedup[(str(record["tenant"]), str(key))] = ack
+            while len(self._dedup) > self.config.dedup_retention:
+                self._dedup.pop(next(iter(self._dedup)))
+        return ack
+
+    # ------------------------------------------------------------------
+    # Replication hooks (no-ops for a standalone service)
+    # ------------------------------------------------------------------
+    @property
+    def role(self) -> str:
+        """This node's role; a standalone service is its own primary."""
+        return "primary"
+
+    def _check_writable(self) -> None:
+        """Reject ingest when this node must not accept writes.
+
+        The standalone service always may; the replicated subclass
+        raises the typed 409s (standby, fenced zombie) here, *before*
+        the WAL append — a rejected write leaves no trace to undo.
+        """
+
+    def _after_append(self, record: Mapping[str, Any], sequence: int) -> None:
+        """Ship record ``sequence`` to standbys (replication subclass)."""
+
+    def _replication_repair(self) -> None:
+        """Re-drive replication to quorum after a failed/duplicate send."""
 
     # ------------------------------------------------------------------
     # Publishing
@@ -492,13 +592,26 @@ class AggregationService:
     # Status
     # ------------------------------------------------------------------
     def status(self) -> dict:
-        """JSON-compatible operational summary for status endpoints."""
+        """JSON-compatible operational summary for status endpoints.
+
+        ``role`` / ``fencing_epoch`` / ``wal_sequence`` /
+        ``last_checkpoint_sequence`` are the replication observables:
+        operators (and the chaos harness) read lag as the difference
+        between two nodes' ``wal_sequence`` and verify failover by
+        watching ``role`` flip and ``fencing_epoch`` bump — no log
+        parsing required.
+        """
         return {
             "started": self._started,
+            "role": self.role,
+            "fencing_epoch": self.wal.epoch,
             "wal_records": self._folded,
+            "wal_sequence": self._folded,
             "wal_bytes": self.wal.size_bytes(),
+            "last_checkpoint_sequence": self._last_checkpoint,
             "num_shards": self.config.num_shards,
             "pending_records": self.pending_records() if self._started else 0,
+            "dedup_entries": len(self._dedup),
             "snapshot": None if self._snapshot is None else self._snapshot.info(),
             "tenants": {name: dict(stats) for name, stats in self.tenants.items()},
             "recovery": self.recovery,

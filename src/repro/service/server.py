@@ -30,13 +30,24 @@ accumulate and flips health if the ingest worker ever dies.
 
 Endpoints::
 
-    POST /v1/report    {"tenant", "stream", "values", ["attribute"]}
+    POST /v1/report    {"tenant", "stream", "values", ["attribute"],
+                        ["idempotency_key"]}
     GET  /v1/estimate  ?tenant=&kind=join|chain|frequencies&streams=a,b
                        [&values=1,2,3&method=mean]
     POST /v1/publish   force a snapshot publish
     GET  /v1/snapshot  latest snapshot identity (digest, wal_records)
-    GET  /v1/status    operational summary
+    GET  /v1/status    operational summary (role, fencing_epoch,
+                       wal_sequence, last_checkpoint_sequence, ...)
+    POST /v1/replicate one shipped WAL frame {"epoch", "sequence", "frame"}
+    POST /v1/promote   promote this node to primary (bumps the epoch)
     GET  /healthz      liveness     GET /readyz  readiness
+
+Replication rejections are *typed* 409s: the JSON body carries an
+``error_kind`` of ``fenced`` / ``gap`` / ``not_primary`` plus the fields
+the sender needs to react (current epoch, expected sequence, actual
+role), so a zombie primary can fence itself and a client can re-target
+without string-matching error messages.  A quorum shortfall is 503 —
+the batch is durable, only under-replicated — with ``Retry-After``.
 """
 
 from __future__ import annotations
@@ -51,9 +62,13 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..errors import (
+    FencedEpochError,
     InjectedFaultError,
+    NotPrimaryError,
     ParameterError,
     ProtocolError,
+    ReplicaGapError,
+    ReplicationQuorumError,
     ReproError,
     RetryExhaustedError,
 )
@@ -218,6 +233,7 @@ class ServiceServer:
                         payload["stream"],
                         payload["values"],
                         attribute=payload.get("attribute", 0),
+                        idempotency_key=payload.get("idempotency_key"),
                     ),
                 )
             except BaseException as error:  # noqa: BLE001 - forwarded to the client
@@ -458,9 +474,59 @@ class ServiceServer:
                 status["ready"] = ready
                 status["queue"] = detail
                 return 200, status, None
+            if path == "/v1/replicate":
+                if method != "POST":
+                    return 405, {"error": "use POST"}, None
+                return await self._handle_replicate(body)
+            if path == "/v1/promote":
+                if method != "POST":
+                    return 405, {"error": "use POST"}, None
+                promote = getattr(self.service, "promote", None)
+                if promote is None:
+                    return 409, {
+                        "error": "this node is not replicated; nothing to promote",
+                        "error_kind": "not_replicated",
+                    }, None
+                loop = asyncio.get_running_loop()
+                info = await asyncio.wait_for(
+                    loop.run_in_executor(self._executor, promote),
+                    self.config.request_timeout,
+                )
+                return 200, info, None
             return 404, {"error": f"unknown path {path!r}"}, None
         except asyncio.TimeoutError:
             return 408, {"error": "request deadline exceeded"}, None
+        except FencedEpochError as error:
+            return 409, {
+                "error": str(error),
+                "error_kind": "fenced",
+                "observed": error.observed,
+                "required": error.required,
+            }, None
+        except ReplicaGapError as error:
+            return 409, {
+                "error": str(error),
+                "error_kind": "gap",
+                "expected": error.expected,
+                "got": error.got,
+            }, None
+        except NotPrimaryError as error:
+            return 409, {
+                "error": str(error),
+                "error_kind": "not_primary",
+                "role": error.role,
+                "reason": error.reason,
+            }, None
+        except ReplicationQuorumError as error:
+            # Durable locally, under-replicated: a retry (same
+            # idempotency key) re-drives shipping without re-folding.
+            return 503, {
+                "error": str(error),
+                "error_kind": "quorum",
+                "acked": error.acked,
+                "needed": error.needed,
+                "total": error.total,
+            }, {"Retry-After": "1"}
         except ParameterError as error:
             return 400, {"error": str(error)}, None
         except ProtocolError as error:
@@ -514,6 +580,41 @@ class ServiceServer:
             # be WAL-durable); only the acknowledgement timed out.
             return 503, {"error": "ingest deadline exceeded; batch queued"}, None
         return 200, ack, None
+
+    async def _handle_replicate(
+        self, body: bytes
+    ) -> Tuple[int, dict, Optional[Dict[str, str]]]:
+        apply = getattr(self.service, "apply_replication", None)
+        if apply is None:
+            return 409, {
+                "error": "this node is not replicated; it accepts no frames",
+                "error_kind": "not_replicated",
+            }, None
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, {
+                "error": f"body must be JSON: {error}",
+                "error_kind": "bad_frame",
+            }, None
+        if not isinstance(payload, dict):
+            return 400, {
+                "error": "body must be a JSON object",
+                "error_kind": "bad_frame",
+            }, None
+        loop = asyncio.get_running_loop()
+        try:
+            # Same single-thread executor as ingest: applied frames and
+            # local folds share one total order, exactly like the WAL.
+            result = await asyncio.wait_for(
+                loop.run_in_executor(self._executor, lambda: apply(payload)),
+                self.config.request_timeout,
+            )
+        except ParameterError as error:
+            # A torn/corrupt frame fails its crc inside decode_frame —
+            # typed so the primary re-ships instead of guessing.
+            return 400, {"error": str(error), "error_kind": "bad_frame"}, None
+        return 200, result, None
 
     async def _handle_estimate(
         self, query: Mapping[str, str]

@@ -7,11 +7,22 @@ log replays in order; per-batch randomness is derived from the record's
 *sequence number* (see :func:`repro.service.core.batch_seed`), so the
 replayed fold is byte-identical to the fold the dying process performed.
 
-Frame format (little-endian)::
+File format (little-endian)::
 
+    +------+---------+------------+
+    | RWHD | ver:u32 | epoch: u64 |   fixed 16-byte header
+    +------+---------+------------+
     +----+----------+----------+------------------+
-    | RW | len: u32 | crc: u32 | payload (len B)  |
+    | RW | len: u32 | crc: u32 | payload (len B)  |   one frame per record
     +----+----------+----------+------------------+
+
+The header carries the **fencing epoch** of the replication layer
+(:mod:`repro.service.replication`): a monotonic counter bumped by every
+standby promotion and rewritten in place (16 bytes at offset 0, fsynced)
+by :meth:`WriteAheadLog.set_epoch`.  A node that recovers its WAL knows
+which epoch it last served in, so a zombie primary cannot forget it was
+fenced.  Headerless (v1) files are migrated to the headered format at
+epoch 0 on the first :meth:`WriteAheadLog.recover`.
 
 ``payload`` is the canonical JSON of the record (sorted keys, fixed
 separators); ``crc`` is the crc32 of the payload bytes.  A crash mid
@@ -58,7 +69,13 @@ from typing import Any, Iterator, List, Mapping, Optional, Tuple, Union
 from ..errors import InjectedCrashError, ParameterError
 from ..reliability.faults import fault_point
 
-__all__ = ["WriteAheadLog", "WalTear", "FSYNC_POLICIES"]
+__all__ = [
+    "WriteAheadLog",
+    "WalTear",
+    "FSYNC_POLICIES",
+    "encode_frame",
+    "decode_frame",
+]
 
 #: Two magic bytes opening every frame.
 _MAGIC = b"RW"
@@ -66,12 +83,70 @@ _MAGIC = b"RW"
 #: Frame header layout after the magic: payload length, payload crc32.
 _HEADER = struct.Struct("<II")
 
+#: File header: magic, format version, fencing epoch.
+_FILE_MAGIC = b"RWHD"
+_FILE_HEADER = struct.Struct("<4sIQ")
+_WAL_VERSION = 2
+
 #: Supported fsync policies, strictest first.
 FSYNC_POLICIES = ("always", "batch", "never")
 
 #: Refuse to read frames claiming more than this many payload bytes —
 #: a corrupt length field must not trigger a gigabyte allocation.
 _MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def encode_frame(record: Mapping[str, Any]) -> bytes:
+    """The crc32-framed bytes of one record, exactly as appended.
+
+    Framing is a pure function of the record (canonical JSON), so a
+    frame built on the primary and a frame appended by a standby that
+    applied the shipped record are byte-identical — which is what lets
+    the replication layer ship *frames* and still keep both WALs (and
+    hence both snapshot digests) in lockstep.
+    """
+    payload = json.dumps(dict(record), sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    return _MAGIC + _HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def decode_frame(frame: bytes) -> dict:
+    """Parse and integrity-check one shipped frame; returns its record.
+
+    Raises :class:`~repro.errors.ParameterError` naming the damage for
+    any frame that does not verify — truncated, bad magic, crc mismatch,
+    trailing bytes — so a replication stream corrupted in flight is
+    rejected *before* it can touch a standby's WAL.
+    """
+    if len(frame) < len(_MAGIC) + _HEADER.size:
+        raise ParameterError(
+            f"replication frame truncated at {len(frame)} bytes (header needs "
+            f"{len(_MAGIC) + _HEADER.size})"
+        )
+    if frame[:2] != _MAGIC:
+        raise ParameterError("replication frame has bad magic")
+    length, crc = _HEADER.unpack_from(frame, 2)
+    body = frame[2 + _HEADER.size :]
+    if len(body) != length:
+        raise ParameterError(
+            f"replication frame length mismatch ({len(body)} bytes of payload, "
+            f"header claims {length})"
+        )
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise ParameterError("replication frame payload crc32 mismatch")
+    try:
+        record = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ParameterError(
+            f"replication frame payload is not valid JSON ({error})"
+        ) from error
+    if not isinstance(record, dict):
+        raise ParameterError(
+            f"replication frame payload must be a JSON object, got "
+            f"{type(record).__name__}"
+        )
+    return record
 
 
 @dataclass(frozen=True)
@@ -108,50 +183,60 @@ class WriteAheadLog:
         self._file = None
         self._sequence = 0  # records currently in the file
         self._recovered = False
+        self._epoch = 0  # fencing epoch from the file header
 
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
-    def _scan(self, data: bytes) -> Tuple[List[dict], int, Optional[WalTear]]:
-        """Parse ``data`` into records; stop at the first damaged frame."""
+    def _scan(
+        self, data: bytes, *, base: int = 0
+    ) -> Tuple[List[dict], int, Optional[WalTear]]:
+        """Parse frame ``data`` into records; stop at the first damaged frame.
+
+        ``base`` is the file offset where ``data`` starts (the header
+        size for a v2 file), so tear offsets name absolute positions an
+        operator can seek to.  The returned good offset is absolute too.
+        """
         records: List[dict] = []
         offset = 0
         total = len(data)
         while offset < total:
             head = offset
             if total - offset < len(_MAGIC) + _HEADER.size:
-                return records, head, WalTear(
-                    head, total - head, "truncated frame header"
+                return records, base + head, WalTear(
+                    base + head, total - head, "truncated frame header"
                 )
             if data[offset : offset + 2] != _MAGIC:
-                return records, head, WalTear(head, total - head, "bad frame magic")
+                return records, base + head, WalTear(
+                    base + head, total - head, "bad frame magic"
+                )
             offset += 2
             length, crc = _HEADER.unpack_from(data, offset)
             offset += _HEADER.size
             if length > _MAX_FRAME_BYTES:
-                return records, head, WalTear(
-                    head, total - head, f"implausible frame length {length}"
+                return records, base + head, WalTear(
+                    base + head, total - head, f"implausible frame length {length}"
                 )
             if total - offset < length:
-                return records, head, WalTear(
-                    head,
+                return records, base + head, WalTear(
+                    base + head,
                     total - head,
                     f"truncated payload ({total - offset} of {length} bytes)",
                 )
             payload = data[offset : offset + length]
             offset += length
             if zlib.crc32(payload) & 0xFFFFFFFF != crc:
-                return records, head, WalTear(
-                    head, total - head, "payload crc32 mismatch"
+                return records, base + head, WalTear(
+                    base + head, total - head, "payload crc32 mismatch"
                 )
             try:
                 record = json.loads(payload.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as error:
-                return records, head, WalTear(
-                    head, total - head, f"payload not valid JSON ({error})"
+                return records, base + head, WalTear(
+                    base + head, total - head, f"payload not valid JSON ({error})"
                 )
             records.append(record)
-        return records, offset, None
+        return records, base + offset, None
 
     def recover(self, *, truncate: bool = True) -> Tuple[List[dict], Optional[WalTear]]:
         """Replay every intact record; optionally trim a damaged tail.
@@ -169,8 +254,41 @@ class WriteAheadLog:
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             data = b""
-        records, good_offset, tear = self._scan(data)
-        if tear is not None and truncate:
+        epoch = 0
+        legacy = False
+        if data[:4] == _FILE_MAGIC:
+            magic, version, epoch = _FILE_HEADER.unpack_from(data, 0)
+            if version != _WAL_VERSION:
+                raise ParameterError(
+                    f"WAL {self.path} has unsupported format version {version}"
+                )
+            frames, base = data[_FILE_HEADER.size :], _FILE_HEADER.size
+        else:
+            # Either a brand-new/empty log or a headerless v1 file from
+            # before fencing epochs existed; both migrate to v2 below.
+            frames, base = data, 0
+            legacy = len(data) > 0
+        records, good_offset, tear = self._scan(frames, base=base)
+        self._epoch = int(epoch)
+        header = _FILE_HEADER.pack(_FILE_MAGIC, _WAL_VERSION, self._epoch)
+        if legacy:
+            # One-time migration: rewrite as header + intact frames via
+            # the atomic temp + replace dance (also trims any tear).
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            keep = frames[: good_offset - base] if (tear is None or truncate) else frames
+            with open(tmp, "wb") as fh:
+                fh.write(header + keep)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            self._fsync_parent()
+        elif not data:
+            with open(self.path, "wb") as fh:
+                fh.write(header)
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._fsync_parent()
+        elif tear is not None and truncate:
             with open(self.path, "r+b") as fh:
                 fh.truncate(good_offset)
                 fh.flush()
@@ -179,10 +297,21 @@ class WriteAheadLog:
         self._recovered = True
         return records, tear
 
+    def _fsync_parent(self) -> None:
+        """Fsync the log's directory so a create/replace survives power loss."""
+        fd = os.open(self.path.parent, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
     def replay(self) -> Iterator[Tuple[int, dict]]:
         """``(sequence, record)`` pairs of every intact frame on disk."""
         if self.path.exists():
-            records, _, _ = self._scan(self.path.read_bytes())
+            data = self.path.read_bytes()
+            if data[:4] == _FILE_MAGIC:
+                data = data[_FILE_HEADER.size :]
+            records, _, _ = self._scan(data)
             yield from enumerate(records)
 
     # ------------------------------------------------------------------
@@ -207,14 +336,7 @@ class WriteAheadLog:
         the batch randomness from, which is what makes replay
         byte-identical.
         """
-        payload = json.dumps(
-            dict(record), sort_keys=True, separators=(",", ":")
-        ).encode("utf-8")
-        frame = (
-            _MAGIC
-            + _HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
-            + payload
-        )
+        frame = encode_frame(record)
         sequence = self._sequence
         spec = fault_point(
             "service.wal.append", sequence=sequence, bytes=len(frame)
@@ -246,6 +368,42 @@ class WriteAheadLog:
         """Durability barrier: fsync pending bytes (``batch`` policy)."""
         if self._file is not None and self.fsync != "never":
             os.fsync(self._file.fileno())
+
+    # ------------------------------------------------------------------
+    # Fencing epoch
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The fencing epoch persisted in the file header."""
+        return self._epoch
+
+    def set_epoch(self, epoch: int) -> int:
+        """Persist a monotonic fencing-epoch bump in the file header.
+
+        The header is rewritten in place (16 bytes at offset 0) and
+        fsynced regardless of the ``fsync`` policy — an epoch bump is a
+        promotion or a fencing adoption, and forgetting one across a
+        power cut is exactly the split-brain the epoch exists to stop.
+        Lowering the epoch is refused with a typed error.
+        """
+        if not self._recovered:
+            raise ParameterError(
+                f"WAL {self.path} used before recover(); call recover() before "
+                f"set_epoch() so the header exists on disk"
+            )
+        epoch = int(epoch)
+        if epoch < self._epoch:
+            raise ParameterError(
+                f"fencing epoch is monotonic: cannot lower {self._epoch} to {epoch}"
+            )
+        if epoch == self._epoch:
+            return self._epoch
+        with open(self.path, "r+b") as fh:
+            fh.write(_FILE_HEADER.pack(_FILE_MAGIC, _WAL_VERSION, epoch))
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._epoch = epoch
+        return self._epoch
 
     # ------------------------------------------------------------------
     # Introspection

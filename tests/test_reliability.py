@@ -310,6 +310,60 @@ def _deterministic_counters(partial):
     return {k: v for k, v in partial.counters.items() if "seconds" not in k}
 
 
+class TestCheckpointDurability:
+    """Regression: flush must fsync the data before publishing the name.
+
+    The original flush fsynced the temp file only when ``fsync=True``
+    and never fsynced the directory — so a crash shortly after
+    ``os.replace`` could surface the *new* name with torn or empty
+    contents (data blocks never reached disk) or forget the rename
+    entirely.  Both orderings are now load-bearing for the replication
+    layer's byte-identical recovery story.
+    """
+
+    def _flush_events(self, tmp_path, monkeypatch, **kwargs):
+        import os as os_module
+        import stat
+
+        from repro.distributed import checkpoint as checkpoint_module
+
+        events = []
+        real_fsync = os_module.fsync
+        real_replace = os_module.replace
+
+        def spy_fsync(fd):
+            kind = "dir" if stat.S_ISDIR(os_module.fstat(fd).st_mode) else "file"
+            events.append(f"fsync-{kind}")
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append("replace")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(checkpoint_module.os, "fsync", spy_fsync)
+        monkeypatch.setattr(checkpoint_module.os, "replace", spy_replace)
+        params, _, _ = _cohort_fixture()
+        partial = _fresh_shard(params).to_partial()
+        checkpoint = ShardCheckpoint(tmp_path / "shard-0.ckpt", **kwargs)
+        checkpoint.flush(partial, cursor=1)
+        assert checkpoint.load() is not None
+        return events
+
+    def test_flush_fsyncs_file_before_rename_and_directory_after(
+        self, tmp_path, monkeypatch
+    ):
+        events = self._flush_events(tmp_path, monkeypatch)
+        assert events == ["fsync-file", "replace", "fsync-dir"]
+
+    def test_fsync_false_no_longer_weakens_the_guarantee(
+        self, tmp_path, monkeypatch
+    ):
+        # Older call sites passing fsync=False keep working, but the
+        # atomic dance is only atomic with the syncs — they stay.
+        events = self._flush_events(tmp_path, monkeypatch, fsync=False)
+        assert events == ["fsync-file", "replace", "fsync-dir"]
+
+
 class TestCheckpointCorruption:
     def test_garbage_file_raises_typed_error(self, tmp_path):
         path = tmp_path / "ck.json"
