@@ -58,6 +58,11 @@ part of the pipeline rejected the input:
 ``ReplicaGapError``
     A standby refused an out-of-order replication frame; carries the
     sequence it expects next so the primary can re-ship the gap.
+``ReplicaDivergenceError``
+    Two nodes hold *different* records at the same WAL sequence — a
+    forked history (e.g. a zombie primary's un-replicated suffix after
+    a failover).  Raised instead of acking so divergence can never
+    silently count toward quorum.
 ``ReplicationQuorumError``
     A quorum-ack replication round could not reach enough standbys;
     the batch is WAL-durable locally but under-replicated — retryable.
@@ -96,6 +101,7 @@ __all__ = [
     "FencedEpochError",
     "NotPrimaryError",
     "ReplicaGapError",
+    "ReplicaDivergenceError",
     "ReplicationQuorumError",
     "require_merge_compatible",
 ]
@@ -283,6 +289,30 @@ class ReplicaGapError(ReplicationError):
 
     def __reduce__(self):  # crosses process-pool boundaries intact
         return (type(self), (self.expected, self.got))
+
+
+class ReplicaDivergenceError(ReplicationError):
+    """Two nodes hold different records at the same WAL sequence.
+
+    The byte-identical-replica guarantee rests on both nodes agreeing
+    on the record sequence; a mismatch means one side carries a forked
+    suffix (typically a zombie primary's un-replicated writes after a
+    failover).  ``sequence`` is the first diverging position; the
+    holder of the stale fork must truncate and re-sync from there —
+    acking it as a duplicate would count divergent histories toward
+    quorum.
+    """
+
+    def __init__(self, sequence: int, reason: str = "") -> None:
+        self.sequence = int(sequence)
+        self.reason = str(reason)
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"replica histories diverge at WAL sequence {self.sequence}{detail}"
+        )
+
+    def __reduce__(self):  # crosses process-pool boundaries intact
+        return (type(self), (self.sequence, self.reason))
 
 
 class ReplicationQuorumError(ReplicationError):

@@ -123,9 +123,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     replicas = []
     for address in args.replica or []:
         host, sep, port = str(address).rpartition(":")
-        if not sep or not host:
+        try:
+            port_number = int(port)
+        except ValueError:
+            port_number = -1
+        if not sep or not host or not 0 < port_number < 65536:
             raise SystemExit(f"--replica must be HOST:PORT, got {address!r}")
-        replicas.append(HttpReplica(host, int(port)))
+        replicas.append(HttpReplica(host, port_number))
     service = ReplicatedService(
         ServiceConfig(
             data_dir=args.data_dir,

@@ -21,7 +21,11 @@ Protocol, frame by frame::
       ship {epoch, seq, frame} ───────▶ apply_replication(payload)
                                           epoch checks (fencing)
                                           seq == wal length? append+fold
-                                          seq <  length?      duplicate ack
+                                          seq <  length, bytes match?
+                                                              duplicate ack
+                                          seq <  length, bytes differ?
+                                                              truncate fork,
+                                                              append+fold
                                           seq >  length?      ReplicaGapError
       quorum reached? ack client ◀────── {applied: true, ...}
 
@@ -38,6 +42,17 @@ with :class:`~repro.errors.FencedEpochError`, and a zombie primary that
 sees that rejection **fences itself** — its own ``ingest`` starts
 raising the typed 409 instead of accepting writes the cluster will
 never acknowledge.  Split brain is prevented by arithmetic, not timing.
+
+**Divergence repair.**  A zombie that appended (and folded) a record
+locally before learning it was fenced holds a *forked* suffix: same
+sequence numbers, different bytes.  Re-shipped frames from the new
+primary byte-compare against the local record before any duplicate
+ack; a mismatch truncates the fork (WAL first, fsynced, then an
+in-memory re-fold of the kept prefix) and applies the primary's frame
+in its place — the fencing check already proved the sender's history
+authoritative.  Symmetrically, a standby claiming to be *ahead* of the
+primary's WAL head raises :class:`~repro.errors.ReplicaDivergenceError`
+on the primary instead of silently counting toward quorum.
 
 **Exactly-once interplay.**  Quorum failures surface *after* the local
 WAL append, so the batch is durable but under-replicated.  The client
@@ -69,6 +84,7 @@ from ..errors import (
     NotPrimaryError,
     ParameterError,
     ProtocolError,
+    ReplicaDivergenceError,
     ReplicaGapError,
     ReplicationError,
     ReplicationQuorumError,
@@ -190,6 +206,10 @@ class HttpReplica(ReplicaLink):
             return FencedEpochError(body.get("observed", 0), body.get("required", 0))
         if kind == "gap":
             return ReplicaGapError(body.get("expected", 0), body.get("got", 0))
+        if kind == "diverged":
+            return ReplicaDivergenceError(
+                body.get("sequence", 0), body.get("reason", "")
+            )
         if kind == "not_primary":
             return NotPrimaryError(body.get("role", "unknown"), body.get("reason", ""))
         if kind == "bad_frame":
@@ -378,6 +398,17 @@ class ReplicatedService(AggregationService):
             try:
                 link.replicate(payload)
             except ReplicaGapError as error:
+                if error.expected > len(self._records):
+                    # The standby claims records past our WAL head: its
+                    # history forked ahead of ours.  Counting the link
+                    # as caught up would quorum-ack writes nobody
+                    # shares; surface the fork instead.
+                    raise ReplicaDivergenceError(
+                        len(self._records),
+                        f"standby {link.name} expects sequence "
+                        f"{error.expected} but this primary's WAL ends "
+                        f"at {len(self._records)}",
+                    ) from error
                 # The standby told us where it actually is; trust it —
                 # backwards (it lost frames) or forwards (it already has
                 # some) — but refuse to loop on a non-advancing answer.
@@ -449,13 +480,27 @@ class ReplicatedService(AggregationService):
             )
         expected = self._folded
         if sequence < expected:
-            return {
-                "applied": False,
-                "duplicate": True,
-                "sequence": sequence,
-                "wal_sequence": self._folded,
-                "epoch": self.wal.epoch,
-            }
+            if encode_frame(self._records[sequence]) == frame:
+                return {
+                    "applied": False,
+                    "duplicate": True,
+                    "sequence": sequence,
+                    "wal_sequence": self._folded,
+                    "epoch": self.wal.epoch,
+                }
+            # Same sequence, different bytes: our un-replicated suffix
+            # lost a failover race.  The sender already passed the
+            # fencing check, so its history is authoritative — drop the
+            # fork and fall through to apply its frame at the new head.
+            logger.warning(
+                "divergent record at sequence %d (epoch %d): truncating "
+                "%d forked local record(s) to re-sync with the primary",
+                sequence,
+                self.wal.epoch,
+                expected - sequence,
+            )
+            self._rewind_to(sequence)
+            expected = self._folded
         if sequence > expected:
             raise ReplicaGapError(expected, sequence)
         applied = self.wal.append(record)
@@ -475,6 +520,43 @@ class ReplicatedService(AggregationService):
             "wal_sequence": self._folded,
             "epoch": self.wal.epoch,
         }
+
+    def _rewind_to(self, sequence: int) -> None:
+        """Drop every record at/after ``sequence``; rebuild by re-fold.
+
+        The WAL is truncated first (fsynced) so a crash mid-rebuild
+        recovers the same shortened history; shard accumulators, tenant
+        counters, the dedup ledger and the record list are then rebuilt
+        from the kept prefix — a fold is a pure function of ``(record,
+        sequence)``, so the rebuilt state is byte-identical to a node
+        that never held the fork.  Checkpoints are reflushed at the end
+        so no on-disk cursor outlives the truncation, and a published
+        snapshot that included dropped records is withdrawn.
+        """
+        keep = [dict(record) for record in self._records[:sequence]]
+        self.wal.truncate_to(sequence)
+        self._shards = [
+            self._coordinator.spawn_shard()
+            for _ in range(self.config.num_shards)
+        ]
+        self.tenants = {}
+        self._dedup.clear()
+        self._records = []
+        self._folded = 0
+        for position, record in enumerate(keep):
+            self._count_tenant(record)
+            self._records.append(record)
+            self._remember_ack(record, position)
+            self._retry.call(
+                lambda record=record, position=position: self._fold(
+                    record, position
+                ),
+                operation=f"service.rewind[{position}]",
+            )
+        self._folded = len(keep)
+        if self._snapshot is not None and self._snapshot.wal_records > sequence:
+            self._snapshot = None
+        self.flush()
 
     # ------------------------------------------------------------------
     # Status

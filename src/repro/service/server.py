@@ -43,7 +43,8 @@ Endpoints::
     GET  /healthz      liveness     GET /readyz  readiness
 
 Replication rejections are *typed* 409s: the JSON body carries an
-``error_kind`` of ``fenced`` / ``gap`` / ``not_primary`` plus the fields
+``error_kind`` of ``fenced`` / ``gap`` / ``diverged`` / ``not_primary``
+plus the fields
 the sender needs to react (current epoch, expected sequence, actual
 role), so a zombie primary can fence itself and a client can re-target
 without string-matching error messages.  A quorum shortfall is 503 —
@@ -67,6 +68,7 @@ from ..errors import (
     NotPrimaryError,
     ParameterError,
     ProtocolError,
+    ReplicaDivergenceError,
     ReplicaGapError,
     ReplicationQuorumError,
     ReproError,
@@ -509,6 +511,13 @@ class ServiceServer:
                 "error_kind": "gap",
                 "expected": error.expected,
                 "got": error.got,
+            }, None
+        except ReplicaDivergenceError as error:
+            return 409, {
+                "error": str(error),
+                "error_kind": "diverged",
+                "sequence": error.sequence,
+                "reason": error.reason,
             }, None
         except NotPrimaryError as error:
             return 409, {

@@ -256,7 +256,20 @@ class WriteAheadLog:
             data = b""
         epoch = 0
         legacy = False
-        if data[:4] == _FILE_MAGIC:
+        header_tear: Optional[WalTear] = None
+        if data[:4] == _FILE_MAGIC and len(data) < _FILE_HEADER.size:
+            # Torn file header: the crash hit the 16-byte create/migrate
+            # write itself, so no frame can follow it and no epoch was
+            # ever durable — reinitialise at epoch 0, but report the
+            # tear like any other damaged tail.
+            header_tear = WalTear(
+                0,
+                len(data),
+                f"truncated file header ({len(data)} of "
+                f"{_FILE_HEADER.size} bytes)",
+            )
+            frames, base = b"", len(data)
+        elif data[:4] == _FILE_MAGIC:
             magic, version, epoch = _FILE_HEADER.unpack_from(data, 0)
             if version != _WAL_VERSION:
                 raise ParameterError(
@@ -269,11 +282,14 @@ class WriteAheadLog:
             frames, base = data, 0
             legacy = len(data) > 0
         records, good_offset, tear = self._scan(frames, base=base)
+        if header_tear is not None:
+            tear = header_tear
         self._epoch = int(epoch)
         header = _FILE_HEADER.pack(_FILE_MAGIC, _WAL_VERSION, self._epoch)
-        if legacy:
-            # One-time migration: rewrite as header + intact frames via
-            # the atomic temp + replace dance (also trims any tear).
+        if legacy or (header_tear is not None and truncate):
+            # One-time migration (or torn-header reinit): rewrite as
+            # header + intact frames via the atomic temp + replace
+            # dance (also trims any tear).
             tmp = self.path.with_name(self.path.name + ".tmp")
             keep = frames[: good_offset - base] if (tear is None or truncate) else frames
             with open(tmp, "wb") as fh:
@@ -368,6 +384,43 @@ class WriteAheadLog:
         """Durability barrier: fsync pending bytes (``batch`` policy)."""
         if self._file is not None and self.fsync != "never":
             os.fsync(self._file.fileno())
+
+    def truncate_to(self, records: int) -> int:
+        """Durably cut the log back to its first ``records`` records.
+
+        Divergence repair for the replication layer
+        (:meth:`repro.service.replication.ReplicatedService.apply_replication`):
+        a demoted node whose un-replicated suffix conflicts with the
+        promoted primary's history drops that suffix here, then applies
+        the primary's frames from the cut.  Only ever shortens the log;
+        the truncation is fsynced before returning so a crash cannot
+        resurrect the dropped fork.
+        """
+        if not self._recovered:
+            raise ParameterError(
+                f"WAL {self.path} used before recover(); call recover() before "
+                f"truncate_to() so frame boundaries are known"
+            )
+        records = int(records)
+        if records < 0 or records > self._sequence:
+            raise ParameterError(
+                f"cannot truncate a {self._sequence}-record WAL to "
+                f"{records} record(s)"
+            )
+        if records == self._sequence:
+            return self._sequence
+        self.close()  # flush the append handle before cutting beneath it
+        data = self.path.read_bytes()
+        offset = _FILE_HEADER.size if data[:4] == _FILE_MAGIC else 0
+        for _ in range(records):
+            length, _crc = _HEADER.unpack_from(data, offset + len(_MAGIC))
+            offset += len(_MAGIC) + _HEADER.size + length
+        with open(self.path, "r+b") as fh:
+            fh.truncate(offset)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._sequence = records
+        return records
 
     # ------------------------------------------------------------------
     # Fencing epoch

@@ -11,7 +11,9 @@ single-node run*:
   and the service logs a typed tear reason).
 * Deterministic protocol tests: frame shipping and digest parity, gap
   catch-up, quorum arithmetic, duplicate suppression across restarts,
-  promotion/fencing/zombie rejection, epoch adoption.
+  promotion/fencing/zombie rejection, epoch adoption, and divergence
+  repair (a zombie's forked suffix is byte-checked, truncated and
+  re-synced instead of being acked as a duplicate).
 * A hypothesis property driving random absorbable fault schedules over
   every replication fault point through a primary/standby pair with a
   retrying idempotent client.
@@ -42,6 +44,7 @@ from repro.errors import (
     InjectedFaultError,
     NotPrimaryError,
     ParameterError,
+    ReplicaDivergenceError,
     ReplicaGapError,
     ReplicationQuorumError,
     RetryExhaustedError,
@@ -53,6 +56,7 @@ from repro.service import (
     AggregationService,
     CircuitBreaker,
     LocalReplica,
+    ReplicaLink,
     ReplicatedService,
     ResilientClient,
     ServiceConfig,
@@ -172,6 +176,44 @@ class TestWalEpochHeader:
         again = WriteAheadLog(path)
         records, tear = again.recover()
         assert [r["n"] for r in records] == [0, 1, 2, 3, 99]
+        again.close()
+
+    @pytest.mark.parametrize("size", [4, 6, 15])
+    def test_torn_file_header_reinitialises_at_epoch_zero(self, tmp_path, size):
+        # A power cut during file creation can leave any prefix of the
+        # 16-byte header; recovery must treat it as a tear, not crash.
+        path = tmp_path / "wal.log"
+        seeded = WriteAheadLog(path)
+        seeded.recover()
+        seeded.close()
+        path.write_bytes(path.read_bytes()[:size])
+        wal = WriteAheadLog(path)
+        records, tear = wal.recover()
+        assert records == [] and wal.epoch == 0
+        assert tear is not None and "file header" in tear.reason
+        wal.append({"n": 1})  # the reinitialised file accepts appends
+        wal.close()
+        again = WriteAheadLog(path)
+        records, tear = again.recover()
+        assert [r["n"] for r in records] == [1] and tear is None
+        again.close()
+
+    def test_truncate_to_drops_suffix_durably(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.recover()
+        for n in range(5):
+            wal.append({"n": n})
+        wal.set_epoch(2)
+        assert wal.truncate_to(3) == 3
+        assert len(wal) == 3
+        wal.append({"n": 99})
+        wal.close()
+        again = WriteAheadLog(tmp_path / "wal.log")
+        records, tear = again.recover()
+        assert [r["n"] for r in records] == [0, 1, 2, 99] and tear is None
+        assert again.epoch == 2  # truncation spares the header
+        with pytest.raises(ParameterError):
+            again.truncate_to(99)  # only ever shortens
         again.close()
 
     def test_frame_codec_round_trip_and_crc(self):
@@ -485,6 +527,88 @@ class TestFencedFailover:
         assert standby.status()["role"] == "standby"
         primary.close()
         standby.close()
+
+
+# ---------------------------------------------------------------------------
+# Divergence repair: forked histories truncate, never count toward quorum
+# ---------------------------------------------------------------------------
+class TestDivergenceRepair:
+    def test_zombie_fork_is_truncated_not_acked_as_duplicate(self, tmp_path):
+        a = ReplicatedService(make_config(tmp_path / "a"), role="primary")
+        a.start()
+        b = ReplicatedService(make_config(tmp_path / "b"), role="standby")
+        b.start()
+        a.replicas = [LocalReplica(b, name="b")]
+        for index, (tenant, stream, values) in enumerate(BATCHES[:3]):
+            a.ingest(tenant, stream, values, idempotency_key=f"pre{index}")
+        # Partition: A keeps appending but nothing reaches B any more.
+        a.replicas = []
+        a.ingest(TENANT, "A", [111], idempotency_key="forked")  # seq 3, A only
+        # B is promoted and takes different traffic at the same sequence.
+        b.promote()
+        b.replicas = [LocalReplica(a, name="a")]
+        ack = b.ingest(TENANT, "B", [222], idempotency_key="winner")
+        assert ack["sequence"] == 3
+        # Shipping demoted A, dropped its fork, and applied B's record —
+        # a sequence-only duplicate ack here would lose the acked write.
+        assert a.role == "standby"
+        assert a.status()["wal_sequence"] == 4
+        assert encode_frame(a._records[3]) == encode_frame(b._records[3])
+        assert (TENANT, "forked") not in a._dedup  # the fork's key died too
+        assert a.publish()["digest"] == b.publish()["digest"]
+        # The truncation is durable: a restart replays the healed history.
+        a.close()
+        reborn = ReplicatedService(make_config(tmp_path / "a"), role="standby")
+        reborn.start()
+        assert reborn.publish()["digest"] == b.publish()["digest"]
+        reborn.close()
+        b.close()
+
+    def test_standby_ahead_of_wal_head_fails_quorum(self, tmp_path):
+        primary, standby = make_pair(tmp_path)
+
+        class Ahead(ReplicaLink):
+            name = "ahead"
+
+            def replicate(self, payload):
+                raise ReplicaGapError(7, payload["sequence"])
+
+        primary.replicas = [Ahead()]
+        with pytest.raises(ReplicationQuorumError):
+            primary.ingest(TENANT, "A", [1], idempotency_key="g0")
+        # Durable locally, but the link never counted as caught up.
+        assert primary.status()["wal_sequence"] == 1
+        assert primary.status()["replicas"][0]["cursor"] == 0
+        primary.close()
+        standby.close()
+
+    def test_gap_beyond_wal_head_raises_typed_divergence(self, tmp_path):
+        primary, standby = make_pair(tmp_path)
+        primary.ingest(TENANT, "A", [1], idempotency_key="d0")
+
+        class Ahead(ReplicaLink):
+            name = "ahead"
+
+            def replicate(self, payload):
+                raise ReplicaGapError(7, payload["sequence"])
+
+        with pytest.raises(ReplicaDivergenceError) as excinfo:
+            primary._ship_link(1, Ahead())
+        assert excinfo.value.sequence == 1  # our WAL head, not theirs
+        primary.close()
+        standby.close()
+
+
+# ---------------------------------------------------------------------------
+# CLI: --replica argument validation
+# ---------------------------------------------------------------------------
+class TestReplicaFlagParsing:
+    def test_bad_replica_addresses_exit_cleanly(self, tmp_path):
+        from repro.service.__main__ import main
+
+        for bad in ("host:abc", "host:", ":1234", "host:0", "host:99999"):
+            with pytest.raises(SystemExit, match="HOST:PORT"):
+                main(["--data-dir", str(tmp_path), "--replica", bad])
 
 
 # ---------------------------------------------------------------------------
