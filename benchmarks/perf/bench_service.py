@@ -20,7 +20,14 @@ in the ``service`` section of ``BENCH_perf.json`` (schema v6):
   every ack now additionally waits for the standby to apply the shipped
   WAL frame over HTTP, so this is the replicated durability price.  CI's
   ``--min-quorum-ingest`` floor reads it; ``quorum_digest_match``
-  certifies the two nodes published byte-identical snapshots at the end.
+  certifies the two nodes published byte-identical snapshots at the end;
+* ``window_estimates_per_sec`` (schema v7) — sustained
+  ``GET /v1/estimate?window=W`` throughput against a service running
+  with ``epoch_interval`` set, each query tree-merging the newest
+  epoch partials and running the full estimate pipeline.  CI's
+  ``--min-window-estimate`` floor reads it;
+  ``window_ingest_reports_per_sec`` is acknowledged ingest with
+  temporal epoch folding enabled (the ring-maintenance price).
 
 Standalone usage::
 
@@ -69,6 +76,19 @@ CONNECTIONS = 4
 #: ``GET /v1/estimate`` samples of the query-latency phase.
 FULL_QUERIES = 1_000
 QUICK_QUERIES = 200
+
+#: Total acknowledged reports of the windowed (temporal) phase, and the
+#: ``GET /v1/estimate?window=W`` samples timed against the ring.
+FULL_WINDOWED = 250_000
+QUICK_WINDOWED = 50_000
+FULL_WINDOW_QUERIES = 200
+QUICK_WINDOW_QUERIES = 50
+
+#: Temporal shape of the windowed leg: one epoch per 8 WAL records, an
+#: 8-epoch ring, and a 4-epoch sliding window per query.
+WINDOW_EPOCH_INTERVAL = 8
+WINDOW_EPOCHS = 8
+WINDOW_QUERY = 4
 
 SERVICE_SHARDS = 4
 SERVICE_SEED = 20240101
@@ -341,15 +361,109 @@ async def _run_replicated(total_reports: int, data_dir: Path) -> dict:
     }
 
 
+async def _run_windowed(total_reports: int, queries: int, data_dir: Path) -> dict:
+    """Temporal leg: epoch-rolling ingest, then sliding-window queries.
+
+    The service runs with ``epoch_interval`` set, so every fold also
+    lands in the epoch ring; each timed query then tree-merges the
+    newest ``WINDOW_QUERY`` epoch partials and runs the full estimate
+    pipeline (FWHT + Eq. (5)) on the merged accumulators — no publish
+    required.  ``window_estimates_per_sec`` is the number CI's
+    ``--min-window-estimate`` floor reads.
+    """
+    service = AggregationService(
+        ServiceConfig(
+            data_dir=data_dir,
+            num_shards=SERVICE_SHARDS,
+            seed=SERVICE_SEED,
+            epoch_interval=WINDOW_EPOCH_INTERVAL,
+            window_epochs=WINDOW_EPOCHS,
+        )
+    )
+    server = ServiceServer(
+        service,
+        ServerConfig(
+            port=0,
+            queue_limit=256,
+            tenant_queue_limit=256,
+            publish_threshold=1_000_000,
+        ),
+    )
+    address = await server.start()
+    try:
+        batches = _build_batches(total_reports)
+        shares: List[List[bytes]] = [[] for _ in range(CONNECTIONS)]
+        for index, body in enumerate(batches):
+            shares[index % CONNECTIONS].append(body)
+        ingest_ms: List[float] = []
+        counters = {"throttled": 0}
+        load_start = time.perf_counter()
+        await asyncio.gather(
+            *(_drive(address, share, ingest_ms, counters) for share in shares)
+        )
+        ingest_seconds = time.perf_counter() - load_start
+
+        client = _Client(*address)
+        await client.connect()
+        try:
+            target = (
+                "/v1/estimate?tenant=bench&kind=join&streams=A,B"
+                f"&window={WINDOW_QUERY}"
+            )
+            query_ms: List[float] = []
+            query_start = time.perf_counter()
+            for _ in range(queries):
+                start = time.perf_counter()
+                status, _, _ = await client.request("GET", target)
+                query_ms.append((time.perf_counter() - start) * 1e3)
+                if status != 200:
+                    raise RuntimeError(f"window query failed with HTTP {status}")
+            query_seconds = time.perf_counter() - query_start
+            status, report, _ = await client.request("GET", "/v1/status")
+            if status != 200:
+                raise RuntimeError(f"status failed with HTTP {status}")
+            temporal = report.get("temporal") or {}
+        finally:
+            await client.close()
+    finally:
+        await server.shutdown()
+
+    query = np.asarray(query_ms)
+    return {
+        "window_n": total_reports,
+        "window_epoch_interval": WINDOW_EPOCH_INTERVAL,
+        "window_epochs": WINDOW_EPOCHS,
+        "window_query_epochs": WINDOW_QUERY,
+        "window_throttled": counters["throttled"],
+        "window_ingest_seconds": ingest_seconds,
+        "window_ingest_reports_per_sec": (
+            total_reports / ingest_seconds if ingest_seconds > 0 else float("inf")
+        ),
+        "window_closed_epochs": temporal.get("epoch", 0),
+        "window_queries": len(query_ms),
+        "window_query_p50_ms": float(np.percentile(query, 50)),
+        "window_query_p99_ms": float(np.percentile(query, 99)),
+        "window_estimates_per_sec": (
+            len(query_ms) / query_seconds if query_seconds > 0 else float("inf")
+        ),
+    }
+
+
 def run_service_bench(quick: bool = False) -> dict:
     """Run the load generator against a fresh service; returns the section."""
     total_reports = QUICK_REPORTS if quick else FULL_REPORTS
     queries = QUICK_QUERIES if quick else FULL_QUERIES
     replicated_reports = QUICK_REPLICATED if quick else FULL_REPLICATED
+    windowed_reports = QUICK_WINDOWED if quick else FULL_WINDOWED
+    window_queries = QUICK_WINDOW_QUERIES if quick else FULL_WINDOW_QUERIES
     with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
         section = asyncio.run(_run(total_reports, queries, Path(tmp)))
     with tempfile.TemporaryDirectory(prefix="repro-bench-replicated-") as tmp:
         section.update(asyncio.run(_run_replicated(replicated_reports, Path(tmp))))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-windowed-") as tmp:
+        section.update(
+            asyncio.run(_run_windowed(windowed_reports, window_queries, Path(tmp)))
+        )
     return section
 
 
@@ -373,6 +487,13 @@ def main(argv=None) -> int:
         f"{section['quorum_ingest_p50_ms']:.2f}ms, p99 "
         f"{section['quorum_ingest_p99_ms']:.2f}ms), digest match="
         f"{bool(section['quorum_digest_match'])}"
+    )
+    print(
+        f"[bench] windowed estimate {section['window_estimates_per_sec']:,.0f} "
+        f"queries/s over a {section['window_query_epochs']}-epoch window "
+        f"(p50 {section['window_query_p50_ms']:.2f}ms, p99 "
+        f"{section['window_query_p99_ms']:.2f}ms); temporal ingest "
+        f"{section['window_ingest_reports_per_sec']:,.0f} reports/s"
     )
     return 0
 

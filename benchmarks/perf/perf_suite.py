@@ -49,7 +49,10 @@ every PR has a perf baseline to beat:
   (each ack held for the standby's ``POST /v1/replicate`` apply), with
   ``quorum_ingest_reports_per_sec`` read by ``--min-quorum-ingest`` and
   ``quorum_digest_match`` certifying both nodes published byte-identical
-  snapshots.
+  snapshots.  Schema v7 adds the windowed (temporal) leg: the same load
+  shape against a service running with ``epoch_interval`` set, then a
+  burst of ``GET /v1/estimate?window=W`` sliding-window queries, with
+  ``window_estimates_per_sec`` read by ``--min-window-estimate``.
 
 :func:`run_suite` returns a JSON-compatible payload;
 :func:`validate_payload` is the schema check CI runs against the emitted
@@ -82,7 +85,7 @@ from repro.hashing import HashPairs
 from repro.hashing.kwise import MERSENNE_PRIME_31
 from repro.rng import derive_seed, ensure_rng
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: Shard count of the ``distributed`` section (one tree of depth 3).
 DISTRIBUTED_SHARDS = 8
@@ -697,6 +700,18 @@ _SECTION_KEYS: Dict[str, Tuple[str, ...]] = {
         "quorum_ingest_p50_ms",
         "quorum_ingest_p99_ms",
         "quorum_digest_match",
+        "window_n",
+        "window_epoch_interval",
+        "window_epochs",
+        "window_query_epochs",
+        "window_throttled",
+        "window_ingest_seconds",
+        "window_ingest_reports_per_sec",
+        "window_closed_epochs",
+        "window_queries",
+        "window_query_p50_ms",
+        "window_query_p99_ms",
+        "window_estimates_per_sec",
     ),
 }
 

@@ -111,6 +111,16 @@ def main(argv=None) -> int:
         "the standby's WAL apply — and both nodes published byte-identical "
         "snapshots",
     )
+    parser.add_argument(
+        "--min-window-estimate",
+        type=float,
+        default=None,
+        metavar="X",
+        help="with --validate: fail unless the windowed (temporal) leg "
+        "sustained at least X sliding-window estimates/sec — each query "
+        "tree-merging the newest epoch partials and running the full "
+        "estimate pipeline",
+    )
     args = parser.parse_args(argv)
 
     # Flags are mode-specific; a CI edit that drops --validate must fail
@@ -127,6 +137,7 @@ def main(argv=None) -> int:
             ),
             ("--min-service-ingest", args.min_service_ingest is not None),
             ("--min-quorum-ingest", args.min_quorum_ingest is not None),
+            ("--min-window-estimate", args.min_window_estimate is not None),
         ):
             if given:
                 parser.error(f"{flag} only applies with --validate")
@@ -249,6 +260,23 @@ def main(argv=None) -> int:
                 f"{service['quorum_ingest_p99_ms']:.2f}ms), byte-identical "
                 f"snapshots"
             )
+        if args.min_window_estimate is not None:
+            service = payload["sections"]["service"]
+            if service["window_estimates_per_sec"] < args.min_window_estimate:
+                print(
+                    f"[fail] windowed estimates at "
+                    f"{service['window_estimates_per_sec']:,.0f}/s — below the "
+                    f"{args.min_window_estimate:,.0f}/s floor"
+                )
+                return 1
+            print(
+                f"[ok] windowed estimates at "
+                f"{service['window_estimates_per_sec']:,.0f}/s over a "
+                f"{service['window_query_epochs']:.0f}-epoch window "
+                f"(p50 {service['window_query_p50_ms']:.2f}ms / p99 "
+                f"{service['window_query_p99_ms']:.2f}ms; temporal ingest "
+                f"{service['window_ingest_reports_per_sec']:,.0f} reports/s)"
+            )
         print(f"[ok] {args.validate} matches BENCH_perf schema v{payload['schema_version']}")
         return 0
 
@@ -318,6 +346,14 @@ def main(argv=None) -> int:
         f"(ack p50 {service['quorum_ingest_p50_ms']:.2f}ms / p99 "
         f"{service['quorum_ingest_p99_ms']:.2f}ms), digest match="
         f"{bool(service['quorum_digest_match'])}"
+    )
+    print(
+        f"[bench] windowed estimates (window={service['window_query_epochs']:.0f} "
+        f"of {service['window_epochs']:.0f} epochs, n={service['window_n']:.0f}): "
+        f"{service['window_estimates_per_sec']:,.0f}/s "
+        f"(p50 {service['window_query_p50_ms']:.2f}ms / p99 "
+        f"{service['window_query_p99_ms']:.2f}ms), temporal ingest "
+        f"{service['window_ingest_reports_per_sec']:,.0f} reports/s"
     )
     print(f"[bench] wrote {args.out}")
     return 0

@@ -19,6 +19,11 @@ RPR106   Async service paths stay non-blocking: no ``time.sleep``, sync
          file I/O, or blocking HTTP clients inside ``service/`` async
          functions, and no wall-clock-seeded logic anywhere in
          ``service/``.
+RPR107   Ledger charge rows are written only by ``privacy/budget.py``:
+         no direct ``.charges.append`` / ``.extend`` / ``+=`` mutation
+         elsewhere — absorbing foreign charges must go through
+         ``BudgetLedger.absorb`` (collision-renaming) or ``restore``
+         (deserialisation).
 =======  ==============================================================
 
 The rules are deliberately heuristic (static analysis of a dynamic
@@ -49,6 +54,7 @@ __all__ = [
     "PrivacyBudgetBypassRule",
     "NondeterminismSmellRule",
     "ServiceBlockingCallRule",
+    "LedgerChargesMutationRule",
 ]
 
 # Accumulator naming convention on merge-critical paths (core/,
@@ -686,3 +692,53 @@ class ServiceBlockingCallRule(Rule):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
                 continue
             stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule
+class LedgerChargesMutationRule(Rule):
+    code = "RPR107"
+    name = "direct-ledger-charges-mutation"
+    rationale = (
+        "Charge rows carry the parallel-composition invariant: group names "
+        "must stay collision-free when cohorts from different sessions land "
+        "in one ledger, and only BudgetLedger.absorb (collision-renaming) / "
+        "restore (verbatim deserialisation) in privacy/budget.py preserve "
+        "that.  A direct .charges.append elsewhere can silently collapse "
+        "two disjoint cohorts into one group and double-count epsilon."
+    )
+
+    #: In-place list mutators that write rows past the ledger API.
+    _MUTATORS = {"append", "extend", "insert"}
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.in_repro_package:
+            return
+        if ctx.package_parts == ("privacy", "budget.py"):
+            return  # the one sanctioned home of charge-row writes
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self._MUTATORS
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "charges"
+                ):
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"direct .charges.{func.attr}() outside privacy/budget.py "
+                        "bypasses collision renaming; use BudgetLedger.absorb "
+                        "(merges) or BudgetLedger.restore (deserialisation)",
+                    )
+            elif isinstance(node, ast.AugAssign):
+                if (
+                    isinstance(node.target, ast.Attribute)
+                    and node.target.attr == "charges"
+                ):
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        "in-place += on a .charges list outside privacy/budget.py "
+                        "bypasses collision renaming; use BudgetLedger.absorb",
+                    )

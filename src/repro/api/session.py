@@ -483,21 +483,10 @@ class JoinSession:
             state.uplink_bits += int(partial.counters[f"stream:{name}:uplink_bits"])
             state.cohorts += int(partial.counters[f"stream:{name}:cohorts"])
             state.cached = None
-        # Shard charges describe disjoint cohorts; a group name colliding
-        # with one already in the ledger is renamed so parallel (not
-        # sequential) composition applies — same rule as session merge.
-        # The rename itself probes until unique, so folding partial after
-        # partial (each carrying the same bare stream groups) never lands
-        # two charges in one group.
-        existing = {group for group, _, _ in self.ledger.charges}
-        for group, epsilon, mechanism in partial.meta.get("charges", []):
-            candidate = str(group)
-            suffix = 0
-            while candidate in existing:
-                suffix += 1
-                candidate = f"{group}@partial{suffix}"
-            existing.add(candidate)
-            self.ledger.charges.append((candidate, float(epsilon), str(mechanism)))
+        # Shard charges describe disjoint cohorts; colliding group names
+        # are renamed (probe-until-unique) so parallel — not sequential —
+        # composition applies, same rule as session merge.
+        self.ledger.absorb(partial.meta.get("charges", []), label="partial")
         self.offline_seconds += float(partial.counters.get("offline_seconds", 0.0))
         return self
 
@@ -568,12 +557,12 @@ class JoinSession:
             mine.uplink_bits += theirs.uplink_bits
             mine.cohorts += theirs.cohorts
             mine.cached = None
-        existing = {group for group, _, _ in self.ledger.charges}
-        # Snapshot: self.ledger.charges may alias structures we append to.
-        for group, epsilon, mechanism in list(other.ledger.charges):
-            if group in existing:
-                group = f"{group}@{other._label}"
-            self.ledger.charges.append((group, epsilon, mechanism))
+        # Disjoint-cohort charges: absorb probes colliding group names
+        # until unique, so merging shards that share a label (sessions
+        # rebuilt via from_dict in separate processes used to reboot with
+        # colliding counter labels) cannot collapse two cohorts into one
+        # group and double the reported worst-case spend.
+        self.ledger.absorb(other.ledger.charges, label=other._label)
         self.offline_seconds += other.offline_seconds
         return self
 
@@ -782,6 +771,7 @@ class JoinSession:
             "streams": streams,
             "charges": [list(charge) for charge in self.ledger.charges],
             "offline_seconds": self.offline_seconds,
+            "label": self._label,
         }
 
     @classmethod
@@ -811,9 +801,15 @@ class JoinSession:
             state.uplink_bits = int(entry["uplink_bits"])
             state.cohorts = int(entry["cohorts"])
             session._streams[name] = state
-        for group, epsilon, mechanism in payload.get("charges", []):
-            session.ledger.charges.append((str(group), float(epsilon), str(mechanism)))
+        session.ledger.restore(payload.get("charges", []))
         session.offline_seconds = float(payload.get("offline_seconds", 0.0))
+        # Keep the serialised label: sessions rebooted in separate worker
+        # processes must stay distinguishable when merged, not all reboot
+        # under the restarted process-wide counter.  Legacy payloads
+        # without one keep the fresh counter label from __init__.
+        label = payload.get("label")
+        if label:
+            session._label = str(label)
         return session
 
     # ------------------------------------------------------------------

@@ -107,6 +107,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--out", type=Path, default=None, help="directory for the sweep CSV")
 
+    windows = sub.add_parser(
+        "windows",
+        help="run a (dataset x window) sliding-window accuracy grid "
+        "(repro.temporal)",
+    )
+    windows.add_argument(
+        "--datasets", nargs="+", default=["zipf-1.1"], help="dataset registry keys"
+    )
+    windows.add_argument(
+        "--windows",
+        nargs="+",
+        type=int,
+        default=[1, 2, 4, 8],
+        help="sliding-window sizes, in epochs",
+    )
+    windows.add_argument(
+        "--epochs", type=int, default=8, help="epoch slices per dataset stream"
+    )
+    windows.add_argument("--epsilon", type=float, default=4.0)
+    windows.add_argument("--trials", type=int, default=3)
+    windows.add_argument("--scale", type=float, default=0.002, help="fraction of paper stream sizes")
+    windows.add_argument("--size", type=int, default=None, help="explicit per-stream length override")
+    windows.add_argument("--seed", type=int, default=2024)
+    windows.add_argument("--k", type=int, default=18, help="sketch depth")
+    windows.add_argument("--m", type=int, default=1024, help="sketch width")
+    windows.add_argument(
+        "--decay",
+        default=None,
+        metavar="NUM/DEN",
+        help="also report the exponentially decayed estimate with this "
+        "exact rational per-epoch factor (e.g. 1/2)",
+    )
+    windows.add_argument(
+        "--out", type=Path, default=None, help="directory for the windows CSV"
+    )
+
     shard = sub.add_parser(
         "shard",
         help="sharded aggregation tools (repro.distributed)",
@@ -451,6 +487,39 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"[sweep completed in {elapsed:.1f}s]")
             if args.out is not None:
                 path = table.to_csv(Path(args.out) / "sweep.csv")
+                print(f"[wrote {path}]")
+            return 0
+        if args.command == "windows":
+            from .sweep import window_sweep_table
+
+            decay = None
+            if args.decay is not None:
+                num, sep, den = str(args.decay).partition("/")
+                try:
+                    decay = (int(num), int(den))
+                except ValueError:
+                    decay = None
+                if not sep or decay is None:
+                    raise SystemExit(f"--decay must be NUM/DEN, got {args.decay!r}")
+            start = time.perf_counter()
+            table = window_sweep_table(
+                args.datasets,
+                args.windows,
+                epochs=args.epochs,
+                epsilon=args.epsilon,
+                k=args.k,
+                m=args.m,
+                trials=args.trials,
+                scale=args.scale,
+                size=args.size,
+                seed=args.seed,
+                decay=decay,
+            )
+            elapsed = time.perf_counter() - start
+            print(table.to_text())
+            print(f"[windows completed in {elapsed:.1f}s]")
+            if args.out is not None:
+                path = table.to_csv(Path(args.out) / "windows.csv")
                 print(f"[wrote {path}]")
             return 0
         names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

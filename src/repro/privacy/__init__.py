@@ -8,7 +8,7 @@ from .response import (
     keep_probability,
     random_signs,
 )
-from .budget import BudgetLedger, PrivacySpec
+from .budget import BudgetLedger, ContinualLedger, PrivacySpec
 from .audit import max_privacy_ratio, verify_ldp
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "grr_perturb",
     "PrivacySpec",
     "BudgetLedger",
+    "ContinualLedger",
     "max_privacy_ratio",
     "verify_ldp",
 ]

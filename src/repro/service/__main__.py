@@ -98,6 +98,18 @@ def build_parser() -> argparse.ArgumentParser:
         "best-effort",
     )
     parser.add_argument(
+        "--epoch-interval",
+        type=int,
+        default=0,
+        help="WAL records per temporal epoch (0 disables windowed estimates)",
+    )
+    parser.add_argument(
+        "--window-epochs",
+        type=int,
+        default=8,
+        help="closed epochs retained for GET /v1/estimate?window=W",
+    )
+    parser.add_argument(
         "--dedup-retention",
         type=int,
         default=4096,
@@ -142,6 +154,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             wal_fsync=args.wal_fsync,
             retries=args.retries,
             dedup_retention=args.dedup_retention,
+            epoch_interval=args.epoch_interval,
+            window_epochs=args.window_epochs,
         ),
         role=args.role,
         replicas=replicas,

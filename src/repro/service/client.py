@@ -430,12 +430,23 @@ class ResilientClient:
         """Hedged ``GET /v1/snapshot``: the latest published identity."""
         return self._hedged("GET", "/v1/snapshot")
 
-    def estimate(self, tenant: str, stream_a: str, stream_b: str) -> dict:
-        """Hedged join-size estimate between two of a tenant's streams."""
-        return self._hedged(
-            "GET",
-            f"/v1/estimate?tenant={tenant}&kind=join&streams={stream_a},{stream_b}",
-        )
+    def estimate(
+        self,
+        tenant: str,
+        stream_a: str,
+        stream_b: str,
+        *,
+        window: Optional[int] = None,
+    ) -> dict:
+        """Hedged join-size estimate between two of a tenant's streams.
+
+        ``window=W`` restricts the estimate to the newest ``W`` temporal
+        epochs (the service must run with ``epoch_interval > 0``).
+        """
+        target = f"/v1/estimate?tenant={tenant}&kind=join&streams={stream_a},{stream_b}"
+        if window is not None:
+            target += f"&window={int(window)}"
+        return self._hedged("GET", target)
 
     def publish(self) -> dict:
         """Force a publish on the preferred (primary) node — not hedged."""

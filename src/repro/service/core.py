@@ -51,6 +51,7 @@ import numpy as np
 from ..api.session import JoinSession
 from ..core.params import SketchParams
 from ..distributed.checkpoint import ShardCheckpoint
+from ..distributed.merge import merge_tree
 from ..errors import (
     CheckpointCorruptError,
     ParameterError,
@@ -58,6 +59,7 @@ from ..errors import (
 )
 from ..reliability.faults import fault_point
 from ..reliability.retry import RetryPolicy
+from ..temporal.session import TemporalSession
 from .wal import FSYNC_POLICIES, WalTear, WriteAheadLog
 
 __all__ = [
@@ -109,6 +111,8 @@ class ServiceConfig:
     retries: int = 3  #: attempt budget of every retried internal operation
     max_batch_reports: int = 65536  #: admission cap on one batch's size
     dedup_retention: int = 4096  #: idempotency-ledger entries kept per service
+    epoch_interval: int = 0  #: WAL records per epoch (0 disables temporal)
+    window_epochs: int = 8  #: closed epochs retained for window queries
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -132,6 +136,15 @@ class ServiceConfig:
         if self.dedup_retention < 1:
             raise ParameterError(
                 f"dedup_retention must be >= 1, got {self.dedup_retention}"
+            )
+        if self.epoch_interval < 0:
+            raise ParameterError(
+                f"epoch_interval must be >= 0 (0 disables temporal windows), "
+                f"got {self.epoch_interval}"
+            )
+        if self.window_epochs < 1:
+            raise ParameterError(
+                f"window_epochs must be >= 1, got {self.window_epochs}"
             )
 
     @property
@@ -203,6 +216,21 @@ class AggregationService:
         # Replayable record history, in sequence order; replication ships
         # (and re-ships, on standby gaps) frames straight from this list.
         self._records: List[dict] = []
+        # Temporal ring (None when epoch_interval is 0).  Not checkpointed:
+        # epochs are a pure function of WAL sequence numbers, so start()
+        # rebuilds the identical ring by replaying every record through
+        # the same roll-then-collect path ingest uses.
+        self._temporal: Optional[TemporalSession] = None
+        self._reset_temporal()
+
+    def _reset_temporal(self) -> None:
+        """(Re)build the empty temporal ring on the coordinator's pairs."""
+        if self.config.epoch_interval > 0:
+            self._temporal = TemporalSession(
+                self.config.params,
+                window_epochs=self.config.window_epochs,
+                pairs=self._coordinator.pairs,
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -262,7 +290,11 @@ class AggregationService:
             self._remember_ack(record, sequence)
             shard_index = sequence % self.config.num_shards
             if sequence < cursors[shard_index]:
-                continue  # already inside this shard's checkpoint
+                # Already inside this shard's checkpoint — but the
+                # temporal ring is rebuilt from the WAL alone, so every
+                # record still rolls and folds the epoch buckets.
+                self._fold_temporal(record, sequence)
+                continue
             self._fold(record, sequence)
             replayed += 1
         self._folded = len(records)
@@ -402,7 +434,27 @@ class AggregationService:
             shard=shard_index,
             tenant=str(record["tenant"]),
         )
+        self._fold_temporal(record, sequence)
         self._shards[shard_index].collect(
+            f"{record['tenant']}/{record['stream']}",
+            np.asarray(record["values"], dtype=np.int64),
+            attribute=int(record["attribute"]),
+            seed=batch_seed(self.config.seed, sequence),
+        )
+
+    def _fold_temporal(self, record: Mapping[str, Any], sequence: int) -> None:
+        """Roll the epoch ring to ``sequence``'s epoch and fold the batch.
+
+        The epoch is ``sequence // epoch_interval`` — a pure function of
+        the WAL position — and the batch re-uses the fold's derived
+        seed, so the epoch accumulators are the same integer sums the
+        shard path produces for those records.  Replay and replication
+        therefore rebuild a byte-identical ring.
+        """
+        if self._temporal is None:
+            return
+        self._temporal.roll_to(sequence // self.config.epoch_interval)
+        self._temporal.collect(
             f"{record['tenant']}/{record['stream']}",
             np.asarray(record["values"], dtype=np.int64),
             attribute=int(record["attribute"]),
@@ -525,8 +577,23 @@ class AggregationService:
     def _qualify(tenant: str, stream: str) -> str:
         return f"{tenant}/{stream}"
 
-    def estimate(self, tenant: str, stream_a: str, stream_b: str) -> dict:
-        """Eq. (5) join-size estimate between two of a tenant's streams."""
+    def estimate(
+        self,
+        tenant: str,
+        stream_a: str,
+        stream_b: str,
+        *,
+        window: Optional[int] = None,
+    ) -> dict:
+        """Eq. (5) join-size estimate between two of a tenant's streams.
+
+        With ``window=W`` the estimate covers only the newest ``W``
+        epochs (open epoch included) and is answered from the live
+        epoch ring — deterministic WAL state, no publish required —
+        instead of the published snapshot.
+        """
+        if window is not None:
+            return self._estimate_window(tenant, stream_a, stream_b, int(window))
         session = self._published_session()
 
         def run() -> dict:
@@ -542,6 +609,45 @@ class AggregationService:
             }
 
         return self._retry.call(run, operation="service.query.estimate")
+
+    def _estimate_window(
+        self, tenant: str, stream_a: str, stream_b: str, window: int
+    ) -> dict:
+        """Sliding-window estimate over the newest ``window`` epochs.
+
+        The window session is a fresh tree-merge of the ring's partials
+        (plus the open epoch) — pure over deterministic WAL state, so
+        the query is retry-safe and two replicas that agree on the WAL
+        return identical bytes.  Each answered release is noted on the
+        continual-observation ledger per covered epoch.
+        """
+        self._require_started()
+        if self._temporal is None:
+            raise ProtocolError(
+                "temporal windows are disabled; start the service with "
+                "epoch_interval > 0 to enable windowed estimates"
+            )
+        temporal = self._temporal
+
+        def run() -> Tuple[list, dict]:
+            fault_point("service.query", kind="window", tenant=str(tenant))
+            entries = temporal.window_entries(window)
+            session = JoinSession(self.config.params, pairs=self._coordinator.pairs)
+            session.merge(merge_tree([partial for _, partial in entries]))
+            result = session.estimate(
+                self._qualify(tenant, stream_a), self._qualify(tenant, stream_b)
+            )
+            return entries, {
+                "estimate": float(result.estimate),
+                "num_reports": int(result.extras["num_reports"]),
+                "streams": [stream_a, stream_b],
+                "window": int(window),
+                "epochs": [epoch for epoch, _ in entries],
+            }
+
+        entries, answer = self._retry.call(run, operation="service.query.window")
+        temporal.note_release(tenant, entries)
+        return answer
 
     def estimate_chain(self, tenant: str, streams: Sequence[str]) -> dict:
         """Eq. (27) chain-join estimate over a tenant's streams."""
@@ -615,4 +721,12 @@ class AggregationService:
             "snapshot": None if self._snapshot is None else self._snapshot.info(),
             "tenants": {name: dict(stats) for name, stats in self.tenants.items()},
             "recovery": self.recovery,
+            "temporal": (
+                None
+                if self._temporal is None
+                else dict(
+                    self._temporal.status(),
+                    epoch_interval=self.config.epoch_interval,
+                )
+            ),
         }

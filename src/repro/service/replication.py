@@ -539,6 +539,7 @@ class ReplicatedService(AggregationService):
             self._coordinator.spawn_shard()
             for _ in range(self.config.num_shards)
         ]
+        self._reset_temporal()
         self.tenants = {}
         self._dedup.clear()
         self._records = []

@@ -33,7 +33,7 @@ Endpoints::
     POST /v1/report    {"tenant", "stream", "values", ["attribute"],
                         ["idempotency_key"]}
     GET  /v1/estimate  ?tenant=&kind=join|chain|frequencies&streams=a,b
-                       [&values=1,2,3&method=mean]
+                       [&values=1,2,3&method=mean][&window=W]
     POST /v1/publish   force a snapshot publish
     GET  /v1/snapshot  latest snapshot identity (digest, wal_records)
     GET  /v1/status    operational summary (role, fencing_epoch,
@@ -639,7 +639,18 @@ class ServiceServer:
                 return 400, {
                     "error": "kind=join needs streams=<a>,<b>",
                 }, None
-            call = lambda: self.service.estimate(tenant, streams[0], streams[1])
+            window = None
+            if "window" in query:
+                try:
+                    window = int(query["window"])
+                except ValueError:
+                    return 400, {
+                        "error": f"window must be an integer epoch count, "
+                        f"got {query['window']!r}",
+                    }, None
+            call = lambda: self.service.estimate(
+                tenant, streams[0], streams[1], window=window
+            )
         elif kind == "chain":
             if len(streams) < 2:
                 return 400, {"error": "kind=chain needs streams=<a>,<b>,..."}, None

@@ -1,0 +1,13 @@
+"""Temporal estimation: epoch rings, window queries, decayed combination."""
+
+from .decay import combine_decayed, decay_weights, decayed_join_estimate
+from .ring import EpochRing
+from .session import TemporalSession
+
+__all__ = [
+    "EpochRing",
+    "TemporalSession",
+    "combine_decayed",
+    "decay_weights",
+    "decayed_join_estimate",
+]

@@ -175,6 +175,24 @@ BAD_FIXTURES = [
         "import time\nseed = int(time.time())\n",
         1,
     ),
+    (
+        "RPR107",
+        "repro/api/y1.py",
+        "self.ledger.charges.append((group, eps, mech))\n",
+        1,
+    ),
+    (
+        "RPR107",
+        "repro/api/y2.py",
+        "session.ledger.charges.extend(other.ledger.charges)\n",
+        1,
+    ),
+    (
+        "RPR107",
+        "repro/temporal/y3.py",
+        "ledger.charges += [(group, eps, mech)]\n",
+        1,
+    ),
 ]
 
 GOOD_FIXTURES = [
@@ -227,6 +245,22 @@ GOOD_FIXTURES = [
         "    await loop.run_in_executor(executor, work, p)\n",
     ),
     ("RPR106", "repro/experiments/gt.py", "import requests\n"),
+    # RPR107: the sanctioned module, the ledger API, reads, local lists.
+    (
+        "RPR107",
+        "repro/privacy/budget.py",
+        "self.charges.append((group, eps, mech))\n",
+    ),
+    (
+        "RPR107",
+        "repro/api/gu.py",
+        "self.ledger.absorb(other.ledger.charges, label=label)\n",
+    ),
+    (
+        "RPR107",
+        "repro/api/gv.py",
+        "charges.append((group, eps, mech))\n",
+    ),
 ]
 
 

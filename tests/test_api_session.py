@@ -7,6 +7,8 @@ import json
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.api import EstimateResult, JoinSession
 from repro.core import SketchParams, build_sketch, encode_reports
@@ -222,6 +224,128 @@ class TestSharding:
         # A restored shard keeps merging with the original lineage.
         session.merge(restored)
         assert session.num_reports("A") == 2 * a.size
+
+
+class TestLedgerMergeInvariance:
+    """Regression suite for the cross-process ledger-corruption bug.
+
+    ``merge`` used to rename colliding charge groups with a fixed
+    ``group@{label}`` tag and no uniqueness probing.  Labels are a
+    per-process counter (``shard1``, ``shard2``, ...), so two sessions
+    rebuilt via ``from_dict`` in different processes rebooted with the
+    SAME label; merging their disjoint cohorts then landed both charges
+    in one group and sequential composition doubled the reported spend
+    (2eps instead of eps).  These tests pin the repaired invariant:
+    K disjoint shards keep worst-case spend eps through every merge
+    path, any labels, any serialisation interleaving.
+    """
+
+    def _shards(self, params, values, count, seed=13):
+        coordinator = JoinSession(params, seed=seed)
+        shards = []
+        for index, chunk in enumerate(np.array_split(values, count)):
+            shard = coordinator.spawn_shard()
+            shard.collect("A", chunk, seed=index + 1)
+            shards.append(shard)
+        return coordinator, shards
+
+    def test_pinned_2eps_regression_same_label(self, params, streams):
+        # The exact pre-fix failure: two shards forced onto one label (as
+        # happens when both were from_dict-rebooted in sibling processes).
+        a, _ = streams
+        coordinator, (shard1, shard2) = self._shards(params, a[:200], 2)
+        shard1._label = shard2._label = "shard1"
+        coordinator.merge(shard1).merge(shard2)
+        groups = [g for g, _, _ in coordinator.ledger.charges]
+        assert len(groups) == len(set(groups)) == 2
+        # Before the fix this read 2 * eps — sequential composition of two
+        # cohorts that never shared a user.
+        assert coordinator.ledger.worst_case_epsilon() == pytest.approx(
+            params.epsilon
+        )
+
+    def test_cross_process_round_trip_keeps_epsilon(self, params, streams):
+        a, _ = streams
+        coordinator, shards = self._shards(params, a[:300], 3)
+        for shard in shards:
+            rebooted = JoinSession.from_dict(
+                json.loads(json.dumps(shard.to_dict()))
+            )
+            coordinator.merge(rebooted)
+        assert coordinator.ledger.worst_case_epsilon() == pytest.approx(
+            params.epsilon
+        )
+        groups = [g for g, _, _ in coordinator.ledger.charges]
+        assert len(groups) == len(set(groups)) == 3
+
+    def test_label_survives_serialisation(self, params, streams):
+        a, _ = streams
+        session = JoinSession(params, seed=3)
+        session.collect("A", a[:50])
+        payload = json.loads(json.dumps(session.to_dict()))
+        assert payload["label"] == session._label
+        restored = JoinSession.from_dict(payload)
+        assert restored._label == session._label
+
+    def test_legacy_payload_without_label_still_loads(self, params, streams):
+        a, _ = streams
+        session = JoinSession(params, seed=3)
+        session.collect("A", a[:50])
+        payload = json.loads(json.dumps(session.to_dict()))
+        del payload["label"]  # pre-fix payloads carried no label
+        restored = JoinSession.from_dict(payload)
+        assert restored.num_reports("A") == 50
+        assert restored._label  # fresh counter label, never empty
+
+    def test_partial_merge_path_keeps_epsilon(self, params, streams):
+        a, _ = streams
+        coordinator, shards = self._shards(params, a[:300], 3)
+        for shard in shards:
+            coordinator.merge(shard.to_partial())
+        assert coordinator.ledger.worst_case_epsilon() == pytest.approx(
+            params.epsilon
+        )
+        groups = [g for g, _, _ in coordinator.ledger.charges]
+        assert len(groups) == len(set(groups)) == 3
+
+    @given(
+        shard_count=st.integers(min_value=2, max_value=5),
+        labels=st.lists(
+            st.text(
+                alphabet=st.characters(
+                    whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=127
+                ),
+                min_size=1,
+                max_size=8,
+            ),
+            min_size=5,
+            max_size=5,
+        ),
+        serialize_mask=st.integers(min_value=0, max_value=31),
+        use_partials=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_disjoint_shards_keep_epsilon(
+        self, shard_count, labels, serialize_mask, use_partials
+    ):
+        """K disjoint shards always merge to worst-case eps — any labels,
+        any per-shard serialisation round-trip, either merge path."""
+        params = SketchParams(k=3, m=32, epsilon=4.0)
+        values = np.arange(shard_count * 16)
+        coordinator, shards = self._shards(params, values, shard_count, seed=7)
+        for index, shard in enumerate(shards):
+            shard._label = labels[index]
+            if (serialize_mask >> index) & 1:
+                shard = JoinSession.from_dict(
+                    json.loads(json.dumps(shard.to_dict()))
+                )
+            coordinator.merge(shard.to_partial() if use_partials else shard)
+        assert coordinator.ledger.worst_case_epsilon() == pytest.approx(
+            params.epsilon
+        )
+        groups = [g for g, _, _ in coordinator.ledger.charges]
+        assert len(groups) == len(set(groups)) == shard_count
+        assert coordinator.num_reports("A") == values.size
 
 
 class TestChainQueries:

@@ -159,6 +159,132 @@ class TestBudget:
             ledger.charge("A", -1.0, "m")
 
 
+class TestAbsorbAndRestore:
+    def test_absorb_renames_collisions(self):
+        ledger = BudgetLedger()
+        ledger.charge("A", 4.0, "fap")
+        ledger.absorb([("A", 4.0, "fap")], label="shard2")
+        assert ledger.worst_case_epsilon() == 4.0
+        groups = [g for g, _, _ in ledger.charges]
+        assert groups == ["A", "A@shard21"]
+
+    def test_absorb_probes_until_unique(self):
+        # Absorbing shard after shard with the SAME label must still keep
+        # every cohort's group distinct — the probe walks @label1, @label2,
+        # ... instead of landing the third shard's charge on the second's.
+        ledger = BudgetLedger()
+        ledger.charge("A", 4.0, "fap")
+        ledger.absorb([("A", 4.0, "fap")], label="shard")
+        ledger.absorb([("A", 4.0, "fap")], label="shard")
+        groups = [g for g, _, _ in ledger.charges]
+        assert len(groups) == len(set(groups)) == 3
+        assert ledger.worst_case_epsilon() == 4.0
+
+    def test_absorb_without_collision_keeps_name(self):
+        ledger = BudgetLedger()
+        ledger.charge("A", 4.0, "fap")
+        ledger.absorb([("B", 4.0, "fap")], label="shard2")
+        assert [g for g, _, _ in ledger.charges] == ["A", "B"]
+
+    def test_absorb_treats_same_name_rows_as_disjoint_cohorts(self):
+        # Sessions name every cohort uniquely (``A``, ``A#2``, ...), so two
+        # same-named rows inside one absorb call are by construction
+        # disjoint cohorts from different lineages — the second probes to a
+        # fresh group instead of sequentially composing with the first.
+        ledger = BudgetLedger()
+        ledger.absorb([("A", 1.0, "m"), ("A", 2.0, "m")], label="s")
+        assert ledger.spend_by_group() == {"A": 1.0, "A@s1": 2.0}
+
+    def test_absorb_self_alias_terminates(self):
+        # Absorbing a ledger's own charge list must not loop on the rows
+        # it appends (the iterable aliases the destination list).
+        ledger = BudgetLedger()
+        ledger.charge("A", 1.0, "m")
+        ledger.absorb(ledger.charges, label="clone")
+        assert [g for g, _, _ in ledger.charges] == ["A", "A@clone1"]
+
+    def test_absorb_label_required(self):
+        with pytest.raises(ParameterError, match="label"):
+            BudgetLedger().absorb([("A", 1.0, "m")], label="")
+
+    def test_restore_is_verbatim(self):
+        # Deserialisation must NOT rename: duplicate groups in a ledger's
+        # own payload legitimately encode sequential composition.
+        ledger = BudgetLedger()
+        ledger.restore([("A", 1.0, "m"), ("A", 2.0, "m")])
+        assert ledger.spend_by_group() == {"A": 3.0}
+        assert ledger.worst_case_epsilon() == 3.0
+
+
+class TestContinualLedger:
+    def _make(self):
+        from repro.privacy import ContinualLedger
+
+        return ContinualLedger()
+
+    def test_charge_and_readings(self):
+        ledger = self._make()
+        ledger.charge("tenant", 0, "tenant/A", 4.0, "fap")
+        ledger.charge("tenant", 1, "tenant/A", 4.0, "fap")
+        ledger.charge("tenant", 1, "tenant/B", 4.0, "fap")
+        # Parallel across groups within an epoch, disjoint across epochs:
+        assert ledger.worst_case_epsilon("tenant") == 4.0
+        # A user present in both epochs pays both:
+        assert ledger.lifetime_epsilon("tenant") == 8.0
+        assert ledger.epoch_spend("tenant") == {0: 4.0, 1: 4.0}
+
+    def test_sequential_within_epoch_group(self):
+        ledger = self._make()
+        ledger.charge("t", 0, "t/A", 1.0, "m")
+        ledger.charge("t", 0, "t/A", 2.0, "m")
+        assert ledger.worst_case_epsilon("t") == 3.0
+
+    def test_subjects_isolated(self):
+        ledger = self._make()
+        ledger.charge("t1", 0, "t1/A", 4.0, "m")
+        ledger.charge("t2", 0, "t2/A", 2.0, "m")
+        assert ledger.subjects() == ["t1", "t2"]
+        assert ledger.worst_case_epsilon("t1") == 4.0
+        assert ledger.worst_case_epsilon("t2") == 2.0
+        assert ledger.worst_case_epsilon("absent") == 0.0
+
+    def test_releases_are_counted_not_charged(self):
+        ledger = self._make()
+        ledger.charge("t", 0, "t/A", 4.0, "m")
+        ledger.charge("t", 1, "t/A", 4.0, "m")
+        before = ledger.lifetime_epsilon("t")
+        ledger.note_release("t", [0, 1])
+        ledger.note_release("t", [1])
+        assert ledger.lifetime_epsilon("t") == before  # post-processing
+        assert ledger.releases[("t", 0)] == 1
+        assert ledger.releases[("t", 1)] == 2
+
+    def test_summary_shape(self):
+        ledger = self._make()
+        ledger.charge("t", 0, "t/A", 4.0, "m")
+        ledger.note_release("t", [0])
+        summary = ledger.summary()
+        assert summary == {
+            "t": {
+                "epochs_charged": 1,
+                "worst_case_epsilon": 4.0,
+                "lifetime_epsilon": 4.0,
+                "releases": 1,
+            }
+        }
+
+    def test_validation(self):
+        ledger = self._make()
+        with pytest.raises(ParameterError):
+            ledger.charge("", 0, "g", 1.0, "m")
+        with pytest.raises(ParameterError):
+            ledger.charge("t", -1, "g", 1.0, "m")
+        with pytest.raises(ParameterError):
+            ledger.charge("t", 0, "", 1.0, "m")
+        with pytest.raises(ParameterError):
+            ledger.charge("t", 0, "g", 0.0, "m")
+
+
 class TestAuditMachinery:
     def test_perfect_mechanism_ratio_one(self):
         dist = lambda x: {0: 0.5, 1: 0.5}

@@ -739,3 +739,198 @@ class TestServeCli:
         argv = ["serve", "--data-dir", "/tmp/x", "--port", "0"]
         assert _forwarded_args(argv, "serve") == argv[1:]
         assert _forwarded_args(["run", "--help"], "serve") is None
+
+
+# ---------------------------------------------------------------------------
+# Temporal windows through the service
+# ---------------------------------------------------------------------------
+class TestTemporalService:
+    """Windowed estimates are pure over deterministic WAL state.
+
+    The epoch index is ``sequence // epoch_interval``, so the ring is a
+    function of the WAL alone — replay and replication must rebuild it
+    bit-for-bit, and a windowed answer must match a hand-driven
+    :class:`~repro.temporal.TemporalSession` fed the same batches.
+    """
+
+    INTERVAL = 2
+    RETAINED = 4
+
+    def _temporal_config(self, data_dir, **overrides):
+        return make_config(
+            data_dir,
+            epoch_interval=self.INTERVAL,
+            window_epochs=self.RETAINED,
+            **overrides,
+        )
+
+    def test_windowed_estimate_matches_direct_temporal_session(self, tmp_path):
+        from repro.temporal import TemporalSession
+
+        batches = make_batches(8)
+        service = AggregationService(self._temporal_config(tmp_path))
+        service.start()
+        for tenant, stream, values in batches:
+            service.ingest(tenant, stream, values)
+
+        direct = TemporalSession(
+            SketchParams(3, 32, 2.0), window_epochs=self.RETAINED, seed=11
+        )
+        for sequence, (tenant, stream, values) in enumerate(batches):
+            direct.roll_to(sequence // self.INTERVAL)
+            direct.collect(
+                f"{tenant}/{stream}", values, seed=batch_seed(11, sequence)
+            )
+
+        for window in (1, 2, 3):
+            answer = service.estimate(TENANT, "A", "B", window=window)
+            expected = direct.window_session(window).estimate(
+                f"{TENANT}/A", f"{TENANT}/B"
+            )
+            assert answer["estimate"] == float(expected.estimate)
+            assert answer["window"] == window
+            assert answer["epochs"] == [
+                epoch for epoch, _ in direct.window_entries(window)
+            ]
+        service.close()
+
+    def test_window_replay_rebuilds_identical_ring(self, tmp_path):
+        batches = make_batches(10)
+
+        reference = AggregationService(self._temporal_config(tmp_path / "ref"))
+        reference.start()
+        for tenant, stream, values in batches[:7]:
+            reference.ingest(tenant, stream, values)
+
+        crashed = AggregationService(self._temporal_config(tmp_path / "crash"))
+        crashed.start()
+        for tenant, stream, values in batches[:7]:
+            crashed.ingest(tenant, stream, values)
+        crashed.wal.close()  # crash: no flush, no checkpoint of the ring
+
+        restarted = AggregationService(self._temporal_config(tmp_path / "crash"))
+        recovery = restarted.start()
+        assert recovery["wal_records"] == 7
+
+        # The ring is never checkpointed; replay alone must rebuild it.
+        assert restarted.status()["temporal"] == reference.status()["temporal"]
+        for window in (2, 4):
+            assert restarted.estimate(TENANT, "A", "B", window=window) == (
+                reference.estimate(TENANT, "A", "B", window=window)
+            )
+        reference.close()
+        restarted.close()
+
+    def test_windowed_queries_require_epoch_interval(self, tmp_path):
+        service = AggregationService(make_config(tmp_path))
+        service.start()
+        with pytest.raises(ProtocolError, match="disabled"):
+            service.estimate(TENANT, "A", "B", window=1)
+        service.close()
+
+    def test_window_bounds_are_validated(self, tmp_path):
+        service = AggregationService(self._temporal_config(tmp_path))
+        service.start()
+        for tenant, stream, values in make_batches(4):
+            service.ingest(tenant, stream, values)
+        with pytest.raises(ParameterError, match="window"):
+            service.estimate(TENANT, "A", "B", window=0)
+        with pytest.raises(ParameterError, match="retention"):
+            # RETAINED closed epochs + the open one is the horizon.
+            service.estimate(TENANT, "A", "B", window=self.RETAINED + 2)
+        service.close()
+
+    def test_status_reports_temporal_observables(self, tmp_path):
+        service = AggregationService(self._temporal_config(tmp_path))
+        service.start()
+        assert service.status()["temporal"]["epoch"] == 0
+        for tenant, stream, values in make_batches(6):
+            service.ingest(tenant, stream, values)
+        temporal = service.status()["temporal"]
+        assert temporal["epoch"] == 5 // self.INTERVAL
+        assert temporal["epoch_interval"] == self.INTERVAL
+        assert temporal["window_epochs"] == self.RETAINED
+        assert temporal["closed_epochs"] == 2
+        assert temporal["retained_epochs"] == [0, 1]
+        assert TENANT in temporal["continual"]
+        service.close()
+
+    def test_disabled_service_reports_no_temporal_state(self, tmp_path):
+        service = AggregationService(make_config(tmp_path))
+        service.start()
+        assert service.status()["temporal"] is None
+        service.close()
+
+    def test_http_windowed_round_trip(self, tmp_path):
+        async def scenario():
+            service = AggregationService(self._temporal_config(tmp_path / "data"))
+            server = ServiceServer(
+                service, ServerConfig(port=0, watchdog_interval=0.05)
+            )
+            host, port = await server.start()
+            try:
+                for index in range(4):
+                    status, ack, _ = await _request(
+                        host,
+                        port,
+                        "POST",
+                        "/v1/report",
+                        {
+                            "tenant": TENANT,
+                            "stream": "A" if index % 2 == 0 else "B",
+                            "values": [1, 2, 3],
+                        },
+                    )
+                    assert status == 200 and ack["sequence"] == index
+
+                # Windowed estimates need no publish: they answer from
+                # the live ring.
+                status, answer, _ = await _request(
+                    host,
+                    port,
+                    "GET",
+                    f"/v1/estimate?tenant={TENANT}&kind=join"
+                    "&streams=A,B&window=2",
+                )
+                assert status == 200
+                assert answer["window"] == 2
+                assert answer["epochs"] == [0, 1]
+                assert "snapshot_digest" not in answer
+
+                status, body, _ = await _request(
+                    host,
+                    port,
+                    "GET",
+                    f"/v1/estimate?tenant={TENANT}&kind=join"
+                    "&streams=A,B&window=nope",
+                )
+                assert status == 400 and "integer" in body["error"]
+
+                status, body, _ = await _request(host, port, "GET", "/v1/status")
+                assert status == 200
+                assert body["temporal"]["epoch"] == 1
+            finally:
+                await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_http_windowed_disabled_is_409(self, tmp_path):
+        async def scenario():
+            service = AggregationService(make_config(tmp_path / "data"))
+            server = ServiceServer(
+                service, ServerConfig(port=0, watchdog_interval=0.05)
+            )
+            host, port = await server.start()
+            try:
+                status, body, _ = await _request(
+                    host,
+                    port,
+                    "GET",
+                    f"/v1/estimate?tenant={TENANT}&kind=join"
+                    "&streams=A,B&window=1",
+                )
+                assert status == 409 and "disabled" in body["error"]
+            finally:
+                await server.shutdown()
+
+        asyncio.run(scenario())

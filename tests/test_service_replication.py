@@ -892,3 +892,52 @@ class TestKillNineFailover:
             except subprocess.TimeoutExpired:
                 standby_proc.kill()
                 raise
+
+
+# ---------------------------------------------------------------------------
+# Temporal ring parity across the replication stream
+# ---------------------------------------------------------------------------
+class TestTemporalReplication:
+    """The epoch ring is a pure function of the WAL sequence, so a
+    standby that applied the same frames must answer every windowed
+    estimate with the primary's exact bytes — before and after a
+    failover promotion."""
+
+    def _make_pair(self, tmp_path):
+        overrides = dict(epoch_interval=2, window_epochs=4)
+        standby = ReplicatedService(
+            make_config(tmp_path / "standby", **overrides), role="standby"
+        )
+        standby.start()
+        primary = ReplicatedService(
+            make_config(tmp_path / "primary", **overrides),
+            role="primary",
+            replicas=[LocalReplica(standby, name="standby-0")],
+        )
+        primary.start()
+        return primary, standby
+
+    def test_standby_rebuilds_identical_ring(self, tmp_path):
+        primary, standby = self._make_pair(tmp_path)
+        for index, (tenant, stream, values) in enumerate(BATCHES):
+            primary.ingest(tenant, stream, values, idempotency_key=f"t{index}")
+
+        assert primary.status()["temporal"] == standby.status()["temporal"]
+        for window in (2, 4):
+            assert primary.estimate(TENANT, "A", "B", window=window) == (
+                standby.estimate(TENANT, "A", "B", window=window)
+            )
+        primary.close()
+        standby.close()
+
+    def test_windowed_answers_survive_promotion(self, tmp_path):
+        primary, standby = self._make_pair(tmp_path)
+        for index, (tenant, stream, values) in enumerate(BATCHES):
+            primary.ingest(tenant, stream, values, idempotency_key=f"p{index}")
+        before = primary.estimate(TENANT, "A", "B", window=3)
+
+        standby.promote()
+        after = standby.estimate(TENANT, "A", "B", window=3)
+        assert after == before
+        primary.close()
+        standby.close()
